@@ -1,0 +1,32 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures as an ASCII table:
+printed to stdout and appended to ``benchmarks/results/<bench>.txt`` so the
+numbers survive pytest's output capturing and can be pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(bench_name: str, title: str, headers, rows) -> None:
+    """Print a table and append it to the bench's results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines: list[str] = []
+    render_table(title, headers, rows, out=lines.append)
+    text = "\n".join(lines)
+    print(text)
+    with open(RESULTS_DIR / f"{bench_name}.txt", "a") as fh:
+        fh.write(text + "\n")
+
+
+def fresh(bench_name: str) -> None:
+    """Truncate the bench's results file at the start of a module run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{bench_name}.txt").write_text("")

@@ -1,0 +1,55 @@
+"""Ablation benches — why the paper's design choices matter.
+
+* Indexing ablation: the Table 1 mesh sort, re-costed under each Figure 2
+  indexing scheme — shuffled-row-major must be cheapest, with the lowest
+  growth exponent (the Thompson–Kung argument).
+* Recursion ablation: Theorem 3.2's recursive halving vs folding functions
+  in one at a time — the insertion variant's mesh time must grow about
+  linearly faster, and the penalty must widen with n.
+
+Generation in :mod:`repro.report.ablations`.
+"""
+
+import pytest
+
+from repro.report import ablations
+
+from _util import fresh, report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    fresh("ablations")
+
+
+def test_indexing_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.sort_cost_by_scheme,
+                              rounds=1, iterations=1)
+    report(
+        "ablations",
+        "Ablation: mesh bitonic sort cost by indexing scheme",
+        ["scheme", "time (n=4096)", "fit"],
+        rows,
+    )
+    by = {r[0]: float(r[1]) for r in rows}
+    assert by["shuffled-row-major"] == min(by.values())
+    fits = {r[0]: float(r[2].split("^")[1].split(" ")[0]) for r in rows}
+    assert fits["shuffled-row-major"] <= min(fits.values()) + 1e-9
+
+
+def test_recursion_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.recursion_rows,
+                              rounds=1, iterations=1)
+    report(
+        "ablations",
+        "Ablation: recursive halving vs sequential insertion (mesh)",
+        ["n", "recursive (Thm 3.2)", "insertion", "penalty"],
+        rows,
+    )
+    penalties = [float(r[3][:-1]) for r in rows if r[0] != "fit"]
+    assert all(p > 1.0 for p in penalties)
+    assert penalties[-1] > 2 * penalties[0], "the gap must widen"
+    fit_row = rows[-1]
+    rec_expo = float(fit_row[1].split("^")[1].split(" ")[0])
+    ins_expo = float(fit_row[2].split("^")[1].split(" ")[0])
+    assert ins_expo > rec_expo + 0.5

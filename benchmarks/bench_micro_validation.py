@@ -1,0 +1,68 @@
+"""Cross-level validation: the abstract cost model vs the micro machines.
+
+Mesh: broadcast/semigroup round counts must track the model within a
+constant factor; shearsort must pay a widening log-factor over the
+Thompson-Kung bitonic totals.  Hypercube: round counts must be exactly
+equal.  Generation in :mod:`repro.report.validation`.
+"""
+
+import pytest
+
+from repro import power_fit
+from repro.machines.micro import shearsort
+from repro.report import validation
+
+from _util import fresh, report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    fresh("micro")
+
+
+def test_mesh_validation_report(benchmark):
+    rows = benchmark.pedantic(validation.mesh_rows, rounds=1, iterations=1)
+    report(
+        "micro",
+        "Cross-level validation (mesh): micro machine vs abstract model",
+        ["n", "bcast micro", "bcast model", "ratio",
+         "semigroup micro", "semigroup model", "ratio",
+         "shearsort micro", "bitonic model", "ratio (log-factor gap)"],
+        rows,
+    )
+    bc_ratios = [float(r[3]) for r in rows]
+    sg_ratios = [float(r[6]) for r in rows]
+    ss_ratios = [float(r[9]) for r in rows]
+    assert max(bc_ratios) / min(bc_ratios) < 2.0
+    assert max(sg_ratios) / min(sg_ratios) < 2.0
+    assert ss_ratios[-1] > ss_ratios[0]  # the log-factor gap widens
+
+
+def test_cube_validation_report(benchmark):
+    rows = benchmark.pedantic(validation.cube_rows, rounds=1, iterations=1)
+    report(
+        "micro",
+        "Cross-level validation (hypercube): exact round agreement",
+        ["n", "sort micro", "sort model", "sort",
+         "reduce micro", "reduce model", "reduce"],
+        rows,
+    )
+    assert all(r[3] == "exact" and r[6] == "exact" for r in rows)
+
+
+def test_micro_shearsort_fit(benchmark):
+    def run():
+        times = [
+            validation.micro_mesh_cost(lambda m: shearsort(m, "x"), n)
+            for n in validation.SIZES
+        ]
+        return power_fit(validation.SIZES, times)
+    fit = benchmark.pedantic(run, rounds=1, iterations=1)
+    # sqrt(n) log n over this range fits ~ n^0.6-0.8.
+    assert 0.5 < fit.exponent < 0.9
+
+
+def test_micro_broadcast_speed(benchmark):
+    from repro.machines.micro import broadcast_micro
+    benchmark(lambda: validation.micro_mesh_cost(
+        lambda m: broadcast_micro(m, "x", 0, 0), 256))

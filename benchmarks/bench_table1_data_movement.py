@@ -1,0 +1,58 @@
+"""Table 1 — running times of the fundamental data movement operations.
+
+Paper's claims (n-PE machines): semigroup / broadcast / prefix / merge are
+``Theta(sqrt n)`` mesh and ``Theta(log n)`` hypercube; sorting and grouping
+are ``Theta(sqrt n)`` mesh and ``Theta(log^2 n)`` hypercube, expected
+``Theta(log n)`` with randomized sorting.  Generation lives in
+:mod:`repro.report.table1`; this bench records the table and asserts the
+fitted growth classes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import hypercube_machine, mesh_machine
+from repro.report import table1
+
+from _util import fresh, report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    fresh("table1")
+
+
+def test_table1_report(benchmark):
+    rows = benchmark.pedantic(table1.rows, rounds=1, iterations=1)
+    report(
+        "table1",
+        f"Table 1 reproduction (sizes {table1.SIZES[0]}..{table1.SIZES[-1]})",
+        ["operation", f"mesh t(n={table1.SIZES[-1]})", "mesh fit",
+         f"cube t(n={table1.SIZES[-1]})", "cube fit",
+         "cube expected (randomized)"],
+        rows,
+    )
+    fits = {r[0]: r for r in rows}
+    # Mesh: every operation Theta(sqrt n) -> exponent ~0.5.
+    for op in table1.OPS:
+        expo = float(fits[op][2].split("^")[1].split(" ")[0])
+        assert 0.35 < expo < 0.75, f"{op}: mesh exponent {expo}"
+    # Hypercube: sort/grouping ~ log^2; others ~ log.
+    for op in ("sort", "grouping"):
+        p = float(fits[op][4].split("^")[1])
+        assert p > 1.5, f"{op}: expected ~log^2 growth, got log^{p}"
+    for op in ("semigroup", "broadcast", "prefix", "merge"):
+        p = float(fits[op][4].split("^")[1])
+        assert p < 1.7, f"{op}: expected ~log growth, got log^{p}"
+
+
+@pytest.mark.parametrize("op", table1.OPS)
+def test_table1_mesh_op(benchmark, op):
+    rng = np.random.default_rng(0)
+    benchmark(lambda: table1.run_op(mesh_machine(1024), op, 1024, rng))
+
+
+@pytest.mark.parametrize("op", table1.OPS)
+def test_table1_hypercube_op(benchmark, op):
+    rng = np.random.default_rng(0)
+    benchmark(lambda: table1.run_op(hypercube_machine(1024), op, 1024, rng))

@@ -1,0 +1,66 @@
+"""Machine cost explorer: one workload, every architecture.
+
+Runs the same Theorem 4.1 computation (closest-point sequence of a moving
+system) on all six machine models the library provides and prints the cost
+breakdown — the quickest way to *see* the complexity classes of Tables 1–3
+and the Section 1 remark about other networks.
+
+Run:  python examples/machine_cost_explorer.py
+"""
+
+from repro import closest_point_sequence, random_system, render_table
+from repro.machines import (
+    ccc_machine,
+    hypercube_machine,
+    mesh_machine,
+    pram_machine,
+    serial_machine,
+    shuffle_exchange_machine,
+)
+
+MACHINES = [
+    ("mesh 32x32", lambda: mesh_machine(1024)),
+    ("mesh 32x32 (row-major cost model)",
+     lambda: mesh_machine(1024, scheme="row-major")),
+    ("hypercube 2^10", lambda: hypercube_machine(1024)),
+    ("cube-connected cycles", lambda: ccc_machine(1024)),
+    ("shuffle-exchange", lambda: shuffle_exchange_machine(1024)),
+    ("CREW PRAM", lambda: pram_machine(1024)),
+    ("serial (1 PE)", serial_machine),
+]
+
+
+def main() -> None:
+    system = random_system(n=128, d=2, k=1, seed=21)
+    print(f"workload: closest-point sequence of {len(system)} moving points "
+          f"(Theorem 4.1)\n")
+    rows = []
+    reference = None
+    for name, make in MACHINES:
+        machine = make()
+        seq = closest_point_sequence(machine, system)
+        if reference is None:
+            reference = seq.labels()
+        else:
+            assert seq.labels() == reference, "all machines must agree"
+        met = machine.metrics
+        top_phase = max(met.phases, key=met.phases.get) if met.phases else "-"
+        rows.append([
+            name,
+            f"{met.time:.0f}",
+            f"{met.comm_time:.0f}",
+            f"{met.rounds}",
+            top_phase,
+        ])
+    render_table(
+        "Same computation, same answer — different architectures",
+        ["machine", "time", "comm time", "rounds", "dominant phase"],
+        rows,
+    )
+    print("\nEvery machine computed the identical sequence; only the cost "
+          "differs.\nThe serial row is total *work*; the parallel rows are "
+          "lockstep *time*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Measurement helpers for the benchmark harness.
+
+The paper reports Theta-bounds, not wall-clock numbers; reproducing its
+tables therefore means measuring *simulated parallel time* across problem
+sizes and checking the growth exponent/shape.  This module provides the
+log-log fitting and table-rendering utilities every bench uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["power_fit", "polylog_fit", "ScalingFit", "render_table",
+           "geometric_sizes"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of fitting ``time ~ c * n^exponent`` on a log-log scale."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def describe(self) -> str:
+        return f"n^{self.exponent:.2f} (R^2={self.r_squared:.3f})"
+
+
+def power_fit(sizes: Sequence[float], times: Sequence[float]) -> ScalingFit:
+    """Least-squares fit of ``log time = a log n + b``."""
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(times, dtype=float))
+    if len(x) < 2:
+        raise ValueError("need at least two sizes to fit a scaling law")
+    a, b = np.polyfit(x, y, 1)
+    pred = a * x + b
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ScalingFit(exponent=float(a), coefficient=float(math.exp(b)),
+                      r_squared=r2)
+
+
+def polylog_fit(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Fit ``time ~ c * (log2 n)^p`` and return the exponent ``p``.
+
+    Distinguishes the hypercube's ``log^2 n`` rows from ``log n`` rows.
+    """
+    x = np.log(np.log2(np.asarray(sizes, dtype=float)))
+    y = np.log(np.asarray(times, dtype=float))
+    p, _ = np.polyfit(x, y, 1)
+    return float(p)
+
+
+def geometric_sizes(lo: int, hi: int, factor: int = 4) -> list[int]:
+    """Power-of-``factor`` sizes from ``lo`` to ``hi`` inclusive."""
+    out = []
+    n = lo
+    while n <= hi:
+        out.append(n)
+        n *= factor
+    return out
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], *, out: Callable[[str], None] = print) -> None:
+    """Print an aligned ASCII table (the benches' reporting format)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    line = "-+-".join("-" * w for w in widths)
+    out(f"\n=== {title} ===")
+    out(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    out(line)
+    for row in cells[1:]:
+        out(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        if c == 0 or 1e-3 <= abs(c) < 1e6:
+            return f"{c:.2f}"
+        return f"{c:.2e}"
+    return str(c)

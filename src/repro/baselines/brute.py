@@ -1,0 +1,84 @@
+"""Brute-force oracles used by tests, examples, and benches.
+
+Everything here is deliberately naive — dense time sampling and O(n^2)
+pair scans — so it is an *independent* check on the clever algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..kinetics.motion import PointSystem
+
+__all__ = [
+    "sampled_envelope",
+    "nearest_at",
+    "farthest_at",
+    "closest_pair_at",
+    "farthest_pair_at",
+    "bounding_box_at",
+    "fits_box_at",
+    "hull_vertices_at",
+]
+
+
+def sampled_envelope(fns: Sequence[Callable[[float], float]],
+                     ts: np.ndarray, op=min) -> np.ndarray:
+    """``op`` of the functions at each sample time (dense-grid envelope)."""
+    return np.array([op(f(t) for f in fns) for t in ts])
+
+
+def nearest_at(system: PointSystem, query: int, t: float) -> tuple[int, float]:
+    """(index, squared distance) of the nearest point to the query at t."""
+    pos = system.positions(t)
+    d2 = np.sum((pos - pos[query]) ** 2, axis=1)
+    d2[query] = np.inf
+    j = int(np.argmin(d2))
+    return j, float(d2[j])
+
+
+def farthest_at(system: PointSystem, query: int, t: float) -> tuple[int, float]:
+    pos = system.positions(t)
+    d2 = np.sum((pos - pos[query]) ** 2, axis=1)
+    d2[query] = -np.inf
+    j = int(np.argmax(d2))
+    return j, float(d2[j])
+
+
+def _pair_matrix(system: PointSystem, t: float) -> np.ndarray:
+    pos = system.positions(t)
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.sum(diff * diff, axis=-1)
+
+
+def closest_pair_at(system: PointSystem, t: float) -> tuple[int, int, float]:
+    d2 = _pair_matrix(system, t)
+    np.fill_diagonal(d2, np.inf)
+    i, j = np.unravel_index(np.argmin(d2), d2.shape)
+    return int(min(i, j)), int(max(i, j)), float(d2[i, j])
+
+
+def farthest_pair_at(system: PointSystem, t: float) -> tuple[int, int, float]:
+    d2 = _pair_matrix(system, t)
+    np.fill_diagonal(d2, -np.inf)
+    i, j = np.unravel_index(np.argmax(d2), d2.shape)
+    return int(min(i, j)), int(max(i, j)), float(d2[i, j])
+
+
+def bounding_box_at(system: PointSystem, t: float) -> np.ndarray:
+    """Per-axis extent of the system at time ``t``."""
+    pos = system.positions(t)
+    return pos.max(axis=0) - pos.min(axis=0)
+
+
+def fits_box_at(system: PointSystem, box: Sequence[float], t: float) -> bool:
+    return bool(np.all(bounding_box_at(system, t) <= np.asarray(box) + 1e-9))
+
+
+def hull_vertices_at(system: PointSystem, t: float) -> list[int]:
+    """Extreme-point indices at time ``t`` (float convex hull)."""
+    from ..geometry.convex_hull import convex_hull
+
+    return sorted(convex_hull([tuple(p) for p in system.positions(t)]))

@@ -1,0 +1,94 @@
+"""Collision detection — Theorem 4.2.
+
+Points ``P_i`` and ``P_j`` collide at time ``t`` when ``f_i(t) = f_j(t)``,
+i.e. when the squared distance ``d^2_{ij}(t)`` vanishes.  A chronological
+list of the times at which a query point collides with any other point is
+produced by solving ``d^2_{0j}(t) = 0`` per processor (at most 2k roots
+each) and sorting the union: ``Theta(sqrt(n))`` on an n-PE mesh,
+``Theta(log^2 n)`` deterministic on a hypercube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kinetics.motion import PointSystem
+from ..kinetics.polynomial import Polynomial
+from ..machines.machine import Machine
+from ..ops import bitonic_sort, pack
+from ..ops._common import next_pow2
+from .neighbors import distance_squared_functions
+
+__all__ = ["collision_times", "collision_times_with", "collides"]
+
+#: Squared-distance threshold under which two points are considered to meet.
+_CONTACT_EPS = 1e-9
+
+
+def _meeting_times(d2: Polynomial) -> list[float]:
+    """Times ``t >= 0`` at which a squared distance reaches zero.
+
+    ``d^2`` is a sum of squares, so collisions are minima touching zero:
+    we find critical points of ``d^2`` and keep those where it vanishes,
+    plus an explicit check at ``t = 0`` (excluded by the paper's distinct-
+    start assumption, but kept for robustness).
+    """
+    out = []
+    if abs(d2(0.0)) <= _CONTACT_EPS:
+        out.append(0.0)
+    for r in d2.derivative().real_roots(0.0):
+        if abs(d2(r)) <= _CONTACT_EPS * max(1.0, abs(r)) ** 2:
+            out.append(r)
+    # Degenerate case: identical trajectories collide for all time.
+    return sorted(set(out))
+
+
+def collides(system: PointSystem, i: int, j: int) -> bool:
+    """Do points ``i`` and ``j`` ever meet on ``[0, inf)``?"""
+    return bool(_meeting_times(system.distance_squared(i, j)))
+
+
+def collision_times_with(system: PointSystem, query: int = 0) -> list[tuple[float, int]]:
+    """Serial oracle: sorted ``(time, other_point)`` collision events."""
+    events = []
+    for j in range(len(system)):
+        if j == query:
+            continue
+        for t in _meeting_times(system.distance_squared(query, j)):
+            events.append((t, j))
+    return sorted(events)
+
+
+def collision_times(machine: Machine | None, system: PointSystem,
+                    query: int = 0) -> np.ndarray:
+    """Theorem 4.2: chronological list of times ``P_query`` collides.
+
+    On a machine, each PE solves its ``d^2_{0j}(t) = 0`` locally (Theta(1)
+    for bounded k), the ragged results are packed, and a global sort orders
+    them — the sort dominates at ``Theta(sqrt(n))`` mesh / ``Theta(log^2 n)``
+    hypercube time.  ``machine=None`` runs the serial oracle.
+    """
+    if machine is None:
+        return np.array([t for t, _ in collision_times_with(system, query)])
+    fns, labels = distance_squared_functions(machine, system, query)
+    k = max(1, system.k)
+    per_pe = [_meeting_times(d2) for d2 in fns]
+    length = next_pow2(len(fns))
+    machine.local(length, count=2 * k)  # root solving, Theta(1) per PE
+    max_roots = max((len(r) for r in per_pe), default=0)
+    times = []
+    # Lay the ragged root lists out via pack rounds (one per root slot).
+    for slot in range(max_roots):
+        mask = np.array([len(r) > slot for r in per_pe] +
+                        [False] * (length - len(per_pe)))
+        vals = np.array([r[slot] if len(r) > slot else 0.0 for r in per_pe] +
+                        [0.0] * (length - len(per_pe)))
+        (packed,), cnt = pack(machine, mask, [vals])
+        times.extend(packed[:cnt].tolist())
+    if not times:
+        return np.array([])
+    sort_len = next_pow2(len(times))
+    arr = np.full(sort_len, np.inf)
+    arr[: len(times)] = times
+    (out,), _ = bitonic_sort(machine, arr)
+    return out[: len(times)]

@@ -1,0 +1,506 @@
+"""Constructing the MIN (and MAX) function — Section 3 of the paper.
+
+Two independent implementations are provided:
+
+* :func:`envelope_serial` / :func:`combine_pairwise_serial` — a plane-sweep
+  divide-and-conquer used as the library's correctness oracle (the serial
+  model of Atallah 1985);
+* :func:`envelope` / :func:`combine_pairwise` — the paper's parallel
+  algorithm run on a simulated :class:`~repro.machines.machine.Machine`,
+  built from the Section 2.6 data movement operations so that the simulated
+  parallel time exhibits the Theta-bounds of Lemma 3.1 and Theorem 3.2
+  (``Theta(sqrt(m))`` per combine on the mesh, ``Theta(log m)`` on the
+  hypercube; ``Theta(lambda^{1/2})`` / ``Theta(log^2 n)`` overall).
+
+Both support *partial* functions (pieces with gaps) as required by
+Lemma 3.3 / Theorem 3.4, both support ``op`` in {"min", "max"}, and the same
+machinery computes arithmetic combinations (sum/difference/product pieces,
+needed by Theorems 4.5–4.7) — the paper notes the algorithm "can be used to
+compute the result of applying any of a variety of operations".
+
+Implementation note on Lemma 3.1, Step 4.  The paper assigns intersection
+work to PEs by cases (a piece of ``g`` handles interior overlaps, the PEs of
+a piece of ``f`` handle the leftmost/rightmost ones).  We use the equivalent
+*gap decomposition*: after merging all Left/Right records by endpoint, the
+interval between consecutive records has a constant active piece of ``f``
+and of ``g``; the PE holding the left record resolves that interval with at
+most ``s`` root computations.  The total work, data movement, and output are
+identical, and every interval is handled exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import OperationContractError
+from ..kinetics.piecewise import INF, Piece, PiecewiseFunction
+from ..machines.machine import Machine
+from ..machines.topology import (
+    CCCTopology,
+    HypercubeTopology,
+    MeshTopology,
+    PRAMTopology,
+    SerialTopology,
+    ShuffleExchangeTopology,
+)
+from ..ops import (
+    bitonic_merge,
+    fill_backward,
+    fill_forward,
+    pack,
+    parallel_prefix,
+    unpack_lists,
+)
+from ..ops._common import next_pow2
+from .family import CurveFamily
+
+__all__ = [
+    "envelope",
+    "envelope_serial",
+    "combine_pairwise",
+    "combine_pairwise_serial",
+    "combine_map",
+    "combine_map_serial",
+    "threshold_indicator",
+    "normalize_inputs",
+]
+
+#: Tolerance below which an interval is considered degenerate.
+_EPS = 1e-9
+
+_SELECT_OPS = ("min", "max")
+_MAP_OPS = ("sum", "diff", "product")
+
+
+def _eps(t: float) -> float:
+    return _EPS * max(1.0, abs(t) if math.isfinite(t) else 1.0)
+
+
+def normalize_inputs(fns: Iterable, labels=None) -> list[PiecewiseFunction]:
+    """Lift raw curves to single-piece total functions; pass through
+    :class:`PiecewiseFunction` inputs (the partial functions of Lemma 3.3)."""
+    out = []
+    fns = list(fns)
+    if labels is None:
+        labels = range(len(fns))
+    for f, lab in zip(fns, labels):
+        if isinstance(f, PiecewiseFunction):
+            out.append(f)
+        else:
+            out.append(PiecewiseFunction.total(f, label=lab))
+    return out
+
+
+def _check_op(op: str) -> None:
+    if op not in _SELECT_OPS and op not in _MAP_OPS:
+        raise OperationContractError(
+            f"op must be one of {_SELECT_OPS + _MAP_OPS}, got {op!r}"
+        )
+
+
+# ======================================================================
+# Serial oracle (plane sweep)
+# ======================================================================
+def _cut_points(F: PiecewiseFunction, G: PiecewiseFunction,
+                family: CurveFamily, with_crossings: bool) -> list[float]:
+    """All envelope breakpoint candidates: interval endpoints + crossings."""
+    cuts = set()
+    for p in list(F.pieces) + list(G.pieces):
+        cuts.add(p.lo)
+        if math.isfinite(p.hi):
+            cuts.add(p.hi)
+    if with_crossings:
+        for p in F.pieces:
+            for q in G.pieces:
+                lo, hi = max(p.lo, q.lo), min(p.hi, q.hi)
+                if lo + _eps(lo) < hi and not family.same(p.fn, q.fn):
+                    cuts.update(family.crossings(p.fn, q.fn, lo, hi))
+    return sorted(cuts)
+
+
+def _choose(p: Piece | None, q: Piece | None, t: float,
+            family: CurveFamily, op: str) -> Piece | None:
+    """The winning piece at sample time ``t`` (op over *defined* curves)."""
+    if p is None:
+        return q
+    if q is None:
+        return p
+    if family.same(p.fn, q.fn):
+        return p
+    a, b = family.value(p.fn, t), family.value(q.fn, t)
+    if op == "min":
+        return p if a <= b else q
+    return p if a >= b else q
+
+
+def combine_pairwise_serial(F: PiecewiseFunction, G: PiecewiseFunction,
+                            family: CurveFamily, op: str = "min") -> PiecewiseFunction:
+    """Serial sweep computing ``op(F, G)`` with gap (partial-domain) support.
+
+    For selection ops the result follows the smaller/larger defined curve;
+    for arithmetic ops the result is defined on the common domain only
+    (differences of members of a family, Lemma 2.5/2.6).
+    """
+    _check_op(op)
+    select = op in _SELECT_OPS
+    if not F.pieces:
+        return PiecewiseFunction(list(G.pieces), validate=False) if select \
+            else PiecewiseFunction.empty()
+    if not G.pieces:
+        return PiecewiseFunction(list(F.pieces), validate=False) if select \
+            else PiecewiseFunction.empty()
+    cuts = _cut_points(F, G, family, with_crossings=select)
+    out: list[Piece] = []
+    spans = list(zip(cuts, cuts[1:])) + [(cuts[-1], INF)]
+    for lo, hi in spans:
+        if hi - lo <= _eps(lo):
+            continue
+        mid = lo + 1.0 if math.isinf(hi) else 0.5 * (lo + hi)
+        p = F.piece_at(mid)
+        q = G.piece_at(mid)
+        if select:
+            win = _choose(p, q, mid, family, op)
+            if win is None:
+                continue
+            out.append(Piece(lo, hi, win.fn, win.label))
+        else:
+            if p is None or q is None:
+                continue
+            out.append(Piece(lo, hi, family.combine(p.fn, q.fn, op),
+                             (p.label, q.label)))
+    same = (lambda a, b: family.same(a.fn, b.fn) and a.label == b.label) if select \
+        else (lambda a, b: a.fn == b.fn and a.label == b.label)
+    return PiecewiseFunction(out, validate=False).fused(same)
+
+
+def envelope_serial(fns: Sequence, family: CurveFamily, *, op: str = "min",
+                    labels=None) -> PiecewiseFunction:
+    """Serial divide-and-conquer envelope of ``n`` (possibly partial) curves."""
+    level = normalize_inputs(fns, labels)
+    if not level:
+        return PiecewiseFunction.empty()
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine_pairwise_serial(level[i], level[i + 1], family, op))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+# ======================================================================
+# Machine implementation (Lemma 3.1 / Theorem 3.2)
+# ======================================================================
+def _records_of(F: PiecewiseFunction, half: int):
+    """Left/Right records of Lemma 3.1 Step 1, padded to ``half`` slots.
+
+    Records are emitted interleaved L0 R0 L1 R1 ..., which is sorted by
+    (endpoint, tie) because pieces are ordered; ties sort Right before Left
+    (the tie-break rule of Step 2).
+    """
+    end = np.full(half, INF)
+    tie = np.full(half, 2, dtype=np.int64)
+    kind = np.full(half, -1, dtype=np.int64)
+    piece = np.full(half, None, dtype=object)
+    for i, p in enumerate(F.pieces):
+        end[2 * i], tie[2 * i], kind[2 * i], piece[2 * i] = p.lo, 1, 0, p
+        end[2 * i + 1], tie[2 * i + 1], kind[2 * i + 1], piece[2 * i + 1] = (
+            p.hi, 0, 1, p
+        )
+    return end, tie, kind, piece
+
+
+def combine_pairwise(machine: Machine, F: PiecewiseFunction,
+                     G: PiecewiseFunction, family: CurveFamily,
+                     op: str = "min") -> PiecewiseFunction:
+    """Lemma 3.1 on the machine: ``op(F, G)`` in one merge + scans + packs.
+
+    Cost profile: ``Theta(sqrt(m))`` on a mesh of ``Theta(m)`` PEs,
+    ``Theta(log m)`` on a hypercube, where ``m`` is the total piece count.
+    ``op`` may be a selection ("min"/"max", following the lower/upper
+    envelope) or an arithmetic map ("sum"/"diff"/"product", defined on the
+    common domain).
+    """
+    _check_op(op)
+    select = op in _SELECT_OPS
+    if not F.pieces:
+        return PiecewiseFunction(list(G.pieces), validate=False) if select \
+            else PiecewiseFunction.empty()
+    if not G.pieces:
+        return PiecewiseFunction(list(F.pieces), validate=False) if select \
+            else PiecewiseFunction.empty()
+    half = next_pow2(2 * max(len(F.pieces), len(G.pieces)))
+    L = 2 * half
+
+    # Step 1: record creation (local) and layout (monotone route).
+    endF, tieF, kindF, pieceF = _records_of(F, half)
+    endG, tieG, kindG, pieceG = _records_of(G, half)
+    end = np.concatenate([endF, endG])
+    tie = np.concatenate([tieF, tieG])
+    kind = np.concatenate([kindF, kindG])
+    piece = np.concatenate([pieceF, pieceG])
+    src = np.concatenate([np.zeros(half, np.int64), np.ones(half, np.int64)])
+    machine.local(L)
+    machine.monotone_route(L)
+
+    # Step 2: merge the two sorted record runs by (endpoint, tie).
+    with machine.phase("merge"):
+        (end, tie), (kind, piece, src) = bitonic_merge(
+            machine, [end, tie], [kind, piece, src]
+        )
+
+    # Step 3: every record learns the active piece of f and of g on the gap
+    # that follows it (fill = the paper's prefix/broadcast within strings).
+    with machine.phase("scan"):
+        state_f = np.where((src == 0) & (kind == 0), piece, None)
+        state_g = np.where((src == 1) & (kind == 0), piece, None)
+        defined_f = (src == 0) & (kind >= 0)
+        defined_g = (src == 1) & (kind >= 0)
+        active_f = fill_forward(machine, state_f, defined_f)
+        active_g = fill_forward(machine, state_g, defined_g)
+
+    # Step 4: per-gap subpiece construction (at most s+1 each, local).
+    nxt = np.empty(L, dtype=float)
+    nxt[:-1] = end[1:]
+    nxt[-1] = INF
+    machine.exchange(L, 0)
+    subs = np.empty(L, dtype=object)
+    for i in range(L):
+        subs[i] = _gap_subpieces(
+            end[i], nxt[i], active_f[i], active_g[i], family, op
+        )
+    machine.local(L, count=family.s + 1)
+
+    # Step 5 is implicit: roots come out of the solver sorted, so each PE's
+    # subpieces are already ordered left to right.
+
+    # Step 6: flatten, fuse equal-function neighbours, pack.
+    with machine.phase("pack"):
+        flat, total = unpack_lists(machine, subs)
+    if total == 0:
+        return PiecewiseFunction.empty()
+    with machine.phase("fuse"):
+        pieces = _fuse_on_machine(machine, flat, total, family)
+    return PiecewiseFunction(pieces, validate=False)
+
+
+def _gap_subpieces(lo, hi, pf, pg, family: CurveFamily, op: str):
+    """Subpieces of op(f, g) on the gap [lo, hi] (Step 4 of Lemma 3.1).
+
+    Returned as (lo, hi, fn, label) tuples, ordered left to right.
+    """
+    if not math.isfinite(lo) or hi - lo <= _eps(lo):
+        return []
+    select = op in _SELECT_OPS
+    if pf is None and pg is None:
+        return []
+    if pf is None or pg is None:
+        if not select:
+            return []  # arithmetic maps live on the common domain only
+        win = pf if pg is None else pg
+        hi_c = min(hi, win.hi)
+        lo_c = max(lo, win.lo)
+        if hi_c - lo_c <= _eps(lo_c):
+            return []
+        return [(lo_c, hi_c, win.fn, win.label)]
+    lo = max(lo, pf.lo, pg.lo)
+    hi = min(hi, pf.hi, pg.hi)
+    if hi - lo <= _eps(lo):
+        return []
+    if not select:
+        return [(lo, hi, family.combine(pf.fn, pg.fn, op),
+                 (pf.label, pg.label))]
+    if family.same(pf.fn, pg.fn):
+        return [(lo, hi, pf.fn, pf.label)]
+    roots = family.crossings(pf.fn, pg.fn, lo, hi)
+    bounds = [lo, *roots, hi]
+    out = []
+    for a, b in zip(bounds, bounds[1:]):
+        if b - a <= _eps(a):
+            continue
+        mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
+        va, vb = family.value(pf.fn, mid), family.value(pg.fn, mid)
+        take_f = (va <= vb) if op == "min" else (va >= vb)
+        win = pf if take_f else pg
+        out.append((a, b, win.fn, win.label))
+    return out
+
+
+def _fuse_on_machine(machine: Machine, flat: np.ndarray, total: int,
+                     family: CurveFamily) -> list[Piece]:
+    """Step 6: fuse adjacent same-function subpieces with prefix machinery."""
+    P = len(flat)
+    valid = np.array([x is not None for x in flat])
+    lo = np.array([x[0] if x is not None else INF for x in flat])
+    hi = np.array([x[1] if x is not None else INF for x in flat])
+    start = np.zeros(P, dtype=bool)
+    for i in range(total):
+        if i == 0 or flat[i - 1] is None:
+            start[i] = True
+        else:
+            prev, cur = flat[i - 1], flat[i]
+            gap = cur[0] - prev[1] > _eps(cur[0])
+            start[i] = gap or prev[3] != cur[3] or not family.same(
+                prev[2], cur[2]
+            )
+    machine.exchange(P, 0)  # neighbour comparison
+    machine.local(P)
+    seg = parallel_prefix(machine, start.astype(np.int64), np.add)
+    is_last = np.zeros(P, dtype=bool)
+    is_last[:-1] = valid[:-1] & (start[1:] | ~valid[1:])
+    is_last[-1] = valid[-1]
+    machine.exchange(P, 0)
+    run_hi = fill_backward(machine, hi, is_last, segments=seg)
+    (plo, phi, pobj), count = pack(machine, start, [lo, run_hi, flat])
+    pieces = []
+    for i in range(count):
+        t = pobj[i]
+        pieces.append(Piece(plo[i], phi[i], t[2], t[3]))
+    return pieces
+
+
+def envelope(machine: Machine, fns: Sequence, family: CurveFamily, *,
+             op: str = "min", labels=None) -> PiecewiseFunction:
+    """Theorem 3.2 / 3.4: the envelope of ``n`` curves on the machine.
+
+    Functions are split evenly, halves recurse (running on disjoint strings
+    of the machine *simultaneously*), and halves combine via Lemma 3.1.
+    Because sibling merges are simultaneous, a level's parallel time is the
+    maximum over siblings; the recursion therefore satisfies
+    ``T(n) = T(n/2) + Theta(combine)``, giving ``Theta(lambda^{1/2}(n,s))``
+    on the mesh and ``Theta(log^2 n)`` on the hypercube.
+
+    Partial functions (:class:`PiecewiseFunction` inputs with gaps) are
+    accepted, implementing Theorem 3.4.  The result's pieces are ordered by
+    their intervals, as the paper requires.
+    """
+    level = normalize_inputs(fns, labels)
+    if not level:
+        return PiecewiseFunction.empty()
+    # Step 1 of Theorem 3.2: distribute the function descriptions (a route).
+    machine.monotone_route(next_pow2(len(level)))
+    while len(level) > 1:
+        nxt = []
+        branch_metrics = []
+        for i in range(0, len(level) - 1, 2):
+            F, G = level[i], level[i + 1]
+            sub = _substring_machine(
+                machine, 4 * max(1, len(F.pieces), len(G.pieces))
+            )
+            nxt.append(combine_pairwise(sub, F, G, family, op))
+            branch_metrics.append(sub.metrics)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        _absorb_parallel(machine, branch_metrics)
+        level = nxt
+    return level[0]
+
+
+def _substring_machine(machine: Machine, length: int) -> Machine:
+    """A fresh machine modelling a consecutive substring of ``machine``.
+
+    Proximity order (mesh) and Gray-code order (hypercube) make aligned
+    substrings behave like smaller instances of the same topology — the
+    recursive-decomposability property of Figure 2 / Section 2.3 — so a
+    sibling merge is modelled by a sub-machine of the parent's kind.
+    """
+    top = machine.topology
+    size = min(machine.n_pe, next_pow2(length))
+    if isinstance(top, MeshTopology):
+        exp = (size.bit_length()) // 2  # next power of four >= size
+        return Machine(MeshTopology(max(4, 4**exp), top.scheme))
+    if isinstance(top, (HypercubeTopology, CCCTopology,
+                        ShuffleExchangeTopology)):
+        return Machine(type(top)(max(2, size)))
+    if isinstance(top, PRAMTopology):
+        return Machine(PRAMTopology(max(1, size)))
+    return Machine(SerialTopology())
+
+
+def _absorb_parallel(machine: Machine, branches) -> None:
+    """Charge the parent with the slowest sibling of a parallel level.
+
+    On the serial machine there is no parallelism across siblings, so the
+    costs add instead.
+    """
+    if not branches:
+        return
+    if isinstance(machine.topology, SerialTopology):
+        for b in branches:
+            _add_metrics(machine, b)
+        return
+    _add_metrics(machine, max(branches, key=lambda b: b.time))
+
+
+def _add_metrics(machine: Machine, b) -> None:
+    met = machine.metrics
+    met.time += b.time
+    met.rounds += b.rounds
+    met.comm_time += b.comm_time
+    met.comm_rounds += b.comm_rounds
+    met.local_rounds += b.local_rounds
+    for k, v in b.phases.items():
+        met.phases[k] += v
+
+
+# ======================================================================
+# Convenience wrappers used by Sections 4 and 5
+# ======================================================================
+def combine_map_serial(F: PiecewiseFunction, G: PiecewiseFunction,
+                       family: CurveFamily, kind: str) -> PiecewiseFunction:
+    """Pieces of ``F (op) G`` on the common domain (cf. Lemma 2.5).
+
+    Each nondegenerate intersection of a piece of F with a piece of G yields
+    one piece whose curve is ``family.combine`` of the two; by Lemma 2.5
+    there are at most ``m + n`` of them.
+    """
+    return combine_pairwise_serial(F, G, family, kind)
+
+
+def combine_map(machine: Machine, F: PiecewiseFunction, G: PiecewiseFunction,
+                family: CurveFamily, kind: str) -> PiecewiseFunction:
+    """Machine version of :func:`combine_map_serial` (same movement as
+    Lemma 3.1 minus the root solving)."""
+    return combine_pairwise(machine, F, G, family, kind)
+
+
+def threshold_indicator(F: PiecewiseFunction, family: CurveFamily,
+                        threshold: float, *, relation: str = "le",
+                        machine: Machine | None = None) -> PiecewiseFunction:
+    """Pieces of the indicator ``1{F(t) <= c}`` generated by {0, 1}.
+
+    Lemma 2.6 bounds the output at ``s + 1`` pieces per input piece.  Used
+    for ``A_0``/``B_0`` in Theorem 4.5 and ``W_i`` in Theorem 4.6.  The work
+    is local per piece plus one fuse/pack pass; when ``machine`` is given
+    those rounds are charged.
+    """
+    if relation not in ("le", "ge"):
+        raise OperationContractError("relation must be 'le' or 'ge'")
+    level = family.constant(threshold)
+    out = []
+    for p in F.pieces:
+        if family.same(p.fn, level):
+            roots = []
+        else:
+            roots = family.crossings(p.fn, level, p.lo, p.hi)
+        cuts = [p.lo, *roots, p.hi]
+        for a, b in zip(cuts, cuts[1:]):
+            if b - a <= _eps(a):
+                continue
+            mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
+            v = family.value(p.fn, mid)
+            sat = v <= threshold if relation == "le" else v >= threshold
+            out.append(
+                Piece(a, b, family.constant(1.0 if sat else 0.0), p.label)
+            )
+    if machine is not None:
+        m = next_pow2(max(2, len(out)))
+        machine.local(m, count=family.s + 1)
+        machine.monotone_route(m)
+    return PiecewiseFunction(out, validate=False).fused(
+        lambda x, y: x.fn == y.fn
+    )

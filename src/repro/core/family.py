@@ -1,0 +1,114 @@
+"""Curve families: the O(1)-primitives the envelope algorithms require.
+
+Section 6 of the paper lists the properties a family of functions must have
+for the algorithms to apply: O(1) storage, O(1) evaluation, and at most
+``s`` pairwise intersections computable in O(1) serial time.  A
+:class:`CurveFamily` packages exactly those primitives, so the envelope
+engine of :mod:`repro.core.envelope` works for polynomial trajectories
+(Sections 3–5) *and* for the angle functions of the convex-hull membership
+algorithm (Section 4.2) without modification.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from typing import Sequence
+
+from ..kinetics.polynomial import Polynomial
+
+__all__ = ["CurveFamily", "PolynomialFamily"]
+
+
+class CurveFamily:
+    """Abstract family of real-valued curves with bounded pairwise crossings.
+
+    Attributes
+    ----------
+    s:
+        An upper bound on the number of times two distinct members may
+        intersect — the ``s`` of ``lambda(n, s)``.
+    """
+
+    s: int = 0
+
+    def value(self, f, t: float) -> float:
+        """Evaluate curve ``f`` at time ``t``."""
+        raise NotImplementedError
+
+    def crossings(self, f, g, lo: float, hi: float) -> list[float]:
+        """Times strictly inside ``(lo, hi)`` where ``f`` and ``g`` agree.
+
+        Must return at most ``s`` times, sorted ascending; identical curves
+        return no crossings (callers test :meth:`same` first).
+        """
+        raise NotImplementedError
+
+    def same(self, f, g) -> bool:
+        """True when ``f`` and ``g`` are the identical curve."""
+        return f is g or f == g
+
+    def combine(self, f, g, kind: str):
+        """The curve ``f (op) g`` for arithmetic ``kind`` in {sum, diff, ...}.
+
+        Optional; needed only by :func:`repro.core.envelope.combine_map`.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot combine curves")
+
+    def constant(self, c: float):
+        """The constant curve at level ``c`` (for threshold indicators)."""
+        raise NotImplementedError(f"{type(self).__name__} has no constants")
+
+
+class PolynomialFamily(CurveFamily):
+    """Curves are :class:`~repro.kinetics.polynomial.Polynomial` of degree <= s.
+
+    Two distinct degree-``s`` polynomials intersect at most ``s`` times, and
+    the intersections are the real roots of their difference — computable in
+    O(1) time for bounded ``s`` (Step 4 of Lemma 3.1).
+    """
+
+    def __init__(self, s: int):
+        if s < 0:
+            raise ValueError("degree bound s must be non-negative")
+        self.s = s
+
+    def value(self, f: Polynomial, t: float) -> float:
+        return f(t)
+
+    def crossings(self, f: Polynomial, g: Polynomial, lo: float, hi: float) -> list[float]:
+        diff = f - g
+        if diff.is_zero():
+            return []
+        eps = 1e-9 * max(1.0, abs(lo))
+        roots = diff.real_roots(lo, hi)
+        return [r for r in roots
+                if lo + eps < r and (not math.isfinite(hi) or r < hi - eps)]
+
+    def same(self, f: Polynomial, g: Polynomial) -> bool:
+        if f is g:
+            return True
+        a, b = f.coeffs, g.coeffs
+        if len(a) != len(b):
+            return False
+        # Direct coefficient comparison: equivalent to (f - g).is_zero()
+        # for trimmed representations, without allocating the difference.
+        return bool(np.allclose(a, b, rtol=1e-9, atol=1e-11))
+
+    def combine(self, f: Polynomial, g: Polynomial, kind: str) -> Polynomial:
+        if kind == "sum":
+            return f + g
+        if kind == "diff":
+            return f - g
+        if kind == "product":
+            return f * g
+        raise ValueError(f"unknown combination kind {kind!r}")
+
+    def constant(self, c: float) -> Polynomial:
+        return Polynomial.constant(c)
+
+    @staticmethod
+    def for_curves(curves: Sequence[Polynomial]) -> "PolynomialFamily":
+        """A family sized to the maximum degree present."""
+        return PolynomialFamily(max((c.degree for c in curves), default=0))

@@ -1,0 +1,367 @@
+"""Convex-hull membership over time — Section 4.2 (Theorem 4.5).
+
+For a planar system ``S = {P_0, ..., P_{n-1}}`` with k-motion, this module
+computes the ordered intervals of time during which a query point is an
+extreme point of ``hull(S)``.
+
+Following the paper: ``T_j(t)`` is the angle of the vector from the query
+point to ``P_j`` (range ``(-pi, pi]``); ``G_j``/``B_j`` restrict ``T_j`` to
+where it is non-negative/negative (partial functions with at most ``k``
+transitions each — Figure 5 / Lemma 3.3); and
+
+* ``a(t), b(t)`` are the lower/upper envelopes of the ``G_j``,
+* ``c(t), d(t)`` are the lower/upper envelopes of the ``B_j``.
+
+Lemma 4.4: the query point is extreme at ``t`` iff ``a - d >= pi``, or
+``b - c <= pi``, or the ``G``'s are all undefined, or the ``B``'s are all
+undefined.  Each envelope has at most ``lambda(n, 4k)`` pieces (Lemma 4.3),
+and the whole computation runs in ``Theta(lambda^{1/2}(n, 4k))`` mesh time /
+``Theta(log^2 n)`` hypercube time.
+
+Angle curves never need to be represented numerically as angles except for
+point evaluations: equality of two angles means the two vectors are parallel
+and similarly oriented (a degree-``2k`` polynomial condition plus a sign
+test), and a difference of ``pi`` means parallel and oppositely oriented —
+exactly the reductions in the proof of Theorem 4.5.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DegenerateSystemError
+from ..kinetics.motion import PointSystem
+from ..kinetics.piecewise import INF, Piece, PiecewiseFunction
+from ..kinetics.polynomial import Polynomial
+from ..machines.machine import Machine
+from ..ops._common import next_pow2
+from .containment import indicator_intervals
+from .envelope import (
+    combine_pairwise,
+    combine_pairwise_serial,
+    envelope,
+    envelope_serial,
+)
+from .family import CurveFamily, PolynomialFamily
+
+__all__ = ["AngleCurve", "AngleFamily", "hull_membership_intervals",
+           "all_hull_membership_intervals", "angle_restrictions",
+           "is_extreme_at"]
+
+_EPS = 1e-9
+
+
+class AngleCurve:
+    """``T_j``: the angle ``atan2(dy(t), dx(t))`` of a moving direction.
+
+    ``dx``/``dy`` are the coordinate differences ``p_x(f_j) - p_x(f_q)``
+    etc., polynomials of degree at most ``k``.
+    """
+
+    __slots__ = ("dx", "dy", "j")
+
+    def __init__(self, dx: Polynomial, dy: Polynomial, j):
+        self.dx = dx
+        self.dy = dy
+        self.j = j
+
+    def __call__(self, t: float) -> float:
+        return math.atan2(self.dy(t), self.dx(t))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AngleCurve(j={self.j})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AngleCurve):
+            return NotImplemented
+        return self.j == other.j and self.dx == other.dx and self.dy == other.dy
+
+    def __hash__(self) -> int:
+        return hash((self.j, self.dx, self.dy))
+
+
+def _cross(f: AngleCurve, g: AngleCurve) -> Polynomial:
+    """Parallel test polynomial: zero iff the two vectors are parallel."""
+    return f.dx * g.dy - g.dx * f.dy
+
+
+def _dot(f: AngleCurve, g: AngleCurve) -> Polynomial:
+    return f.dx * g.dx + f.dy * g.dy
+
+
+class AngleFamily(CurveFamily):
+    """Angle curves of a k-motion system: at most ``2k`` pairwise crossings.
+
+    Two angle curves agree exactly when the vectors are parallel *and*
+    similarly oriented: roots of the degree-``2k`` cross polynomial filtered
+    by the sign of the dot product (Theorem 4.5 proof).
+    """
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError("motion degree k must be non-negative")
+        self.k = k
+        self.s = 2 * max(1, k)
+
+    def value(self, f: AngleCurve, t: float) -> float:
+        return f(t)
+
+    def crossings(self, f: AngleCurve, g: AngleCurve, lo: float,
+                  hi: float) -> list[float]:
+        cross = _cross(f, g)
+        if cross.is_zero():
+            return []
+        dot = _dot(f, g)
+        eps = _EPS * max(1.0, abs(lo))
+        out = []
+        for r in cross.real_roots(lo, hi):
+            if r <= lo + eps or (math.isfinite(hi) and r >= hi - eps):
+                continue
+            if dot(r) > 0:
+                out.append(r)
+        return out
+
+    def opposite_times(self, f: AngleCurve, g: AngleCurve, lo: float,
+                       hi: float) -> list[float]:
+        """Times in ``(lo, hi)`` when the vectors are parallel and
+        *oppositely* oriented — where ``T_f - T_g`` crosses ``+-pi``."""
+        cross = _cross(f, g)
+        dot = _dot(f, g)
+        eps = _EPS * max(1.0, abs(lo))
+        if cross.is_zero():
+            return []
+        out = []
+        for r in cross.real_roots(lo, hi):
+            if r <= lo + eps or (math.isfinite(hi) and r >= hi - eps):
+                continue
+            if dot(r) < 0:
+                out.append(r)
+        return out
+
+    def same(self, f: AngleCurve, g: AngleCurve) -> bool:
+        if f is g:
+            return True
+        if not _cross(f, g).is_zero():
+            return False
+        # Parallel for all time; same curve iff same orientation.
+        return _dot(f, g).sign_at_infinity() > 0
+
+
+def angle_restrictions(system: PointSystem, query: int = 0):
+    """The partial functions ``G_j`` and ``B_j`` of Section 4.2.
+
+    ``G_j`` is ``T_j`` restricted to ``T_j >= 0`` — equivalently ``dy >= 0``
+    (when ``dy = 0`` the angle is 0 or pi, both non-negative) — and ``B_j``
+    to ``T_j < 0``.  Each has at most ``k`` transitions (roots of ``dy``),
+    matching Lemma 3.3's hypotheses.
+    """
+    if system.dimension != 2:
+        raise DegenerateSystemError("hull membership is a planar problem")
+    n = len(system)
+    if n < 2:
+        raise DegenerateSystemError("need at least two points")
+    fq = system[query]
+    gs, bs = [], []
+    for j, m in enumerate(system):
+        if j == query:
+            continue
+        dx = m[0] - fq[0]
+        dy = m[1] - fq[1]
+        curve = AngleCurve(dx, dy, j)
+        # Split at roots of dy (sign changes of the angle = G/B boundary)
+        # and of dx (jump discontinuities of T when the vector passes
+        # through the query point or along the x-axis — Lemma 3.3 allows
+        # at most k jumps and k transitions per curve).
+        cuts = [0.0] + dy.real_roots(0.0) + dx.real_roots(0.0) + [INF]
+        cuts = sorted(set(cuts))
+        g_pieces, b_pieces = [], []
+        for a, b in zip(cuts, cuts[1:]):
+            if b - a <= _EPS * max(1.0, abs(a)):
+                continue
+            mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
+            if dy(mid) >= 0:
+                g_pieces.append(Piece(a, b, curve, j))
+            else:
+                b_pieces.append(Piece(a, b, curve, j))
+        gs.append(PiecewiseFunction(g_pieces, validate=False))
+        bs.append(PiecewiseFunction(b_pieces, validate=False))
+    return gs, bs
+
+
+def _pair_indicator(F: PiecewiseFunction, G: PiecewiseFunction,
+                    family: AngleFamily, predicate: str,
+                    machine: Machine | None) -> PiecewiseFunction:
+    """Indicator pieces of ``F - G >= pi`` (predicate="ge") or
+    ``F - G <= pi`` ("le") on the common domain, 0 elsewhere left as gaps.
+
+    The difference of two angle curves is continuous on each nondegenerate
+    piece intersection and crosses ``pi`` only at parallel-opposite
+    instants, so each intersection splits into at most ``2k + 1``
+    constant-indicator subpieces (Lemma 2.6).  Data movement is the
+    Lemma 3.1 pattern: one merge, fills, Theta(1) local work, one pack;
+    charged on ``machine`` when given.
+    """
+    out = []
+    for p in F.pieces:
+        for q in G.pieces:
+            lo, hi = max(p.lo, q.lo), min(p.hi, q.hi)
+            if hi - lo <= _EPS * max(1.0, abs(lo)):
+                continue
+            cuts = [lo, *family.opposite_times(p.fn, q.fn, lo, hi), hi]
+            for a, b in zip(cuts, cuts[1:]):
+                if b - a <= _EPS * max(1.0, abs(a)):
+                    continue
+                mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
+                diff = p.fn(mid) - q.fn(mid)
+                sat = diff >= math.pi if predicate == "ge" else diff <= math.pi
+                out.append(
+                    Piece(a, b, Polynomial.constant(1.0 if sat else 0.0),
+                          (p.label, q.label))
+                )
+    out.sort(key=lambda r: r.lo)
+    if machine is not None:
+        m = next_pow2(max(2, 2 * (len(F.pieces) + len(G.pieces))))
+        machine.local(m, count=family.s + 1)
+        machine.monotone_route(m)
+    return PiecewiseFunction(out, validate=False).fused(
+        lambda x, y: x.fn == y.fn
+    )
+
+
+def _totalize(ind: PiecewiseFunction, fill_value: float = 0.0) -> PiecewiseFunction:
+    """Fill domain gaps of an indicator with constant ``fill_value`` pieces."""
+    fill = Polynomial.constant(fill_value)
+    out = []
+    cursor = 0.0
+    for p in ind.pieces:
+        if p.lo > cursor + _EPS * max(1.0, abs(cursor)):
+            out.append(Piece(cursor, p.lo, fill, None))
+        out.append(p)
+        cursor = p.hi
+    if math.isfinite(cursor):
+        out.append(Piece(cursor, INF, fill, None))
+    return PiecewiseFunction(out, validate=False).fused(
+        lambda x, y: x.fn == y.fn
+    )
+
+
+def _undefined_indicator(env: PiecewiseFunction) -> PiecewiseFunction:
+    """1 exactly where ``env`` is undefined (conditions 3/4 of Lemma 4.4)."""
+    one = Polynomial.constant(1.0)
+    zero = Polynomial.constant(0.0)
+    out = []
+    cursor = 0.0
+    for p in env.pieces:
+        if p.lo > cursor + _EPS * max(1.0, abs(cursor)):
+            out.append(Piece(cursor, p.lo, one, None))
+        out.append(Piece(p.lo, p.hi, zero, None))
+        cursor = p.hi
+    if math.isfinite(cursor):
+        out.append(Piece(cursor, INF, one, None))
+    if not env.pieces:
+        return PiecewiseFunction([Piece(0.0, INF, one, None)])
+    return PiecewiseFunction(out, validate=False).fused(
+        lambda x, y: x.fn == y.fn
+    )
+
+
+def hull_membership_intervals(machine: Machine | None, system: PointSystem,
+                              query: int = 0) -> list[tuple[float, float]]:
+    """Theorem 4.5: ordered intervals when ``P_query`` is a hull vertex.
+
+    ``machine=None`` runs the serial oracle path; otherwise the envelopes
+    and combines run on the machine, totalling
+    ``Theta(lambda^{1/2}(n, 4k))`` mesh / ``Theta(log^2 n)`` hypercube time.
+    """
+    fam = AngleFamily(max(1, system.k))
+    const_fam = PolynomialFamily(0)
+    gs, bs = angle_restrictions(system, query)
+
+    def env(fns, op):
+        nonempty = [f for f in fns if len(f)]
+        if not nonempty:
+            return PiecewiseFunction.empty()
+        if machine is None:
+            return envelope_serial(nonempty, fam, op=op)
+        return envelope(machine, nonempty, fam, op=op)
+
+    # Step 1: the four envelopes a, b, c, d (Theorem 3.4 on partial fns).
+    a0 = env(gs, "min")
+    b0 = env(gs, "max")
+    c0 = env(bs, "min")
+    d0 = env(bs, "max")
+
+    # Steps 2–3: indicator functions A, B (pi-threshold on differences)
+    # and C, D (joint undefinedness).
+    A0 = _totalize(_pair_indicator(a0, d0, fam, "ge", machine))
+    B0 = _totalize(_pair_indicator(b0, c0, fam, "le", machine))
+    C0 = _undefined_indicator(a0)
+    D0 = _undefined_indicator(c0)
+
+    # Step 4: H = max(A, B, C, D) via Theta(1) combine stages.
+    def comb(F, G):
+        if machine is None:
+            return combine_pairwise_serial(F, G, const_fam, "max")
+        return combine_pairwise(machine, F, G, const_fam, "max")
+
+    H0 = comb(comb(A0, B0), comb(C0, D0))
+
+    # Step 5: pack the intervals where H = 1.
+    return indicator_intervals(machine, H0)
+
+
+def all_hull_membership_intervals(machine: Machine | None,
+                                  system: PointSystem) -> list[list[tuple[float, float]]]:
+    """Theorem 4.5 for every point at once: the full kinetic-hull history.
+
+    Runs the ``n`` membership instances; on a machine they occupy disjoint
+    strings of ``n * lambda(n, 4k)`` PEs and run *simultaneously*, so the
+    level cost is the maximum over queries (the same parallel-composition
+    rule as Theorem 3.2).  Returns ``intervals[q]`` for each query ``q``;
+    at any time ``t`` the set ``{q : t in intervals[q]}`` is exactly the
+    vertex set of ``hull(S(t))``.
+    """
+    out = []
+    branch_metrics = []
+    for q in range(len(system)):
+        sub = None
+        if machine is not None:
+            sub = type(machine)(machine.topology,
+                                randomized=getattr(machine, "randomized",
+                                                   False))
+            sub.metrics.reset()
+        out.append(hull_membership_intervals(sub, system, query=q))
+        if sub is not None:
+            branch_metrics.append(sub.metrics)
+    if machine is not None and branch_metrics:
+        # Simultaneous instances: charge the slowest.
+        worst = max(branch_metrics, key=lambda b: b.time)
+        met = machine.metrics
+        met.time += worst.time
+        met.rounds += worst.rounds
+        met.comm_time += worst.comm_time
+        met.comm_rounds += worst.comm_rounds
+        met.local_rounds += worst.local_rounds
+        for k, v in worst.phases.items():
+            met.phases[k] += v
+    return out
+
+
+def is_extreme_at(system: PointSystem, query: int, t: float) -> bool:
+    """Brute-force oracle: is the query point a hull vertex at time ``t``?
+
+    Uses the angular-gap criterion: the query point is extreme iff the
+    directions towards all other points leave an open angular gap greater
+    than pi (all points strictly inside a half-plane boundary through it).
+    """
+    pos = system.positions(t)
+    q = pos[query]
+    angles = sorted(
+        math.atan2(p[1] - q[1], p[0] - q[0])
+        for i, p in enumerate(pos) if i != query
+    )
+    if not angles:
+        return True
+    gaps = [b - a for a, b in zip(angles, angles[1:])]
+    gaps.append(2 * math.pi - (angles[-1] - angles[0]))
+    return max(gaps) > math.pi + 1e-12

@@ -1,0 +1,56 @@
+"""Chronological closest/farthest *pair* sequences — the Section 6 remark.
+
+The paper closes by noting that "trivial modifications to the algorithm of
+Theorem 4.1 give a sequence of closest or farthest pairs for a system of n
+points with k-motion ... using a mesh of size lambda_M(n(n-1)/2, 2k)": build
+the envelope over *all* ``n(n-1)/2`` squared-distance polynomials instead of
+the ``n-1`` involving one query point.  Labels identify the pair achieving
+the extreme on each interval.
+
+(The paper leaves achieving the same with only ``O(lambda(n, 2k))`` PEs as
+an open problem; this module implements the quadratic-processor solution it
+does describe.)
+"""
+
+from __future__ import annotations
+
+from ..errors import DegenerateSystemError
+from ..kinetics.motion import PointSystem
+from ..kinetics.piecewise import PiecewiseFunction
+from ..machines.machine import Machine
+from .envelope import envelope, envelope_serial
+from .family import PolynomialFamily
+
+__all__ = ["closest_pair_sequence", "farthest_pair_sequence"]
+
+
+def _pair_sequence(machine: Machine | None, system: PointSystem,
+                   op: str) -> PiecewiseFunction:
+    n = len(system)
+    if n < 2:
+        raise DegenerateSystemError("need at least two points")
+    fns, labels = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            fns.append(system.distance_squared(i, j))
+            labels.append((i, j))
+    family = PolynomialFamily(2 * max(1, system.k))
+    if machine is None:
+        return envelope_serial(fns, family, op=op, labels=labels)
+    return envelope(machine, fns, family, op=op, labels=labels)
+
+
+def closest_pair_sequence(machine: Machine | None,
+                          system: PointSystem) -> PiecewiseFunction:
+    """Envelope whose labels are the closest pair on each time interval.
+
+    ``Theta(lambda^{1/2}(n(n-1)/2, 2k))`` mesh time on
+    ``lambda_M(n(n-1)/2, 2k)`` PEs; ``Theta(log^2 n)`` hypercube time.
+    """
+    return _pair_sequence(machine, system, "min")
+
+
+def farthest_pair_sequence(machine: Machine | None,
+                           system: PointSystem) -> PiecewiseFunction:
+    """Upper-envelope analogue: the farthest (diameter) pair over time."""
+    return _pair_sequence(machine, system, "max")

@@ -1,0 +1,23 @@
+"""Steady-state computations — Section 5 of the paper."""
+
+from .diameter import (
+    steady_antipodal_pairs,
+    steady_diameter_squared,
+    steady_farthest_pair,
+)
+from .hull import steady_hull, steady_is_extreme, steady_is_extreme_angular
+from .neighbors import (
+    steady_closest_pair,
+    steady_farthest_neighbor,
+    steady_nearest_neighbor,
+)
+from .rectangle import steady_enclosing_rectangle, steady_rectangle_snapshot
+from .reduction import SteadyValue, steady_compare, steady_points
+
+__all__ = [
+    "steady_antipodal_pairs", "steady_diameter_squared", "steady_farthest_pair",
+    "steady_hull", "steady_is_extreme", "steady_is_extreme_angular",
+    "steady_closest_pair", "steady_farthest_neighbor", "steady_nearest_neighbor",
+    "steady_enclosing_rectangle", "steady_rectangle_snapshot",
+    "SteadyValue", "steady_compare", "steady_points",
+]

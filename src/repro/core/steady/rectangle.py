@@ -1,0 +1,54 @@
+"""Steady-state minimal-area enclosing rectangle — Thm. 5.8 / Cor. 5.9.
+
+Pipeline: steady hull (Prop. 5.4), then the rotating-calipers rectangle of
+Theorem 5.8 with every comparison decided at t -> inf via Lemma 5.1.  The
+squared-area quantities stay polynomial (degree <= 8k, as the paper notes),
+because areas are compared as cross-multiplied fractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import DegenerateSystemError
+from ...kinetics.motion import PointSystem
+from ...machines.machine import Machine
+from ...geometry.rectangle import (
+    RectangleSupport,
+    enclosing_rectangle,
+    enclosing_rectangle_parallel,
+    rectangle_corners,
+)
+from .hull import steady_hull
+from .reduction import steady_points
+
+__all__ = ["steady_enclosing_rectangle", "steady_rectangle_snapshot"]
+
+
+def steady_enclosing_rectangle(machine: Machine | None, system: PointSystem):
+    """Corollary 5.9: the steady minimal-area enclosing rectangle.
+
+    Returns ``(hull_indices, support)`` where ``support`` names the edge and
+    the three support vertices (as positions within the hull list) defining
+    the rectangle as ``t -> inf``.
+    """
+    hull = steady_hull(machine, system)
+    if len(hull) < 3:
+        raise DegenerateSystemError(
+            "the steady hull is degenerate (fewer than 3 extreme points)"
+        )
+    pts = steady_points(system)
+    poly = [pts[i] for i in hull]
+    if machine is None:
+        sup = enclosing_rectangle(poly)
+    else:
+        sup = enclosing_rectangle_parallel(machine, poly)
+    return hull, sup
+
+
+def steady_rectangle_snapshot(system: PointSystem, hull: list[int],
+                              sup: RectangleSupport, t: float) -> np.ndarray:
+    """Concrete rectangle corners at a (large) time ``t`` for rendering."""
+    pos = system.positions(t)
+    poly = [tuple(pos[i]) for i in hull]
+    return rectangle_corners(poly, sup)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DegenerateSystemError(ReproError):
+    """A point system violates the paper's input assumptions.
+
+    Section 2.4 of the paper assumes that no pair of points has the same
+    initial position (``f_i(0) != f_j(0)`` for ``i != j``) and that every
+    coordinate trajectory is a polynomial of degree at most ``k``.
+    """
+
+
+class MachineConfigurationError(ReproError):
+    """A simulated machine was constructed with an invalid configuration.
+
+    For example a mesh whose size is not a power of four, or a hypercube
+    whose size is not a power of two (Sections 2.2 and 2.3).
+    """
+
+
+class OperationContractError(ReproError):
+    """A data-movement operation was invoked outside its contract.
+
+    The operations of Section 2.6 assume, e.g., at most O(1) items per PE,
+    sorted inputs for merging, or power-of-two string lengths for bitonic
+    stages.  Violations raise this error rather than silently producing
+    wrong answers.
+    """
+
+
+class RootFindingError(ReproError):
+    """Polynomial root isolation failed to converge to requested tolerance."""

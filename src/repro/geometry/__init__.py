@@ -1,0 +1,33 @@
+"""Static computational geometry, comparison-generic (Tables 3 and 4).
+
+Every algorithm uses only ring arithmetic and order comparisons on the
+coordinates, so the same code serves float inputs (static problems,
+Table 4) and :class:`~repro.core.steady.reduction.SteadyValue` inputs
+(steady-state problems, Section 5) — the paper's Lemma 5.1 reduction.
+"""
+
+from .antipodal import (
+    antipodal_pairs,
+    antipodal_pairs_brute,
+    antipodal_pairs_parallel,
+    diameter_pair,
+)
+from .closest_pair import closest_pair, closest_pair_brute, closest_pair_parallel
+from .convex_hull import convex_hull, convex_hull_parallel, hull_contains
+from .primitives import cross, dist2, dot, lex_key, orientation, sign_of
+from .rectangle import (
+    RectangleSupport,
+    enclosing_rectangle,
+    enclosing_rectangle_parallel,
+    rectangle_corners,
+)
+
+__all__ = [
+    "antipodal_pairs", "antipodal_pairs_brute", "antipodal_pairs_parallel",
+    "diameter_pair",
+    "closest_pair", "closest_pair_brute", "closest_pair_parallel",
+    "convex_hull", "convex_hull_parallel", "hull_contains",
+    "cross", "dist2", "dot", "lex_key", "orientation", "sign_of",
+    "RectangleSupport", "enclosing_rectangle", "enclosing_rectangle_parallel",
+    "rectangle_corners",
+]

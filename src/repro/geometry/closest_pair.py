@@ -1,0 +1,114 @@
+"""Closest pair: serial divide-and-conquer and its parallel costing.
+
+Static substrate for Proposition 5.3 and Table 4.  The divide-and-conquer
+uses only coordinate comparisons and squared distances, so it runs on
+steady-state coordinates unchanged (Lemma 5.1): the "strip" test compares
+``(x - x_mid)^2`` with the current best squared distance — a polynomial
+comparison.
+
+The parallel version charges the Miller–Stout mesh pattern: one global sort
+by x, then ``log n`` simultaneous merge levels, each a constant number of
+sort/scan/pack rounds on the strings of that level — ``Theta(sqrt(n))``
+mesh, ``Theta(log^2 n)`` hypercube (expected ``Theta(log n)`` with the
+randomized sort of Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DegenerateSystemError
+from ..machines.machine import Machine
+from ..ops import bitonic_merge, bitonic_sort, pack, semigroup
+from ..ops._common import next_pow2
+from .primitives import dist2
+
+__all__ = ["closest_pair", "closest_pair_parallel", "closest_pair_brute"]
+
+
+def closest_pair_brute(points) -> tuple[int, int]:
+    """O(n^2) oracle returning the index pair with minimum squared distance."""
+    pts = list(points)
+    if len(pts) < 2:
+        raise DegenerateSystemError("closest pair needs at least two points")
+    best = None
+    pair = (0, 1)
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            d = dist2(pts[i], pts[j])
+            if best is None or d < best:
+                best, pair = d, (i, j)
+    return pair
+
+
+def closest_pair(points) -> tuple[int, int]:
+    """Divide-and-conquer closest pair; returns the winning index pair.
+
+    Comparison-generic: works for float or SteadyValue coordinates.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        raise DegenerateSystemError("closest pair needs at least two points")
+    order = sorted(range(len(pts)), key=lambda i: tuple(pts[i]))
+    pair, _ = _cp_rec(pts, order)
+    return pair
+
+
+def _cp_rec(pts, order):
+    m = len(order)
+    if m <= 3:
+        best, pair = None, None
+        for i in range(m):
+            for j in range(i + 1, m):
+                d = dist2(pts[order[i]], pts[order[j]])
+                if best is None or d < best:
+                    best, pair = d, (order[i], order[j])
+        return pair, best
+    mid = m // 2
+    x_mid = pts[order[mid]][0]
+    pl, dl = _cp_rec(pts, order[:mid])
+    pr, dr = _cp_rec(pts, order[mid:])
+    pair, best = (pl, dl) if dl <= dr else (pr, dr)
+    # Strip: |x - x_mid|^2 < best, scanned in y order with the classic
+    # constant-neighbour window.
+    strip = [i for i in order
+             if (pts[i][0] - x_mid) * (pts[i][0] - x_mid) < best]
+    strip.sort(key=lambda i: tuple((pts[i][1], pts[i][0])))
+    for a in range(len(strip)):
+        for b in range(a + 1, min(a + 8, len(strip))):
+            i, j = strip[a], strip[b]
+            dy = pts[j][1] - pts[i][1]
+            if dy * dy >= best:
+                break
+            d = dist2(pts[i], pts[j])
+            if d < best:
+                best, pair = d, (i, j)
+    return pair, best
+
+
+def closest_pair_parallel(machine: Machine, points) -> tuple[int, int]:
+    """Closest pair with Miller–Stout cost accounting on the machine."""
+    pts = list(points)
+    if len(pts) < 2:
+        raise DegenerateSystemError("closest pair needs at least two points")
+    n = len(pts)
+    length = next_pow2(n)
+    xs = np.empty(length, dtype=object)
+    ys = np.empty(length, dtype=object)
+    for i in range(length):
+        p = pts[min(i, n - 1)]
+        xs[i], ys[i] = p[0], p[1]
+    with machine.phase("sort"):
+        bitonic_sort(machine, [xs, ys])
+    # log n merge levels.  All strings of one level work simultaneously, so
+    # a level costs what one string of that size costs: ops are charged on
+    # arrays of the string length (cost depends only on the rank-bit span).
+    size = 4
+    while size <= length:
+        with machine.phase("cp-merge"):
+            bitonic_merge(machine, np.zeros(size))
+            semigroup(machine, np.zeros(size), np.minimum)
+            pack(machine, np.ones(size, dtype=bool), [np.zeros(size)])
+            machine.local(size, count=8)
+        size *= 2
+    return closest_pair(pts)

@@ -1,0 +1,132 @@
+"""Convex hulls: serial monotone chain and the parallel divide-and-conquer
+scheme of Miller–Stout (used by Proposition 5.4 and Table 4).
+
+The serial algorithm is Andrew's monotone chain — the library's oracle and
+the building block of each parallel merge step.  The parallel algorithm
+sorts points by x once, then merges sibling sub-hulls level by level;
+sibling merges run on disjoint strings simultaneously, so
+
+``T(n) = T(n/2) + Theta(merge)``  ->  ``Theta(sqrt(n))`` mesh /
+``Theta(log^2 n)`` hypercube,
+
+the bounds quoted in Tables 3 and 4.  All predicates are comparison-based,
+so both algorithms run unchanged on steady-state coordinates (Lemma 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DegenerateSystemError
+from ..machines.machine import Machine
+from ..ops import bitonic_merge, bitonic_sort, broadcast, pack, semigroup
+from ..ops._common import next_pow2
+from .primitives import lex_key, orientation
+
+__all__ = ["convex_hull", "convex_hull_parallel", "hull_contains"]
+
+
+def _chain(points: list, idx: list[int]) -> list[int]:
+    """Half-hull scan keeping only strict turns (extreme points)."""
+    out: list[int] = []
+    for i in idx:
+        while len(out) >= 2 and orientation(
+            points[out[-2]], points[out[-1]], points[i]
+        ) <= 0:
+            out.pop()
+        out.append(i)
+    return out
+
+
+def convex_hull(points) -> list[int]:
+    """Indices of the extreme points of ``hull(points)``, CCW order.
+
+    Collinear boundary points are excluded (the paper's *extreme points*).
+    Duplicates are tolerated.  Raises for an empty input.
+    """
+    pts = list(points)
+    if not pts:
+        raise DegenerateSystemError("hull of an empty point set")
+    order = sorted(range(len(pts)), key=lambda i: lex_key(pts[i]))
+    # Deduplicate coincident points (keep the first of each run).
+    uniq = [order[0]]
+    for i in order[1:]:
+        if tuple(pts[i]) != tuple(pts[uniq[-1]]):
+            uniq.append(i)
+    if len(uniq) == 1:
+        return [uniq[0]]
+    lower = _chain(pts, uniq)
+    upper = _chain(pts, uniq[::-1])
+    if len(lower) == 2 and lower == upper[::-1]:
+        return lower  # all points collinear: the two endpoints
+    return lower[:-1] + upper[:-1]
+
+
+def hull_contains(points, hull_idx: list[int], q) -> bool:
+    """Is ``q`` inside or on the hull given by CCW vertex indices?"""
+    h = [points[i] for i in hull_idx]
+    if len(h) == 1:
+        return tuple(h[0]) == tuple(q)
+    if len(h) == 2:
+        return orientation(h[0], h[1], q) == 0 and _between(h[0], h[1], q)
+    for a, b in zip(h, h[1:] + h[:1]):
+        if orientation(a, b, q) < 0:
+            return False
+    return True
+
+
+def _between(a, b, q) -> bool:
+    lo0, hi0 = (a[0], b[0]) if a[0] <= b[0] else (b[0], a[0])
+    lo1, hi1 = (a[1], b[1]) if a[1] <= b[1] else (b[1], a[1])
+    return lo0 <= q[0] <= hi0 and lo1 <= q[1] <= hi1
+
+
+def convex_hull_parallel(machine: Machine, points) -> list[int]:
+    """Miller–Stout style parallel hull with full cost accounting.
+
+    Pipeline: one global sort by (x, y); then ``log n`` merge levels.  At
+    each level, sibling groups (disjoint strings of the machine) combine
+    their sub-hulls: a broadcast of the partition boundary, a merge of the
+    two x-sorted vertex runs, the common-tangent computation (a semigroup +
+    Theta(1) local rounds), and a pack of surviving vertices.  Sibling
+    merges are simultaneous, so each level is charged once.
+    """
+    pts = list(points)
+    if not pts:
+        raise DegenerateSystemError("hull of an empty point set")
+    n = len(pts)
+    length = next_pow2(n)
+
+    # Global sort by (x, y): object keys support SteadyValue coordinates.
+    xs = np.empty(length, dtype=object)
+    ys = np.empty(length, dtype=object)
+    idx = np.arange(length)
+    for i in range(length):
+        p = pts[min(i, n - 1)]
+        xs[i], ys[i] = p[0], p[1]
+    with machine.phase("sort"):
+        _, (order,) = bitonic_sort(machine, [xs, ys], [idx])
+    order = [int(i) for i in order if i < n]
+
+    # Merge levels: groups of size g combine pairwise.
+    groups = [[i] for i in order]
+    while len(groups) > 1:
+        merged = []
+        level_len = max(2, next_pow2(2 * max(len(g) for g in groups)))
+        with machine.phase("hull-merge"):
+            # One simultaneous round of: boundary broadcast, vertex-run
+            # merge, tangent semigroup, and pack — charged once per level.
+            broadcast(machine, np.zeros(level_len),
+                      np.eye(1, level_len, 0, dtype=bool)[0])
+            bitonic_merge(machine, np.zeros(level_len))
+            semigroup(machine, np.zeros(level_len), np.maximum)
+            machine.local(level_len)
+            pack(machine, np.ones(level_len, dtype=bool), [np.zeros(level_len)])
+        for a, b in zip(groups[::2], groups[1::2]):
+            union = a + b
+            sub = convex_hull([pts[i] for i in union])
+            merged.append([union[j] for j in sub])
+        if len(groups) % 2:
+            merged.append(groups[-1])
+        groups = merged
+    return groups[0]

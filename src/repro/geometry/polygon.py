@@ -1,0 +1,91 @@
+"""Convex polygon utilities, comparison-generic like the rest of
+:mod:`repro.geometry`.
+
+Helpers consumed by the Section 5 pipelines and their tests: signed areas
+(shoelace), convexity validation of CCW vertex lists, perimeter-free width
+computations, and support functions (extreme vertex in a direction) — the
+"line of support" primitive of the paper's Figure 6 discussion.
+"""
+
+from __future__ import annotations
+
+from ..errors import DegenerateSystemError
+from .primitives import orientation
+
+__all__ = ["signed_area2", "is_ccw_convex", "support_vertex", "width_squared_along"]
+
+
+def signed_area2(poly) -> object:
+    """Twice the signed area of a polygon (positive for CCW order).
+
+    Shoelace formula in the scalar ring — works for floats and
+    :class:`~repro.core.steady.reduction.SteadyValue` alike.
+    """
+    pts = list(poly)
+    if len(pts) < 3:
+        raise DegenerateSystemError("area needs at least 3 vertices")
+    pairs = list(zip(pts, pts[1:] + pts[:1]))
+    a, b = pairs[0]
+    acc = a[0] * b[1] - b[0] * a[1]
+    for a, b in pairs[1:]:
+        acc = acc + (a[0] * b[1] - b[0] * a[1])
+    return acc
+
+
+def is_ccw_convex(poly, *, strict: bool = True) -> bool:
+    """Is the vertex list a convex polygon in counter-clockwise order?
+
+    ``strict`` additionally rejects collinear triples (the paper's hulls
+    carry extreme points only).
+    """
+    pts = list(poly)
+    m = len(pts)
+    if m < 3:
+        return False
+    for i in range(m):
+        o = orientation(pts[i], pts[(i + 1) % m], pts[(i + 2) % m])
+        if o < 0 or (strict and o == 0):
+            return False
+    return True
+
+
+def support_vertex(poly, direction) -> int:
+    """Index of the vertex extreme in ``direction`` (a line of support).
+
+    The vertex maximising the dot product with ``direction``; ties broken
+    by the first maximiser in vertex order.  O(m) comparisons — on the
+    machine this is the per-edge semigroup of Lemma 5.5 / Theorem 5.8.
+    """
+    pts = list(poly)
+    if not pts:
+        raise DegenerateSystemError("support of an empty polygon")
+    dx, dy = direction
+    best, best_i = None, 0
+    for i, p in enumerate(pts):
+        proj = p[0] * dx + p[1] * dy
+        if best is None or proj > best:
+            best, best_i = proj, i
+    return best_i
+
+
+def width_squared_along(poly, direction) -> object:
+    """Squared extent of the polygon along ``direction`` (unnormalised).
+
+    ``(max proj - min proj)^2`` where projections are taken against the
+    *unnormalised* direction, keeping everything in the scalar ring; divide
+    by ``|direction|^2`` (or compare cross-multiplied) for true widths.
+    """
+    pts = list(poly)
+    if not pts:
+        raise DegenerateSystemError("width of an empty polygon")
+    dx, dy = direction
+    projs = [p[0] * dx + p[1] * dy for p in pts]
+    hi = projs[0]
+    lo = projs[0]
+    for v in projs[1:]:
+        if v > hi:
+            hi = v
+        if v < lo:
+            lo = v
+    span = hi - lo
+    return span * span

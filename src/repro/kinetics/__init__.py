@@ -1,0 +1,42 @@
+"""Kinetic substrate: polynomials, pieces, DS sequences, motions (Section 2)."""
+
+from .polynomial import Polynomial, ZERO, ONE, T
+from .piecewise import Piece, PiecewiseFunction, INF
+from .render import render_function, render_intervals, render_timeline
+from .interval import Interval, certify_envelope, poly_range
+from .davenport_schinzel import (
+    extremal_sequence,
+    inverse_ackermann,
+    is_ds_sequence,
+    lambda_bound,
+    lambda_exact,
+    lambda_hypercube_size,
+    lambda_mesh_size,
+    max_alternation,
+    next_power_of_four,
+    next_power_of_two,
+)
+from .motion import (
+    Motion,
+    PointSystem,
+    converging_swarm,
+    crossing_traffic,
+    divergent_system,
+    expanding_swarm,
+    projectile_system,
+    random_system,
+    static_system,
+)
+
+__all__ = [
+    "Polynomial", "ZERO", "ONE", "T",
+    "Piece", "PiecewiseFunction", "INF",
+    "render_function", "render_intervals", "render_timeline",
+    "Interval", "certify_envelope", "poly_range",
+    "extremal_sequence", "inverse_ackermann", "is_ds_sequence", "lambda_bound", "lambda_exact",
+    "lambda_hypercube_size", "lambda_mesh_size", "max_alternation",
+    "next_power_of_four", "next_power_of_two",
+    "Motion", "PointSystem", "converging_swarm", "crossing_traffic",
+    "divergent_system", "expanding_swarm", "projectile_system",
+    "random_system", "static_system",
+]

@@ -1,0 +1,274 @@
+"""Davenport–Schinzel sequences and the function ``lambda(n, s)`` (Section 2.5).
+
+The number of pieces of the lower envelope of ``n`` curves, no two of which
+cross more than ``s`` times, is at most ``lambda(n, s)`` — the maximum length
+of an ``(n, s)`` Davenport–Schinzel sequence under the paper's convention
+(Definition 2.1: no immediate repetition, and no alternating subsequence
+``a b a b ...`` of length ``s + 2``).
+
+This module provides:
+
+* :func:`is_ds_sequence` — validator for Definition 2.1,
+* :func:`lambda_exact` — closed forms for ``s <= 2`` (Theorem 2.3) and
+  exact brute-force search for small parameters,
+* :func:`inverse_ackermann` — the function ``alpha(n)`` of Hart–Sharir,
+* :func:`lambda_bound` — a safe upper bound used to size machines
+  (``lambda_M`` / ``lambda_H`` of Section 3), and
+* :func:`lambda_mesh_size` / :func:`lambda_hypercube_size` — the paper's
+  power-of-4 and power-of-2 roundings.
+"""
+
+from __future__ import annotations
+
+
+from typing import Sequence
+
+__all__ = [
+    "is_ds_sequence",
+    "max_alternation",
+    "lambda_exact",
+    "lambda_bound",
+    "inverse_ackermann",
+    "lambda_mesh_size",
+    "lambda_hypercube_size",
+    "next_power_of_two",
+    "next_power_of_four",
+]
+
+
+def max_alternation(seq: Sequence[int], a: int, b: int) -> int:
+    """Length of the longest alternation of ``a`` and ``b`` inside ``seq``.
+
+    Equivalently: the number of maximal blocks in the subsequence of ``seq``
+    restricted to the symbols ``{a, b}``.
+    """
+    count = 0
+    last = None
+    for x in seq:
+        if x == a or x == b:
+            if x != last:
+                count += 1
+                last = x
+    return count
+
+
+def is_ds_sequence(seq: Sequence[int], s: int) -> bool:
+    """Check Definition 2.1: is ``seq`` an ``(n, s)`` DS sequence?
+
+    ``seq`` uses arbitrary hashable symbols.  The check is (a) no two equal
+    adjacent symbols, and (b) for every pair of distinct symbols the longest
+    alternation has length at most ``s + 1`` (a length-``s + 2`` alternation
+    is the forbidden sequence ``E_ij``).
+    """
+    if s < 1:
+        raise ValueError("s must be a positive integer")
+    for x, y in zip(seq, seq[1:]):
+        if x == y:
+            return False
+    symbols = sorted(set(seq))
+    for i, a in enumerate(symbols):
+        for b in symbols[i + 1 :]:
+            if max_alternation(seq, a, b) > s + 1:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Exact values
+# ----------------------------------------------------------------------
+def lambda_exact(n: int, s: int, *, brute_force_limit: int = 64) -> int:
+    """Exact value of ``lambda(n, s)``.
+
+    Closed forms (Theorem 2.3): ``lambda(n, 1) = n`` and
+    ``lambda(n, 2) = 2n - 1``; also ``lambda(1, s) = 1`` and
+    ``lambda(2, s) = s + 1``.  Other parameters fall back to exhaustive
+    search, which is exponential — a guard refuses searches whose result
+    could exceed ``brute_force_limit``.
+    """
+    if n < 1 or s < 1:
+        raise ValueError("n and s must be positive integers")
+    if n == 1:
+        return 1
+    if s == 1:
+        return n
+    if s == 2:
+        return 2 * n - 1
+    if n == 2:
+        return s + 1
+    return _lambda_brute(n, s, brute_force_limit)
+
+
+def _lambda_brute(n: int, s: int, limit: int) -> int:
+    """Exhaustive longest-DS-sequence search (depth-first, with pruning).
+
+    Symmetry reduction: symbols are required to make their first appearance
+    in increasing order, which divides the search space by ``n!``.
+    """
+    best = 0
+    max_alt = s + 1
+    # blocks[a][b]: number of alternation blocks for the pair (a, b), a < b.
+    blocks = [[0] * n for _ in range(n)]
+    lastsym = [[-1] * n for _ in range(n)]  # which of the pair occurred last
+    seq: list[int] = []
+
+    def extend(last: int, used: int) -> None:
+        nonlocal best
+        if len(seq) > best:
+            best = len(seq)
+            if best > limit:
+                raise RuntimeError(
+                    f"lambda({n},{s}) exceeds brute_force_limit={limit}"
+                )
+        # Candidates: any previously used symbol, plus the next fresh one.
+        cand = list(range(used)) + ([used] if used < n else [])
+        for x in cand:
+            if x == last:
+                continue
+            touched: list[tuple[int, int, int]] = []
+            ok = True
+            for y in range(used):
+                if y == x:
+                    continue
+                a, b = (x, y) if x < y else (y, x)
+                if lastsym[a][b] != x:
+                    # A never-touched pair already contains a block of y's
+                    # (y is in `used`), so x's first block is the second.
+                    inc = 2 if lastsym[a][b] == -1 else 1
+                    if blocks[a][b] + inc > max_alt:
+                        ok = False
+                        break
+                    touched.append((a, b, inc))
+            if not ok:
+                # Roll back nothing: we broke before mutating.
+                continue
+            saved = [(a, b, blocks[a][b], lastsym[a][b]) for a, b, _ in touched]
+            for a, b, inc in touched:
+                blocks[a][b] += inc
+                lastsym[a][b] = x
+            seq.append(x)
+            extend(x, max(used, x + 1))
+            seq.pop()
+            for a, b, bl, ls in saved:
+                blocks[a][b] = bl
+                lastsym[a][b] = ls
+
+    extend(-1, 0)
+    return best
+
+
+def extremal_sequence(n: int, s: int) -> list[int]:
+    """A maximum-length ``(n, s)`` DS sequence for ``s <= 2`` (Theorem 2.3).
+
+    * ``s = 1``: ``1 2 ... n`` (length ``n``) — no symbol may reappear,
+      since ``a b a`` is already a forbidden length-3 alternation.
+    * ``s = 2``: ``1 2 1 3 1 ... 1 n`` (length ``2n - 1``) — every pair
+      ``(1, j)`` alternates exactly 3 times and other pairs twice, both
+      within the allowed ``s + 1``.
+
+    Used by tests and by the Figure 4 benchmark as the combinatorial
+    counterpart of the geometric worst cases.
+    """
+    if n < 1:
+        raise ValueError("n must be a positive integer")
+    if s == 1:
+        return list(range(1, n + 1))
+    if s == 2:
+        if n == 1:
+            return [1]
+        out = []
+        for j in range(2, n + 1):
+            out.extend([1, j])
+        out.append(1)
+        return out
+    raise ValueError("extremal constructions implemented for s in {1, 2}")
+
+
+# ----------------------------------------------------------------------
+# Inverse Ackermann
+# ----------------------------------------------------------------------
+def _ackermann_capped(i: int, j: int, cap: int) -> int:
+    """Two-argument Ackermann function, saturating at ``cap + 1``.
+
+    ``A(1, j) = 2^j``; ``A(i, 1) = A(i-1, 2)``; ``A(i, j) = A(i-1, A(i, j-1))``.
+    The true values explode far beyond anything representable (``A(2, j)`` is
+    a tower of ``j`` twos), so every intermediate result is clamped to
+    ``cap + 1`` — callers only ever ask "is A(i, j) >= n?", for which the
+    clamped value is exact.  Uses the monotonicity ``A(i, j) >= j + 1``.
+    """
+    if j > cap:
+        return cap + 1
+    if i == 1:
+        if j >= cap.bit_length() + 1:
+            return cap + 1
+        return min(2**j, cap + 1)
+    if j == 1:
+        return _ackermann_capped(i - 1, 2, cap)
+    inner = _ackermann_capped(i, j - 1, cap)
+    if inner > cap:
+        return cap + 1
+    return _ackermann_capped(i - 1, inner, cap)
+
+
+def inverse_ackermann(n: int) -> int:
+    """``alpha(n) = min{ i >= 1 : A(i, i) >= n }``.
+
+    A monotone nondecreasing function that grows to infinity extremely
+    slowly; ``alpha(n) <= 4`` for every ``n`` representable on real hardware
+    (the paper notes ``alpha(n) <= 4`` for ``n`` up to a tower of 65536 twos).
+    """
+    if n < 1:
+        raise ValueError("n must be a positive integer")
+    i = 1
+    while _ackermann_capped(i, i, n) < n:
+        i += 1
+    return i
+
+
+# ----------------------------------------------------------------------
+# Upper bounds and machine sizing
+# ----------------------------------------------------------------------
+def lambda_bound(n: int, s: int) -> int:
+    """A safe upper bound on ``lambda(n, s)`` for machine sizing.
+
+    For ``s <= 2`` the bound is exact (Theorem 2.3).  For ``s >= 3`` we use
+    the generous linear-with-small-factor form the paper appeals to
+    ("for reasonable values of n, lambda(n, s) is essentially Theta(n)"):
+    ``n * (s + 1) * (alpha(n) + 1)``, which dominates the known
+    ``O(n * alpha(n)^{O(alpha(n)^{s})})`` bounds for every ``n`` that fits in
+    memory.  Algorithms that allocate processor strings from this bound also
+    tolerate overflow by growing, so the bound only affects efficiency.
+    """
+    if n < 1 or s < 1:
+        raise ValueError("n and s must be positive integers")
+    if n == 1:
+        return 1
+    if s == 1:
+        return n
+    if s == 2:
+        return 2 * n - 1
+    return n * (s + 1) * (inverse_ackermann(n) + 1)
+
+
+def next_power_of_two(m: int) -> int:
+    """Smallest power of two ``>= m``."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    return 1 << (m - 1).bit_length()
+
+
+def next_power_of_four(m: int) -> int:
+    """Smallest power of four ``>= m``."""
+    p = next_power_of_two(m)
+    if p.bit_length() % 2 == 0:  # odd exponent (e.g. 8 = 2^3): bump to 2^4
+        p <<= 1
+    return p
+
+
+def lambda_mesh_size(n: int, s: int) -> int:
+    """``lambda_M(n, s)``: lambda bound rounded up to a power of 4 (Sec. 3)."""
+    return next_power_of_four(lambda_bound(n, s))
+
+
+def lambda_hypercube_size(n: int, s: int) -> int:
+    """``lambda_H(n, s)``: lambda bound rounded up to a power of 2 (Sec. 3)."""
+    return next_power_of_two(lambda_bound(n, s))

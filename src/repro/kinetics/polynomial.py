@@ -1,0 +1,356 @@
+"""Dense real polynomials used as motion functions.
+
+The paper (Section 2.4) models each coordinate of each moving point-object as
+a polynomial of time with real coefficients and bounded degree ``k``
+("k-motion").  This module provides the polynomial arithmetic the algorithms
+rely on:
+
+* evaluation (vectorised Horner scheme),
+* ring arithmetic (needed to form squared-distance functions, cross products,
+  and the difference polynomials whose roots are piece boundaries),
+* real-root extraction on ``[0, inf)`` (Step 4 of Lemma 3.1 solves
+  ``f(t) = g(t)`` per processor), and
+* steady-state sign/comparison (Lemma 5.1: the behaviour of a bounded-degree
+  polynomial as ``t -> inf`` is decided in O(1) time from its coefficients).
+
+Coefficients are stored in *ascending* order: ``c[0] + c[1] t + ... + c[d] t^d``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Polynomial", "ZERO", "ONE", "T"]
+
+#: Magnitude below which a floating-point coefficient is treated as zero.
+COEFF_EPS = 1e-11
+
+#: Tolerance used when deduplicating / validating real roots.
+ROOT_EPS = 1e-8
+
+
+def _trim(coeffs: np.ndarray) -> np.ndarray:
+    """Drop trailing (highest-degree) coefficients that are numerically zero."""
+    nz = np.flatnonzero(np.abs(coeffs) > COEFF_EPS)
+    if nz.size == 0:
+        return np.zeros(1)
+    return coeffs[: nz[-1] + 1]
+
+
+class Polynomial:
+    """An immutable dense univariate polynomial with real coefficients.
+
+    Parameters
+    ----------
+    coeffs:
+        Coefficients in ascending order of degree.  Trailing zeros are
+        trimmed, so ``Polynomial([1.0, 0.0])`` has degree 0.
+
+    Notes
+    -----
+    Instances are hashable on their trimmed coefficient tuple and therefore
+    usable as labels in piecewise functions and as dictionary keys in the
+    grouping operations.
+    """
+
+    __slots__ = ("_c", "_hash")
+
+    def __init__(self, coeffs: Iterable[float]):
+        arr = np.asarray(list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs,
+                         dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("coefficients must be a non-empty 1-D sequence")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("coefficients must be finite")
+        self._c = _trim(arr)
+        self._c.setflags(write=False)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(value: float) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return Polynomial([float(value)])
+
+    @staticmethod
+    def identity() -> "Polynomial":
+        """The polynomial ``t``."""
+        return Polynomial([0.0, 1.0])
+
+    @staticmethod
+    def from_roots(roots: Sequence[float], leading: float = 1.0) -> "Polynomial":
+        """Monic-times-``leading`` polynomial with the given real roots."""
+        p = Polynomial.constant(leading)
+        for r in roots:
+            p = p * Polynomial([-float(r), 1.0])
+        return p
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def coeffs(self) -> np.ndarray:
+        """Read-only ascending coefficient array (trailing zeros trimmed)."""
+        return self._c
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree 0."""
+        return len(self._c) - 1
+
+    @property
+    def leading(self) -> float:
+        """Leading (highest-degree) coefficient."""
+        return float(self._c[-1])
+
+    def is_zero(self) -> bool:
+        """True when the polynomial is identically zero (within tolerance)."""
+        return self.degree == 0 and abs(self._c[0]) <= COEFF_EPS
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, t):
+        """Evaluate via Horner's scheme.  Accepts scalars or ndarrays."""
+        t = np.asarray(t, dtype=float)
+        acc = np.full(t.shape, self._c[-1], dtype=float)
+        for c in self._c[-2::-1]:
+            acc = acc * t + c
+        if acc.ndim == 0:
+            return float(acc)
+        return acc
+
+    def derivative(self) -> "Polynomial":
+        """First derivative."""
+        if self.degree == 0:
+            return ZERO
+        d = self._c[1:] * np.arange(1, len(self._c))
+        return Polynomial(d)
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Polynomial":
+        other = _coerce(other)
+        n = max(len(self._c), len(other._c))
+        a = np.zeros(n)
+        a[: len(self._c)] = self._c
+        a[: len(other._c)] += other._c
+        return Polynomial(a)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(-self._c)
+
+    def __sub__(self, other) -> "Polynomial":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other) -> "Polynomial":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Polynomial":
+        other = _coerce(other)
+        return Polynomial(np.convolve(self._c, other._c))
+
+    __rmul__ = __mul__
+
+    def __pow__(self, k: int) -> "Polynomial":
+        if not isinstance(k, int) or k < 0:
+            raise ValueError("exponent must be a non-negative integer")
+        out = ONE
+        base = self
+        while k:
+            if k & 1:
+                out = out * base
+            base = base * base
+            k >>= 1
+        return out
+
+    def compose(self, inner: "Polynomial") -> "Polynomial":
+        """Return ``self(inner(t))`` (Horner composition)."""
+        acc = Polynomial.constant(self._c[-1])
+        for c in self._c[-2::-1]:
+            acc = acc * inner + Polynomial.constant(c)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Comparisons / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if len(self._c) != len(other._c):
+            return False
+        return bool(np.allclose(self._c, other._c, rtol=1e-9, atol=COEFF_EPS))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            # Round so that hash is consistent with tolerance-based __eq__
+            # for exactly-representable inputs (the common case in tests).
+            self._hash = hash(tuple(np.round(self._c, 9)))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = []
+        for i, c in enumerate(self._c):
+            if abs(c) <= COEFF_EPS and self.degree > 0:
+                continue
+            if i == 0:
+                terms.append(f"{c:g}")
+            elif i == 1:
+                terms.append(f"{c:g}*t")
+            else:
+                terms.append(f"{c:g}*t^{i}")
+        return "Poly(" + " + ".join(terms) + ")"
+
+    # ------------------------------------------------------------------
+    # Steady-state behaviour (Lemma 5.1)
+    # ------------------------------------------------------------------
+    def sign_at_infinity(self) -> int:
+        """Sign of ``self(t)`` for all sufficiently large ``t``.
+
+        Lemma 5.1 of the paper: the steady-state minimum of two bounded-degree
+        polynomials is decided in serial Theta(1) time.  The sign at +inf is
+        the sign of the leading coefficient (0 for the zero polynomial).
+        """
+        if self.is_zero():
+            return 0
+        return 1 if self.leading > 0 else -1
+
+    def steady_compare(self, other: "Polynomial") -> int:
+        """Compare ``self`` and ``other`` as ``t -> inf``.
+
+        Returns -1 if ``self(t) < other(t)`` eventually, +1 if eventually
+        greater, 0 if the polynomials are identical.
+        """
+        return (self - _coerce(other)).sign_at_infinity()
+
+    def horizon(self) -> float:
+        """A time ``H >= 1`` beyond which ``self`` has no real roots.
+
+        Uses the Cauchy root bound: every root ``r`` satisfies
+        ``|r| <= 1 + max|c_i| / |c_d|``.
+        """
+        if self.is_zero() or self.degree == 0:
+            return 1.0
+        bound = 1.0 + float(np.max(np.abs(self._c[:-1]))) / abs(self.leading)
+        return max(1.0, bound)
+
+    # ------------------------------------------------------------------
+    # Root finding
+    # ------------------------------------------------------------------
+    def real_roots(self, lo: float = 0.0, hi: float = math.inf) -> list[float]:
+        """Real roots in ``[lo, hi]``, sorted ascending, deduplicated.
+
+        Multiple roots are reported once.  This is the primitive used by
+        Step 4 of Lemma 3.1 (solving ``f|I(t) = g|I(t)``), Theorem 4.2
+        (collision times), and Theorem 4.5 (parallel-segment instants).
+
+        The implementation uses the eigenvalues of the companion matrix
+        (``numpy.roots``), keeps near-real eigenvalues, polishes each with a
+        few Newton steps, and validates residuals.
+        """
+        if self.is_zero():
+            # Identically zero: "roots" are the whole line; callers treat
+            # an identically-zero difference separately (Lemma 3.1 step 4
+            # tests for identical functions before solving).
+            return []
+        if self.degree == 0:
+            return []
+        if self.degree == 1:
+            r = -self._c[0] / self._c[1]
+            return [float(r)] if lo - ROOT_EPS <= r <= hi + ROOT_EPS else []
+        if self.degree == 2:
+            c, b, a = self._c[0], self._c[1], self._c[2]
+            disc = b * b - 4 * a * c
+            if disc < -ROOT_EPS * max(1.0, b * b + abs(4 * a * c)):
+                return []
+            disc = max(disc, 0.0)
+            sq = math.sqrt(disc)
+            # Numerically stable quadratic formula.
+            if b >= 0:
+                q = -(b + sq) / 2.0
+            else:
+                q = -(b - sq) / 2.0
+            cands = set()
+            if abs(a) > COEFF_EPS:
+                cands.add(q / a)
+            if abs(q) > COEFF_EPS:
+                cands.add(c / q)
+            if not cands:  # b == 0 and c == 0: double root at 0
+                cands.add(0.0)
+            roots = sorted(cands)
+        else:
+            comp = np.roots(self._c[::-1])
+            scale = max(1.0, float(np.max(np.abs(comp))) if comp.size else 1.0)
+            roots = sorted(
+                float(z.real) for z in comp if abs(z.imag) <= 1e-7 * scale
+            )
+            roots = [self._polish(r) for r in roots]
+        out: list[float] = []
+        for r in roots:
+            if r < lo - ROOT_EPS or r > hi + ROOT_EPS:
+                continue
+            r = min(max(r, lo), hi if math.isfinite(hi) else r)
+            if out and abs(r - out[-1]) <= ROOT_EPS * max(1.0, abs(r)):
+                continue
+            out.append(r)
+        return out
+
+    def _polish(self, r: float, iters: int = 3) -> float:
+        """A few Newton iterations to refine an approximate real root."""
+        d = self.derivative()
+        x = r
+        for _ in range(iters):
+            fx = self(x)
+            dx = d(x)
+            if abs(dx) < 1e-14:
+                break
+            step = fx / dx
+            if not math.isfinite(step):
+                break
+            x_new = x - step
+            if not math.isfinite(x_new):
+                break
+            x = x_new
+        # Accept the polished value only if it did not drift far away.
+        if abs(x - r) <= 1e-3 * max(1.0, abs(r)):
+            return x
+        return r
+
+    def sign_changes_on(self, lo: float, hi: float) -> list[float]:
+        """Roots in ``(lo, hi)`` at which the polynomial changes sign."""
+        out = []
+        for r in self.real_roots(lo, hi):
+            left = self(max(lo, r - _probe(r)))
+            right = self(min(hi, r + _probe(r))) if math.isfinite(hi) else self(r + _probe(r))
+            if left * right < 0:
+                out.append(r)
+        return out
+
+
+def _probe(r: float) -> float:
+    """Small probe offset proportional to the magnitude of ``r``."""
+    return 1e-6 * max(1.0, abs(r))
+
+
+def _coerce(value) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        return Polynomial.constant(float(value))
+    raise TypeError(f"cannot coerce {type(value).__name__} to Polynomial")
+
+
+#: The zero polynomial.
+ZERO = Polynomial([0.0])
+#: The unit polynomial.
+ONE = Polynomial([1.0])
+#: The identity polynomial ``t``.
+T = Polynomial([0.0, 1.0])

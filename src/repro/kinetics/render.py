@@ -1,0 +1,114 @@
+"""Plain-text rendering of piecewise functions and interval timelines.
+
+Terminal-friendly visual output for the examples and for interactive
+exploration: a sampled line chart of a piecewise function (gaps shown as
+blank columns), a label timeline showing which input owns each interval
+(the sequences R / R' of Theorem 4.1), and an interval bar for the
+containment/membership answers of Sections 4.2–4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .piecewise import PiecewiseFunction
+
+__all__ = ["render_function", "render_timeline", "render_intervals"]
+
+
+def _window(pw: PiecewiseFunction, t_max: float | None) -> tuple[float, float]:
+    if not pw.pieces:
+        return 0.0, 1.0
+    lo = pw.pieces[0].lo
+    hi = pw.pieces[-1].hi
+    if math.isinf(hi):
+        finite = [p.hi for p in pw.pieces if math.isfinite(p.hi)]
+        hi = (max(finite) if finite else lo) + max(1.0, abs(lo))
+        hi += 0.25 * (hi - lo)
+    if t_max is not None:
+        hi = t_max
+    if hi <= lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def render_function(pw: PiecewiseFunction, *, width: int = 72,
+                    height: int = 12, t_max: float | None = None) -> str:
+    """A sampled ASCII line chart of ``pw``; undefined regions stay blank."""
+    lo, hi = _window(pw, t_max)
+    ts = np.linspace(lo, hi, width)
+    vals = []
+    for t in ts:
+        piece = pw.piece_at(float(t))
+        vals.append(float(piece.fn(float(t))) if piece is not None else None)
+    defined = [v for v in vals if v is not None]
+    if not defined:
+        return "(nowhere defined on the window)"
+    v_lo, v_hi = min(defined), max(defined)
+    span = v_hi - v_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(vals):
+        if v is None:
+            continue
+        y = int(round((v_hi - v) / span * (height - 1)))
+        grid[y][x] = "*"
+    lines = [f"{v_hi:>12.4g} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " |" + "".join(row))
+    lines.append(f"{v_lo:>12.4g} |" + "".join(grid[-1]))
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(f"{'':13}{lo:<12.4g}{'':{max(0, width - 24)}}{hi:>12.4g}")
+    return "\n".join(lines)
+
+
+def render_timeline(pw: PiecewiseFunction, *, width: int = 72,
+                    t_max: float | None = None) -> str:
+    """A one-line ownership chart: which label holds each time column.
+
+    Labels are assigned single glyphs in order of first appearance; a
+    legend line maps glyphs back to labels.  Gaps render as ``.``.
+    """
+    lo, hi = _window(pw, t_max)
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    assignment: dict = {}
+    cells = []
+    for x in range(width):
+        t = lo + (hi - lo) * (x + 0.5) / width
+        piece = pw.piece_at(t)
+        if piece is None:
+            cells.append(".")
+            continue
+        if piece.label not in assignment:
+            assignment[piece.label] = glyphs[len(assignment) % len(glyphs)]
+        cells.append(assignment[piece.label])
+    legend = "  ".join(f"{g}={lab}" for lab, g in assignment.items())
+    return ("|" + "".join(cells) + "|\n"
+            f" t in [{lo:.3g}, {hi:.3g}]   legend: {legend}")
+
+
+def render_intervals(intervals: Sequence[tuple[float, float]], *,
+                     width: int = 72, t_min: float | None = None,
+                     t_max: float | None = None, mark: str = "#") -> str:
+    """A bar chart of time intervals (Theorem 4.5/4.6 answers).
+
+    ``t_min`` fixes the window origin so multiple bars align (defaults to
+    the first interval's start).
+    """
+    if not intervals:
+        return "(no intervals)"
+    lo = intervals[0][0] if t_min is None else t_min
+    finite = [b for _, b in intervals if math.isfinite(b)]
+    hi = t_max if t_max is not None else (
+        (max(finite) if finite else lo + 1.0) + max(1.0, abs(lo)) * 0.25
+    )
+    if hi <= lo:
+        hi = lo + 1.0
+    cells = []
+    for x in range(width):
+        t = lo + (hi - lo) * (x + 0.5) / width
+        inside = any(a - 1e-12 <= t <= b for a, b in intervals)
+        cells.append(mark if inside else ".")
+    return "|" + "".join(cells) + f"|\n t in [{lo:.3g}, {hi:.3g}]"

@@ -1,0 +1,189 @@
+"""Certified real-root isolation via Sturm sequences.
+
+The companion-matrix root finder in :mod:`repro.kinetics.polynomial` is
+fast, but its accuracy near multiple roots is heuristic.  Piece boundaries
+in the envelope algorithms are roots of difference polynomials, so a
+*certified* backend is valuable both as a cross-validation oracle in the
+test suite and as a fallback for ill-conditioned inputs.
+
+A Sturm chain ``p_0 = p, p_1 = p', p_{i+1} = -rem(p_{i-1}, p_i)`` counts
+the distinct real roots in any half-open interval ``(a, b]`` as the drop in
+sign variations ``V(a) - V(b)``; bisection on that count isolates each root
+to an interval containing exactly one, which bisection-on-sign then refines.
+Multiplicities are removed first by dividing out ``gcd(p, p')``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import RootFindingError
+from .polynomial import Polynomial
+
+__all__ = ["sturm_chain", "count_roots", "real_roots_sturm"]
+
+#: Relative tolerance for the polynomial remainder cascade.
+_REM_EPS = 1e-10
+
+
+def _poly_divmod(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quotient and remainder of dense ascending-coefficient arrays."""
+    a = a.astype(float).copy()
+    b = np.trim_zeros(b.astype(float), "b")
+    if b.size == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    if a.size < b.size:
+        return np.zeros(1), a
+    q = np.zeros(a.size - b.size + 1)
+    scale = b[-1]
+    for i in range(q.size - 1, -1, -1):
+        coef = a[i + b.size - 1] / scale
+        q[i] = coef
+        a[i : i + b.size] -= coef * b
+    rem = a[: b.size - 1] if b.size > 1 else np.zeros(1)
+    return q, rem
+
+
+def _trimmed(c: np.ndarray, scale: float) -> np.ndarray:
+    """Drop numerically-zero leading coefficients relative to ``scale``."""
+    tol = _REM_EPS * max(scale, 1.0)
+    nz = np.flatnonzero(np.abs(c) > tol)
+    if nz.size == 0:
+        return np.zeros(1)
+    return c[: nz[-1] + 1]
+
+
+def _squarefree(p: Polynomial) -> Polynomial:
+    """Divide out repeated factors: ``p / gcd(p, p')``."""
+    if p.degree <= 1:
+        return p
+    a = p.coeffs.copy()
+    b = p.derivative().coeffs.copy()
+    scale = float(np.max(np.abs(a)))
+    # Euclidean gcd with numeric trimming.
+    while True:
+        b_t = _trimmed(b, scale)
+        if b_t.size == 1 and abs(b_t[0]) <= _REM_EPS * max(scale, 1.0):
+            gcd = _trimmed(a, scale)
+            break
+        _, r = _poly_divmod(a, b_t)
+        a, b = b_t, r
+        if _trimmed(b, scale).size == 1 and abs(_trimmed(b, scale)[0]) <= \
+                _REM_EPS * max(scale, 1.0):
+            gcd = a
+            break
+    gcd = _trimmed(gcd, scale)
+    if gcd.size <= 1:
+        return p
+    q, _ = _poly_divmod(p.coeffs, gcd)
+    return Polynomial(q)
+
+
+def sturm_chain(p: Polynomial) -> list[Polynomial]:
+    """The Sturm chain of a (preferably square-free) polynomial."""
+    if p.is_zero():
+        raise RootFindingError("Sturm chain of the zero polynomial")
+    chain = [p, p.derivative()]
+    scale = float(np.max(np.abs(p.coeffs)))
+    while chain[-1].degree > 0:
+        _, rem = _poly_divmod(chain[-2].coeffs, chain[-1].coeffs)
+        rem = _trimmed(rem, scale)
+        nxt = Polynomial(-rem)
+        if nxt.is_zero():
+            break
+        chain.append(nxt)
+    return chain
+
+
+def _variations(chain: list[Polynomial], x: float) -> int:
+    """Sign variations of the chain at ``x`` (or at +inf/-inf)."""
+    signs = []
+    for q in chain:
+        if math.isinf(x):
+            s = q.sign_at_infinity() if x > 0 else (
+                q.sign_at_infinity() * (1 if q.degree % 2 == 0 else -1)
+            )
+        else:
+            v = q(x)
+            s = 0 if abs(v) <= 1e-13 * max(1.0, abs(v)) else (1 if v > 0 else -1)
+        if s != 0:
+            signs.append(s)
+    return sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+
+
+def count_roots(p: Polynomial, lo: float, hi: float) -> int:
+    """Number of *distinct* real roots in the half-open interval ``(lo, hi]``."""
+    sf = _squarefree(p)
+    if sf.degree == 0:
+        return 0
+    chain = sturm_chain(sf)
+    return _variations(chain, lo) - _variations(chain, hi)
+
+
+def real_roots_sturm(p: Polynomial, lo: float = 0.0, hi: float = math.inf,
+                     *, tol: float = 1e-10) -> list[float]:
+    """Certified distinct real roots of ``p`` in ``[lo, hi]``, ascending.
+
+    Bisection on the Sturm root count isolates intervals with exactly one
+    root each; sign bisection refines them to ``tol``.  Cost grows with the
+    number of bisection levels (~50 per root), so prefer the companion-
+    matrix backend for throughput and this one for certainty.
+    """
+    if p.is_zero() or p.degree == 0:
+        return []
+    sf = _squarefree(p)
+    chain = sturm_chain(sf)
+    # Finite search window covering every root (Cauchy bound).
+    window_hi = min(hi, sf.horizon() + 1.0)
+    if window_hi <= lo:
+        window_hi = lo + 1.0
+    out: list[float] = []
+    # Include lo itself: Sturm counts (a, b], so nudge left a hair.
+    eps0 = tol * max(1.0, abs(lo))
+    stack = [(lo - eps0, window_hi)]
+    while stack:
+        a, b = stack.pop()
+        k = _variations(chain, a) - _variations(chain, b)
+        if k <= 0:
+            continue
+        if k == 1:
+            out.append(_bisect_root(sf, a, b, tol))
+            continue
+        mid = 0.5 * (a + b)
+        if b - a <= tol * max(1.0, abs(a)):
+            out.append(mid)  # cluster tighter than tol: report once
+            continue
+        stack.append((a, mid))
+        stack.append((mid, b))
+    out = sorted(r for r in out if lo - eps0 <= r <= hi + eps0)
+    return out
+
+
+def _bisect_root(p: Polynomial, a: float, b: float, tol: float) -> float:
+    """Refine the unique root in (a, b] by sign bisection."""
+    fa = p(a)
+    fb = p(b)
+    if fa == 0.0:
+        return a
+    if fb == 0.0:
+        return b
+    if fa * fb > 0:
+        # Single root without a sign change cannot happen for a square-free
+        # polynomial unless the root sits exactly on an endpoint cluster;
+        # fall back to the midpoint of a ternary sweep.
+        ts = np.linspace(a, b, 65)
+        vals = p(ts)
+        i = int(np.argmin(np.abs(vals)))
+        return float(ts[i])
+    for _ in range(200):
+        mid = 0.5 * (a + b)
+        fm = p(mid)
+        if fm == 0.0 or b - a <= tol * max(1.0, abs(mid)):
+            return mid
+        if fa * fm < 0:
+            b, fb = mid, fm
+        else:
+            a, fa = mid, fm
+    return 0.5 * (a + b)

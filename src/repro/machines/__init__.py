@@ -1,0 +1,45 @@
+"""Simulated parallel machines: meshes, hypercubes, PRAM, serial (Section 2)."""
+
+from .indexing import (
+    IndexScheme,
+    SCHEMES,
+    adjacency_fraction,
+    gray_code,
+    gray_code_inverse,
+    is_recursively_decomposable,
+    max_consecutive_distance,
+    proximity,
+    row_major,
+    shuffled_row_major,
+    snake_like,
+)
+from .machine import (
+    Machine,
+    ccc_machine,
+    hypercube_machine,
+    mesh_machine,
+    pram_machine,
+    serial_machine,
+    shuffle_exchange_machine,
+)
+from .metrics import Metrics
+from .topology import (
+    CCCTopology,
+    HypercubeTopology,
+    MeshTopology,
+    PRAMTopology,
+    SerialTopology,
+    ShuffleExchangeTopology,
+    Topology,
+)
+
+__all__ = [
+    "IndexScheme", "SCHEMES", "adjacency_fraction", "gray_code",
+    "gray_code_inverse", "is_recursively_decomposable",
+    "max_consecutive_distance", "proximity", "row_major",
+    "shuffled_row_major", "snake_like",
+    "Machine", "ccc_machine", "hypercube_machine", "mesh_machine",
+    "pram_machine", "serial_machine", "shuffle_exchange_machine", "Metrics",
+    "CCCTopology", "HypercubeTopology", "MeshTopology", "PRAMTopology",
+    "SerialTopology", "ShuffleExchangeTopology", "Topology",
+]

@@ -1,0 +1,232 @@
+"""PE indexing schemes for meshes and hypercubes (Figures 2 and 3).
+
+The paper indexes mesh PEs in *proximity order* (the Peano–Hilbert scan
+curve) because (1) consecutively indexed PEs are mesh neighbours, and (2)
+the mesh subdivides recursively into submeshes of consecutively indexed PEs.
+This module implements all four orders of Figure 2 — row-major, shuffled
+row-major (Morton / Z-order), snake-like, and proximity (Hilbert) — plus the
+binary reflected Gray code used to label hypercube nodes (Section 2.3), and
+the locality metrics the Figure 2 benchmark reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import MachineConfigurationError
+
+__all__ = [
+    "row_major",
+    "shuffled_row_major",
+    "snake_like",
+    "proximity",
+    "SCHEMES",
+    "IndexScheme",
+    "gray_code",
+    "gray_code_inverse",
+    "gray_rank_to_node",
+    "adjacency_fraction",
+    "max_consecutive_distance",
+    "is_recursively_decomposable",
+]
+
+
+class IndexScheme:
+    """A bijection between ranks ``0..n-1`` and mesh coordinates.
+
+    ``coords`` maps an array of ranks to ``(rows, cols)`` arrays;
+    ``ranks`` is the inverse.  ``side`` is the mesh side length.
+    """
+
+    def __init__(self, name: str, side: int,
+                 coords: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]):
+        self.name = name
+        self.side = side
+        self._coords = coords
+
+    def coords(self, rank) -> tuple[np.ndarray, np.ndarray]:
+        rank = np.asarray(rank, dtype=np.int64)
+        return self._coords(rank)
+
+    def all_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.coords(np.arange(self.side * self.side))
+
+    def rank_table(self) -> np.ndarray:
+        """``table[r, c]`` = rank of the PE at row r, column c."""
+        rows, cols = self.all_coords()
+        table = np.empty((self.side, self.side), dtype=np.int64)
+        table[rows, cols] = np.arange(self.side * self.side)
+        return table
+
+
+def _check_mesh_size(n: int) -> int:
+    side = math.isqrt(n)
+    if side * side != n or n < 1:
+        raise MachineConfigurationError(f"mesh size {n} is not a perfect square")
+    if side & (side - 1):
+        raise MachineConfigurationError(
+            f"mesh side {side} must be a power of two (size a power of four)"
+        )
+    return side
+
+
+def row_major(n: int) -> IndexScheme:
+    """Figure 2a: rank = row * side + col."""
+    side = _check_mesh_size(n)
+
+    def coords(rank):
+        return rank // side, rank % side
+
+    return IndexScheme("row-major", side, coords)
+
+
+def snake_like(n: int) -> IndexScheme:
+    """Figure 2c: row-major with odd rows reversed."""
+    side = _check_mesh_size(n)
+
+    def coords(rank):
+        r = rank // side
+        c = rank % side
+        c = np.where(r % 2 == 1, side - 1 - c, c)
+        return r, c
+
+    return IndexScheme("snake-like", side, coords)
+
+
+def _deinterleave(v: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split the even/odd bits of ``v`` into two integers."""
+    even = np.zeros_like(v)
+    odd = np.zeros_like(v)
+    for b in range(bits):
+        even |= ((v >> (2 * b)) & 1) << b
+        odd |= ((v >> (2 * b + 1)) & 1) << b
+    return even, odd
+
+
+def shuffled_row_major(n: int) -> IndexScheme:
+    """Figure 2b: bit-interleaved (Morton / Z-order) indexing.
+
+    Rank bits alternate row/column bits, so rank bit ``j`` toggles row-or-
+    column bit ``j // 2`` — the property that makes bitonic sort run in
+    ``Theta(sqrt(n))`` mesh time (Thompson–Kung).
+    """
+    side = _check_mesh_size(n)
+    bits = side.bit_length() - 1
+
+    def coords(rank):
+        col, row = _deinterleave(rank, bits)
+        return row, col
+
+    return IndexScheme("shuffled-row-major", side, coords)
+
+
+def proximity(n: int) -> IndexScheme:
+    """Figure 2d: proximity (Peano–Hilbert) order.
+
+    Consecutive ranks are mesh neighbours and every aligned subsquare holds
+    consecutive ranks — the two properties the paper relies on (Section 2.2).
+    """
+    side = _check_mesh_size(n)
+
+    def coords(rank):
+        rank = rank.copy()
+        x = np.zeros_like(rank)
+        y = np.zeros_like(rank)
+        t = rank
+        s = 1
+        while s < side:
+            rx = (t // 2) & 1
+            ry = (t ^ rx) & 1
+            # Rotate quadrant.
+            swap = ry == 0
+            flip = swap & (rx == 1)
+            x_f = np.where(flip, s - 1 - x, x)
+            y_f = np.where(flip, s - 1 - y, y)
+            x_new = np.where(swap, y_f, x_f)
+            y_new = np.where(swap, x_f, y_f)
+            x = x_new + s * rx
+            y = y_new + s * ry
+            t = t // 4
+            s *= 2
+        return y, x  # row = y, col = x
+
+    return IndexScheme("proximity", side, coords)
+
+
+SCHEMES: dict[str, Callable[[int], IndexScheme]] = {
+    "row-major": row_major,
+    "shuffled-row-major": shuffled_row_major,
+    "snake-like": snake_like,
+    "proximity": proximity,
+}
+
+
+# ----------------------------------------------------------------------
+# Gray codes (Section 2.3)
+# ----------------------------------------------------------------------
+def gray_code(j):
+    """Binary reflected Gray code ``G(j) = j XOR (j >> 1)``.
+
+    Consecutive integers map to node labels differing in one bit, so
+    consecutively *ranked* PEs are hypercube neighbours; and every aligned
+    power-of-two block of ranks occupies a subcube.
+    """
+    j = np.asarray(j)
+    return j ^ (j >> 1)
+
+
+def gray_code_inverse(g):
+    """Inverse of :func:`gray_code` (prefix-XOR of the bits)."""
+    g = np.asarray(g).copy()
+    shift = 1
+    out = g.copy()
+    # prefix XOR over bits; 64 suffices for int64 ranks
+    while shift < 64:
+        out ^= out >> shift
+        shift *= 2
+    return out
+
+
+def gray_rank_to_node(rank):
+    """Alias making call sites read naturally: rank -> physical node id."""
+    return gray_code(rank)
+
+
+# ----------------------------------------------------------------------
+# Locality metrics (Figure 2 benchmark)
+# ----------------------------------------------------------------------
+def _consecutive_distances(scheme: IndexScheme) -> np.ndarray:
+    n = scheme.side * scheme.side
+    r, c = scheme.all_coords()
+    return np.abs(np.diff(r)) + np.abs(np.diff(c))
+
+
+def adjacency_fraction(scheme: IndexScheme) -> float:
+    """Fraction of consecutive rank pairs that are mesh neighbours."""
+    d = _consecutive_distances(scheme)
+    return float(np.mean(d == 1))
+
+
+def max_consecutive_distance(scheme: IndexScheme) -> int:
+    """Worst-case mesh distance between consecutively ranked PEs."""
+    return int(_consecutive_distances(scheme).max())
+
+
+def is_recursively_decomposable(scheme: IndexScheme) -> bool:
+    """Property 2 of proximity order: every aligned subsquare at every scale
+    contains a consecutive block of ranks."""
+    side = scheme.side
+    table = scheme.rank_table()
+    size = side
+    while size >= 2:
+        for r0 in range(0, side, size):
+            for c0 in range(0, side, size):
+                block = table[r0 : r0 + size, c0 : c0 + size].ravel()
+                lo, hi = block.min(), block.max()
+                if hi - lo + 1 != block.size:
+                    return False
+        size //= 2
+    return True

@@ -1,0 +1,176 @@
+"""The lockstep SIMD machine simulator.
+
+A :class:`Machine` pairs a :class:`~repro.machines.topology.Topology` with a
+:class:`~repro.machines.metrics.Metrics` accumulator.  Data lives in ordinary
+NumPy arrays indexed by *virtual slot* (rank order); the data-movement
+operations in :mod:`repro.ops` perform the actual array manipulation and call
+back into the machine to charge simulated parallel time:
+
+* :meth:`Machine.local` — one lockstep round of local computation,
+* :meth:`Machine.exchange` — a compare/exchange or shift round at a given
+  virtual-slot bit (cost = link distance under the topology),
+* :meth:`Machine.monotone_route` — an order-preserving route (cost = one
+  round per rank bit: ``Theta(sqrt(n))`` mesh, ``Theta(log n)`` hypercube),
+* :meth:`Machine.long_shift` — a lockstep shift across a whole segment
+  (used for the reversal step of bitonic merging).
+
+The asymptotics of every Table 1 operation emerge from these four charges.
+"""
+
+from __future__ import annotations
+
+from .metrics import Metrics
+from .topology import (
+    CCCTopology,
+    HypercubeTopology,
+    MeshTopology,
+    PRAMTopology,
+    SerialTopology,
+    ShuffleExchangeTopology,
+    Topology,
+)
+
+__all__ = ["Machine", "mesh_machine", "hypercube_machine", "ccc_machine",
+           "shuffle_exchange_machine", "pram_machine", "serial_machine"]
+
+
+class Machine:
+    """A simulated SIMD parallel machine with cost accounting.
+
+    ``randomized`` switches the sorting substrate from deterministic
+    bitonic networks to the Reif–Valiant-style randomized sort (Table 1's
+    "expected" column): sorts then charge the *measured* round count of a
+    Valiant two-phase routing simulation instead of the bitonic network.
+    Only meaningful on hypercube-like topologies, where randomization buys
+    an asymptotic improvement.
+    """
+
+    def __init__(self, topology: Topology, *, randomized: bool = False):
+        self.topology = topology
+        self.metrics = Metrics()
+        self.randomized = randomized
+        self._rand_calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pe(self) -> int:
+        return self.topology.n_pe
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+    def phase(self, label: str):
+        """Context manager attributing charges to ``label``."""
+        return self.metrics.phase(label)
+
+    def reset(self) -> None:
+        self.metrics.reset()
+
+    # ------------------------------------------------------------------
+    # Cost charges
+    # ------------------------------------------------------------------
+    def _slots_per_pe(self, length: int) -> int:
+        if isinstance(self.topology, SerialTopology):
+            return length
+        return max(1, length // self.n_pe)
+
+    def local(self, length: int, count: int = 1) -> None:
+        """Charge ``count`` local rounds of an operation over ``length`` slots.
+
+        With ``c`` slots per PE a lockstep round costs ``c`` (each PE handles
+        its slots serially); on the serial machine it costs ``length``.
+        """
+        self.metrics.charge_local(count * self._slots_per_pe(length))
+
+    def exchange(self, length: int, bit: int, count: int = 1) -> None:
+        """Charge ``count`` lockstep exchange/shift rounds at slot bit ``bit``.
+
+        All PEs exchange simultaneously with the partner whose rank differs
+        in the corresponding rank bit; the round costs the link distance
+        (times the slots-per-PE factor for virtualised operations).
+        """
+        c = self._slots_per_pe(length)
+        dist = self.topology.slot_exchange_distance(bit, length)
+        if dist <= 0:
+            # Intra-PE data motion: a local round.
+            self.metrics.charge_local(count * c)
+        else:
+            self.metrics.charge_comm(dist * c, rounds=count)
+
+    def monotone_route(self, length: int) -> None:
+        """Charge an order-preserving (concentration) route over ``length``.
+
+        A monotone route crosses each rank-bit dimension at most once with
+        no congestion, so its cost is the sum of per-bit exchange distances:
+        ``Theta(sqrt(n))`` on the mesh, ``Theta(log n)`` on the hypercube,
+        1 on the PRAM.
+        """
+        c = self._slots_per_pe(length)
+        bits = max(1, length.bit_length() - 1)
+        for b in range(bits):
+            dist = max(self.topology.slot_exchange_distance(b, length), 1.0)
+            self.metrics.charge_comm(dist * c, rounds=1)
+
+    def long_shift(self, length: int, span: int) -> None:
+        """Charge a lockstep shift/reversal across a span of ``span`` slots.
+
+        Used for the half-reversal that turns two ascending runs into a
+        bitonic sequence; cost is the topology distance across the span
+        (``Theta(sqrt(span))`` mesh, ``Theta(log span)`` hypercube).
+        """
+        c = self._slots_per_pe(length)
+        bits = max(1, span.bit_length() - 1)
+        # Distance across a block of `span` slots: the highest bit dominates.
+        dist = max(
+            (self.topology.slot_exchange_distance(b, length) for b in range(bits)),
+            default=1.0,
+        )
+        self.metrics.charge_comm(max(dist, 1.0) * c, rounds=1)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine({self.topology!r}, time={self.metrics.time:g})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def mesh_machine(n_pe: int, scheme: str = "shuffled-row-major") -> Machine:
+    """A mesh of size ``n_pe`` (must be a power of four), Section 2.2.
+
+    ``scheme`` selects the Figure 2 indexing order the cost model assumes;
+    the default gives the Thompson–Kung exchange distances.
+    """
+    return Machine(MeshTopology(n_pe, scheme))
+
+
+def hypercube_machine(n_pe: int, *, randomized: bool = False) -> Machine:
+    """A hypercube of size ``n_pe`` (must be a power of two), Section 2.3.
+
+    ``randomized=True`` selects the expected-time sorting substrate
+    (Reif–Valiant model): Table 1/3's "expected Theta(log n)" columns.
+    """
+    return Machine(HypercubeTopology(n_pe), randomized=randomized)
+
+
+def ccc_machine(n_pe: int) -> Machine:
+    """A cube-connected-cycles emulation of ``n_pe`` virtual nodes (Sec. 1
+    remark; constant-slowdown for the normal algorithms used here)."""
+    return Machine(CCCTopology(n_pe))
+
+
+def shuffle_exchange_machine(n_pe: int) -> Machine:
+    """A shuffle-exchange emulation of ``n_pe`` virtual nodes (Sec. 1
+    remark)."""
+    return Machine(ShuffleExchangeTopology(n_pe))
+
+
+def pram_machine(n_pe: int) -> Machine:
+    """A CREW PRAM with ``n_pe`` processors (baseline model)."""
+    return Machine(PRAMTopology(n_pe))
+
+
+def serial_machine() -> Machine:
+    """A single-processor machine (serial baseline model)."""
+    return Machine(SerialTopology())

@@ -1,0 +1,110 @@
+"""Store-and-forward packet routing on the 2-D mesh.
+
+Companion to :mod:`repro.machines.routing`: the same queueing simulation on
+the Figure 1 grid.  Deterministic XY (dimension-order) routing sends a
+packet along its row to the destination column, then along the column —
+simple, minimal-distance, but adversarial permutations such as the matrix
+*transpose* funnel a whole row's packets into a single column and build
+``Theta(sqrt n)`` queues.  Valiant-style randomization (route to a random
+intermediate PE first) restores near-diameter delivery with high
+probability, at twice the hop work.
+
+This substrate quantifies the mesh side of the paper's concurrent-access
+story: any routing scheme is lower-bounded by the ``Theta(sqrt n)``
+communication diameter (Section 2.2), which is why the paper implements
+concurrent read/write by *sorting* rather than ad-hoc routing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import MachineConfigurationError, OperationContractError
+from .routing import RoutingResult
+
+__all__ = ["mesh_route_packets", "mesh_transpose_permutation"]
+
+
+def mesh_transpose_permutation(n: int) -> np.ndarray:
+    """The permutation sending PE (r, c) to PE (c, r): XY routing's nemesis."""
+    side = math.isqrt(n)
+    if side * side != n:
+        raise MachineConfigurationError("n must be a perfect square")
+    idx = np.arange(n)
+    r, c = idx // side, idx % side
+    return c * side + r
+
+
+def _xy_phase(cur_r, cur_c, dst_r, dst_c, order, side, max_rounds):
+    """Route all packets with XY (row-first) forwarding; FIFO arbitration."""
+    n = len(cur_r)
+    cur_r = cur_r.copy()
+    cur_c = cur_c.copy()
+    rounds = 0
+    hops = 0
+    max_queue = int(np.bincount(cur_r * side + cur_c, minlength=n).max())
+    while True:
+        pend = (cur_r != dst_r) | (cur_c != dst_c)
+        if not pend.any():
+            return rounds, max_queue, hops
+        if rounds >= max_rounds:
+            raise OperationContractError(
+                f"mesh routing did not converge within {max_rounds} rounds"
+            )
+        rounds += 1
+        idx = np.flatnonzero(pend)
+        # XY: fix the column first (horizontal moves), then the row.
+        move_c = cur_c[idx] != dst_c[idx]
+        step_r = np.where(move_c, 0, np.sign(dst_r[idx] - cur_r[idx]))
+        step_c = np.where(move_c, np.sign(dst_c[idx] - cur_c[idx]), 0)
+        # Directed link id: (node, direction).
+        direction = (step_r + 1) * 3 + (step_c + 1)
+        link = (cur_r[idx] * side + cur_c[idx]) * 9 + direction
+        key = np.lexsort((order[idx], link))
+        sorted_links = link[key]
+        first = np.ones(len(key), dtype=bool)
+        first[1:] = sorted_links[1:] != sorted_links[:-1]
+        movers = key[first]
+        sel = idx[movers]
+        cur_r[sel] += step_r[movers]
+        cur_c[sel] += step_c[movers]
+        hops += len(sel)
+        max_queue = max(
+            max_queue, int(np.bincount(cur_r * side + cur_c, minlength=n).max())
+        )
+
+
+def mesh_route_packets(destinations, *, strategy: str = "xy", seed=0,
+                       max_rounds: int | None = None) -> RoutingResult:
+    """Route packet ``i`` (at PE ``i`` in row-major grid order) to
+    ``destinations[i]`` on the smallest square mesh holding them.
+
+    ``strategy`` is ``"xy"`` (deterministic dimension order) or
+    ``"valiant"`` (random intermediate PE, then XY).
+    """
+    dst = np.asarray(destinations, dtype=np.int64)
+    n = len(dst)
+    side = math.isqrt(n)
+    if side * side != n:
+        raise MachineConfigurationError("packet count must be a perfect square")
+    if sorted(dst.tolist()) != list(range(n)):
+        raise OperationContractError("destinations must form a permutation")
+    if max_rounds is None:
+        max_rounds = 64 * max(1, n)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    start = np.arange(n, dtype=np.int64)
+    sr, sc = start // side, start % side
+    dr, dc = dst // side, dst % side
+    if strategy == "xy":
+        r, q, h = _xy_phase(sr, sc, dr, dc, order, side, max_rounds)
+        return RoutingResult(r, q, h)
+    if strategy == "valiant":
+        mid = rng.integers(0, n, size=n, dtype=np.int64)
+        mr, mc = mid // side, mid % side
+        r1, q1, h1 = _xy_phase(sr, sc, mr, mc, order, side, max_rounds)
+        r2, q2, h2 = _xy_phase(mr, mc, dr, dc, order, side, max_rounds)
+        return RoutingResult(r1 + r2, max(q1, q2), h1 + h2)
+    raise OperationContractError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,78 @@
+"""Parallel-time accounting for the simulated machines.
+
+One *round* is a lockstep step in which every active PE either performs a
+local operation (cost 1) or takes part in a communication whose cost is the
+link distance travelled.  ``Metrics.time`` is the weighted total — the
+quantity whose growth the paper's Theta-bounds describe — and ``rounds`` is
+the unweighted count.  ``phases`` gives a per-label breakdown so benches can
+report, e.g., how much of an envelope construction went into merging versus
+prefix operations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Mutable accumulator of simulated parallel cost."""
+
+    time: float = 0.0
+    rounds: int = 0
+    comm_time: float = 0.0
+    comm_rounds: int = 0
+    local_rounds: int = 0
+    phases: dict = field(default_factory=lambda: defaultdict(float))
+    _phase_stack: list = field(default_factory=list)
+
+    def charge_local(self, count: int = 1) -> None:
+        """Charge ``count`` lockstep local-computation rounds."""
+        self.time += count
+        self.rounds += count
+        self.local_rounds += count
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]] += count
+
+    def charge_comm(self, distance: float, rounds: int = 1) -> None:
+        """Charge a communication round spanning ``distance`` links."""
+        cost = distance * rounds
+        self.time += cost
+        self.rounds += rounds
+        self.comm_time += cost
+        self.comm_rounds += rounds
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]] += cost
+
+    @contextmanager
+    def phase(self, label: str):
+        """Attribute costs charged inside the block to ``label``."""
+        self._phase_stack.append(label)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    def reset(self) -> None:
+        self.time = 0.0
+        self.rounds = 0
+        self.comm_time = 0.0
+        self.comm_rounds = 0
+        self.local_rounds = 0
+        self.phases.clear()
+        self._phase_stack.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for reporting."""
+        return {
+            "time": self.time,
+            "rounds": self.rounds,
+            "comm_time": self.comm_time,
+            "comm_rounds": self.comm_rounds,
+            "local_rounds": self.local_rounds,
+            "phases": dict(self.phases),
+        }

@@ -1,0 +1,265 @@
+"""A register-transfer-level mesh simulator (the "micro" machine).
+
+The operation library in :mod:`repro.ops` charges costs through an abstract
+model (rank-bit exchange distances).  This module provides the ground
+truth that model abstracts: a mesh of PEs that *physically* hold register
+values in a ``side x side`` grid and execute lockstep instructions
+
+* ``shift`` — every PE sends a register to its north/south/east/west
+  neighbour (one link traversal, one comm round), and
+* ``compute`` — every PE applies a local function to its registers
+  (one local round),
+
+exactly the machine of Figure 1.  Classic SIMD-mesh programs are written
+against it — broadcast, row/column reductions, prefix scans, odd-even
+transposition row sorting, and shearsort — and the validation bench checks
+that their measured round counts track the abstract model's charges
+(broadcast/semigroup ``Theta(sqrt n)``) and exhibit the known
+``Theta(sqrt n log n)`` shearsort vs ``Theta(sqrt n)`` bitonic gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import MachineConfigurationError, OperationContractError
+from .metrics import Metrics
+
+__all__ = ["MicroMesh", "broadcast_micro", "reduce_rows", "reduce_all",
+           "prefix_rows", "sort_rows_odd_even", "shearsort"]
+
+_DIRECTIONS = ("north", "south", "east", "west")
+
+
+class MicroMesh:
+    """A ``side x side`` SIMD mesh with named grid registers."""
+
+    def __init__(self, n_pe: int):
+        side = math.isqrt(n_pe)
+        if side * side != n_pe or (side & (side - 1)):
+            raise MachineConfigurationError(
+                f"mesh size {n_pe} must be a power of four"
+            )
+        self.side = side
+        self.n_pe = n_pe
+        self.registers: dict[str, np.ndarray] = {}
+        self.metrics = Metrics()
+
+    # ------------------------------------------------------------------
+    def load(self, name: str, values) -> None:
+        """Install a register from a flat (row-major) or grid array."""
+        arr = np.asarray(values, dtype=float)
+        if arr.shape == (self.n_pe,):
+            arr = arr.reshape(self.side, self.side)
+        if arr.shape != (self.side, self.side):
+            raise OperationContractError(
+                f"register shape {arr.shape} does not fit a "
+                f"{self.side}x{self.side} mesh"
+            )
+        self.registers[name] = arr.copy()
+
+    def read(self, name: str) -> np.ndarray:
+        """The register as a flat row-major array (host-side observation)."""
+        return self.registers[name].reshape(-1).copy()
+
+    # ------------------------------------------------------------------
+    def shift(self, dst: str, src: str, direction: str,
+              fill: float = np.nan) -> None:
+        """One lockstep neighbour transfer: ``dst`` receives ``src`` from
+        the PE in ``direction``; boundary PEs receive ``fill``."""
+        if direction not in _DIRECTIONS:
+            raise OperationContractError(f"unknown direction {direction!r}")
+        g = self.registers[src]
+        out = np.full_like(g, fill)
+        if direction == "north":      # receive from the PE above
+            out[1:, :] = g[:-1, :]
+        elif direction == "south":
+            out[:-1, :] = g[1:, :]
+        elif direction == "west":     # receive from the PE to the left
+            out[:, 1:] = g[:, :-1]
+        else:
+            out[:, :-1] = g[:, 1:]
+        self.registers[dst] = out
+        self.metrics.charge_comm(1.0)
+
+    def compute(self, dst: str, fn: Callable, *srcs: str) -> None:
+        """One local round: ``dst = fn(src_registers...)`` elementwise."""
+        args = [self.registers[s] for s in srcs]
+        self.registers[dst] = np.asarray(fn(*args), dtype=float)
+        self.metrics.charge_local(1)
+
+    def constant(self, dst: str, value: float) -> None:
+        self.registers[dst] = np.full((self.side, self.side), float(value))
+        self.metrics.charge_local(1)
+
+
+# ----------------------------------------------------------------------
+# Classic SIMD-mesh programs
+# ----------------------------------------------------------------------
+def broadcast_micro(mesh: MicroMesh, reg: str, row: int, col: int) -> None:
+    """Broadcast the value at PE ``(row, col)`` to every PE: first along
+    the source column, then along every row — ``2(side-1)`` shift rounds
+    each way, the textbook ``Theta(sqrt n)`` broadcast."""
+    side = mesh.side
+    grid = mesh.registers[reg]
+    mask = np.zeros((side, side))
+    mask[row, col] = 1.0
+    mesh.registers["_bc_mask"] = mask
+    mesh.registers["_bc_val"] = grid * mask
+    mesh.metrics.charge_local(1)
+    for direction in ("north", "south"):
+        for _ in range(side - 1):
+            mesh.shift("_bc_in", "_bc_val", direction, fill=0.0)
+            mesh.shift("_bc_mask_in", "_bc_mask", direction, fill=0.0)
+            mesh.compute(
+                "_bc_val",
+                lambda v, m, vi, mi: np.where(mi > 0, vi, v),
+                "_bc_val", "_bc_mask", "_bc_in", "_bc_mask_in",
+            )
+            mesh.compute("_bc_mask", np.maximum, "_bc_mask", "_bc_mask_in")
+    for direction in ("east", "west"):
+        for _ in range(side - 1):
+            mesh.shift("_bc_in", "_bc_val", direction, fill=0.0)
+            mesh.shift("_bc_mask_in", "_bc_mask", direction, fill=0.0)
+            mesh.compute(
+                "_bc_val",
+                lambda v, m, vi, mi: np.where(mi > 0, vi, v),
+                "_bc_val", "_bc_mask", "_bc_in", "_bc_mask_in",
+            )
+            mesh.compute("_bc_mask", np.maximum, "_bc_mask", "_bc_mask_in")
+    mesh.registers[reg] = mesh.registers["_bc_val"]
+
+
+def _shift_by(mesh: MicroMesh, dst: str, src: str, direction: str,
+              distance: int, fill: float) -> None:
+    """Move a register ``distance`` links in ``direction`` (that many
+    lockstep single-link rounds)."""
+    mesh.compute(dst, lambda g: g, src)
+    for _ in range(distance):
+        mesh.shift(dst, dst, direction, fill=fill)
+
+
+def reduce_rows(mesh: MicroMesh, reg: str, op=np.minimum,
+                fill: float = np.inf) -> None:
+    """Every PE ends with the ``op``-reduction of its whole row.
+
+    A recursive-doubling butterfly along the row: at step ``d`` every PE
+    combines with the partner whose column differs in bit ``log2 d``, a
+    distance-``d`` transfer realised as ``d`` single-link shifts.  Total
+    ``2 (side - 1)`` shift rounds; correct for any associative commutative
+    ``op`` with identity ``fill``.
+    """
+    side = mesh.side
+    cols = np.arange(side)[None, :]
+    d = 1
+    while d < side:
+        _shift_by(mesh, "_rd_w", reg, "west", d, fill)   # from column c - d
+        _shift_by(mesh, "_rd_e", reg, "east", d, fill)   # from column c + d
+        take_west = (cols & d) != 0
+
+        def combine(g, w, e, tw=take_west, op=op):
+            return op(g, np.where(tw, w, e))
+
+        mesh.compute(reg, combine, reg, "_rd_w", "_rd_e")
+        d <<= 1
+
+
+def reduce_cols(mesh: MicroMesh, reg: str, op=np.minimum,
+                fill: float = np.inf) -> None:
+    """Column analogue of :func:`reduce_rows`."""
+    side = mesh.side
+    rows = np.arange(side)[:, None]
+    d = 1
+    while d < side:
+        _shift_by(mesh, "_cd_n", reg, "north", d, fill)
+        _shift_by(mesh, "_cd_s", reg, "south", d, fill)
+        take_north = (rows & d) != 0
+
+        def combine(g, u, v, tn=take_north, op=op):
+            return op(g, np.where(tn, u, v))
+
+        mesh.compute(reg, combine, reg, "_cd_n", "_cd_s")
+        d <<= 1
+
+
+def reduce_all(mesh: MicroMesh, reg: str, op=np.minimum,
+               fill: float = np.inf) -> None:
+    """Every PE ends with the global reduction: rows, then columns —
+    ``4 (side - 1)`` shift rounds, the textbook semigroup computation."""
+    reduce_rows(mesh, reg, op, fill)
+    reduce_cols(mesh, reg, op, fill)
+
+
+def prefix_rows(mesh: MicroMesh, reg: str, op=np.add, fill: float = 0.0) -> None:
+    """Inclusive left-to-right prefix within every row.
+
+    Hillis–Steele doubling: combine with the value ``d`` columns to the
+    left for ``d = 1, 2, 4, ...`` — ``side - 1`` shift rounds total.
+    ``fill`` must be the identity of ``op``.
+    """
+    d = 1
+    while d < mesh.side:
+        _shift_by(mesh, "_px", reg, "west", d, fill)
+        mesh.compute(reg, op, reg, "_px")
+        d <<= 1
+
+
+def sort_rows_odd_even(mesh: MicroMesh, reg: str,
+                       descending_mask: np.ndarray | None = None) -> None:
+    """Odd-even transposition sort of every row, ``side`` phases.
+
+    ``descending_mask[r]`` flips row ``r``'s direction (needed by
+    shearsort's snake ordering).
+    """
+    side = mesh.side
+    if descending_mask is None:
+        descending_mask = np.zeros(side, dtype=bool)
+    desc_col = descending_mask[:, None]
+    cols = np.arange(side)[None, :]
+    for phase in range(side):
+        start = phase % 2
+        left_mask = ((cols % 2) == start) & (cols + 1 < side)
+        mesh.shift("_oe_r", reg, "east", fill=np.nan)   # value to the right
+        mesh.shift("_oe_l", reg, "west", fill=np.nan)   # value to the left
+
+        def step(g, right, left):
+            lo = np.where(desc_col, np.fmax(g, right), np.fmin(g, right))
+            hi = np.where(desc_col, np.fmin(g, left), np.fmax(g, left))
+            out = np.where(left_mask, lo, g)
+            right_mask = np.roll(left_mask, 1, axis=1) & (cols > 0)
+            out = np.where(right_mask, hi, out)
+            return out
+
+        mesh.compute(reg, step, reg, "_oe_r", "_oe_l")
+
+
+def shearsort(mesh: MicroMesh, reg: str) -> None:
+    """Shearsort: snake-order sort in ``ceil(log2 side) + 1`` row/column
+    phases — the simple ``Theta(sqrt(n) log n)`` mesh sort, a log factor
+    off the Thompson–Kung bitonic bound (the validation bench measures
+    exactly that gap)."""
+    side = mesh.side
+    snake = np.arange(side) % 2 == 1  # odd rows sort descending
+    phases = max(1, side.bit_length() - 1) + 1
+    for _ in range(phases):
+        sort_rows_odd_even(mesh, reg, descending_mask=snake)
+        _transpose(mesh, reg)
+        sort_rows_odd_even(mesh, reg)
+        _transpose(mesh, reg)
+    sort_rows_odd_even(mesh, reg, descending_mask=snake)
+
+
+def _transpose(mesh: MicroMesh, reg: str) -> None:
+    """Logical transpose so column sorts reuse the row sorter.
+
+    A physical mesh transpose is a fixed permutation route: fully
+    pipelined XY routing delivers it in ``2 (side - 1)`` unit-distance
+    lockstep rounds (cf. :mod:`repro.machines.mesh_routing`, where the
+    measured transpose rounds are exactly diameter-bound).  We charge
+    those rounds and exchange the axes.
+    """
+    mesh.registers[reg] = mesh.registers[reg].T.copy()
+    mesh.metrics.charge_comm(1.0, rounds=2 * (mesh.side - 1))

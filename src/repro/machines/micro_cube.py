@@ -1,0 +1,149 @@
+"""A register-transfer-level hypercube simulator.
+
+Companion to :mod:`repro.machines.micro`: ``2^q`` PEs that physically hold
+register values, with one lockstep instruction per communication —
+``exchange(dim)`` swaps a register with the neighbour across dimension
+``dim`` (one link traversal for every PE simultaneously; the hypercube's
+defining move).  Normal algorithms are written directly against it:
+
+* recursive-doubling reduction and all-prefix (Theta(log n) rounds),
+* broadcast from any node (Theta(log n)),
+* Batcher bitonic sort (Theta(log^2 n) exchanges),
+
+and the validation tests check the measured round counts equal the
+abstract cost model's charges *exactly* — on the hypercube the model has
+no geometry to abstract away, so the two must coincide, not merely track.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import MachineConfigurationError, OperationContractError
+from .metrics import Metrics
+
+__all__ = ["MicroHypercube", "cube_broadcast", "cube_reduce", "cube_prefix",
+           "cube_bitonic_sort"]
+
+
+class MicroHypercube:
+    """A hypercube of ``2^q`` PEs with named per-node registers."""
+
+    def __init__(self, n_pe: int):
+        if n_pe < 1 or (n_pe & (n_pe - 1)):
+            raise MachineConfigurationError(
+                f"hypercube size {n_pe} must be a power of two"
+            )
+        self.n_pe = n_pe
+        self.dim = n_pe.bit_length() - 1
+        self.registers: dict[str, np.ndarray] = {}
+        self.metrics = Metrics()
+
+    def load(self, name: str, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != (self.n_pe,):
+            raise OperationContractError(
+                f"register needs shape ({self.n_pe},), got {arr.shape}"
+            )
+        self.registers[name] = arr.copy()
+
+    def read(self, name: str) -> np.ndarray:
+        return self.registers[name].copy()
+
+    # ------------------------------------------------------------------
+    def exchange(self, dst: str, src: str, dim: int) -> None:
+        """One lockstep dimension exchange: every PE ``i`` receives
+        ``src`` from PE ``i XOR 2^dim`` into ``dst`` (cost: 1 link)."""
+        if not (0 <= dim < max(1, self.dim)):
+            raise OperationContractError(
+                f"dimension {dim} out of range for a {self.dim}-cube"
+            )
+        g = self.registers[src]
+        partner = np.arange(self.n_pe) ^ (1 << dim)
+        self.registers[dst] = g[partner].copy()
+        self.metrics.charge_comm(1.0)
+
+    def compute(self, dst: str, fn: Callable, *srcs: str) -> None:
+        args = [self.registers[s] for s in srcs]
+        self.registers[dst] = np.asarray(fn(*args), dtype=float)
+        self.metrics.charge_local(1)
+
+
+# ----------------------------------------------------------------------
+# Normal-algorithm programs
+# ----------------------------------------------------------------------
+def cube_reduce(cube: MicroHypercube, reg: str, op=np.minimum) -> None:
+    """All-reduce: after ``q`` exchanges every PE holds the global ``op``."""
+    for d in range(cube.dim):
+        cube.exchange("_rd", reg, d)
+        cube.compute(reg, op, reg, "_rd")
+
+
+def cube_broadcast(cube: MicroHypercube, reg: str, source: int) -> None:
+    """Broadcast PE ``source``'s value to all: ``q`` exchange rounds.
+
+    Implemented as a reduce with a select-the-source operator: after
+    dimension ``d``, the value has flooded the subcube agreeing with the
+    source on the remaining dimensions.
+    """
+    n = cube.n_pe
+    owner = np.zeros(n)
+    owner[source] = 1.0
+    cube.registers["_bc_own"] = owner
+    cube.metrics.charge_local(1)
+    for d in range(cube.dim):
+        cube.exchange("_bc_v", reg, d)
+        cube.exchange("_bc_o", "_bc_own", d)
+        cube.compute(reg, lambda v, o, vi, oi: np.where(oi > 0, vi, v),
+                     reg, "_bc_own", "_bc_v", "_bc_o")
+        cube.compute("_bc_own", np.maximum, "_bc_own", "_bc_o")
+
+
+def cube_prefix(cube: MicroHypercube, reg: str, op=np.add) -> None:
+    """Inclusive prefix over PE rank order (the classic hypercube scan).
+
+    Maintains a running subcube total alongside the prefix: at dimension
+    ``d``, partners exchange their subcube totals; PEs with rank bit ``d``
+    set fold the partner subcube (all lower-ranked) into their prefix.
+    """
+    n = cube.n_pe
+    ranks = np.arange(n)
+    cube.compute("_sc_tot", lambda g: g, reg)
+    for d in range(cube.dim):
+        cube.exchange("_sc_in", "_sc_tot", d)
+        has_bit = (ranks >> d) & 1 == 1
+
+        def fold(prefix, incoming, hb=has_bit, op=op):
+            return np.where(hb, op(prefix, incoming), prefix)
+
+        cube.compute(reg, fold, reg, "_sc_in")
+        cube.compute("_sc_tot", op, "_sc_tot", "_sc_in")
+
+
+def cube_bitonic_sort(cube: MicroHypercube, reg: str,
+                      ascending: bool = True) -> None:
+    """Batcher bitonic sort: ``q (q + 1) / 2`` dimension exchanges."""
+    n = cube.n_pe
+    ranks = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k >> 1
+        while j >= 1:
+            d = j.bit_length() - 1
+            cube.exchange("_bs_in", reg, d)
+            is_lower = (ranks & j) == 0
+            if k == n:
+                up = np.full(n, ascending)
+            else:
+                up = ((ranks & k) == 0) == ascending
+
+            def ce(g, other, lo=is_lower, up=up):
+                keep_min = lo == up  # lower slot of an ascending pair
+                return np.where(keep_min, np.fmin(g, other),
+                                np.fmax(g, other))
+
+            cube.compute(reg, ce, reg, "_bs_in")
+            j >>= 1
+        k <<= 1

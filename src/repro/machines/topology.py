@@ -1,0 +1,283 @@
+"""Interconnection topologies and their communication cost models.
+
+The paper's algorithms are written against abstract data movement operations
+(Section 2.6) whose implementations differ only in how far a "shift by 2^j
+ranks" or "exchange with the rank differing in bit j" travels:
+
+* **Hypercube** (Section 2.3): with binary-reflected-Gray-code ranking, a
+  bit-``j`` rank exchange is one link traversal — cost 1; diameter
+  ``log2 n``.
+* **Mesh** (Section 2.2): with shuffled-row-major / proximity ranking, rank
+  bit ``j`` toggles row-or-column bit ``j // 2``, so a bit-``j`` exchange is
+  a lockstep transfer across ``2^{j//2}`` links.  Summed over the bitonic
+  network this yields the ``Theta(sqrt(n))`` totals of Thompson–Kung, which
+  the paper's Table 1 relies on.
+* **PRAM** (baseline of Chandran–Mount): any exchange costs 1 — the uniform
+  shared-memory model the paper compares against in Sections 1 and 6.
+* **Serial**: a single PE; an "exchange" over L virtual slots costs L (the
+  serial model of Atallah 1985, used as the sequential baseline).
+
+Virtual slots: an operation over ``L`` items on an ``n``-PE machine stores
+slot ``v`` in PE ``v // (L / n)``; exchanges within one PE are local and
+cost 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import MachineConfigurationError
+
+__all__ = ["Topology", "MeshTopology", "HypercubeTopology", "CCCTopology",
+           "ShuffleExchangeTopology", "PRAMTopology", "SerialTopology"]
+
+
+class Topology:
+    """Abstract interconnection topology with ``n_pe`` processing elements."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_pe: int):
+        if n_pe < 1:
+            raise MachineConfigurationError("a machine needs at least one PE")
+        self.n_pe = n_pe
+
+    # -- cost model ----------------------------------------------------
+    def exchange_distance(self, pe_bit: int) -> float:
+        """Link distance of a lockstep exchange between PEs whose *ranks*
+        differ in bit ``pe_bit``."""
+        raise NotImplementedError
+
+    @property
+    def diameter(self) -> float:
+        """Maximum link distance between any two PEs."""
+        raise NotImplementedError
+
+    def slot_exchange_distance(self, bit: int, length: int) -> float:
+        """Distance of an exchange at *virtual-slot* bit ``bit`` for an
+        operation over ``length`` slots.
+
+        Slots map to PEs high-bits-first (slot ``v`` lives in PE
+        ``v >> slot_bits``); exchanges below ``slot_bits`` stay inside a PE.
+        """
+        if length & (length - 1):
+            raise MachineConfigurationError(
+                f"operation length {length} must be a power of two"
+            )
+        slots_per_pe = max(1, length // self.n_pe)
+        slot_bits = slots_per_pe.bit_length() - 1
+        if bit < slot_bits:
+            return 0.0  # intra-PE: the round is charged as local work
+        return self.exchange_distance(bit - slot_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_pe={self.n_pe})"
+
+
+class MeshTopology(Topology):
+    """Two-dimensional mesh of ``n`` PEs, ``sqrt(n) x sqrt(n)`` (Figure 1).
+
+    The cost of a rank-bit exchange depends on the PE indexing scheme
+    (Figure 2).  The default, shuffled-row-major, makes rank bit ``j`` a
+    row-or-column displacement of exactly ``2^{j//2}`` grid steps — the
+    property behind the Thompson–Kung ``Theta(sqrt n)`` sort.  Passing any
+    other Figure 2 scheme name computes the per-bit *lockstep* distance
+    (the maximum over partner pairs) from the scheme itself, enabling the
+    indexing ablation benchmark.
+    """
+
+    name = "mesh"
+
+    def __init__(self, n_pe: int, scheme: str = "shuffled-row-major"):
+        super().__init__(n_pe)
+        side = math.isqrt(n_pe)
+        if side * side != n_pe or (side & (side - 1)):
+            raise MachineConfigurationError(
+                f"mesh size {n_pe} must be a power of four"
+            )
+        self.side = side
+        self.scheme = scheme
+        if scheme == "shuffled-row-major":
+            self._bit_distance = None  # closed form below
+        else:
+            self._bit_distance = self._profile_from_scheme(scheme)
+
+    def _profile_from_scheme(self, scheme: str) -> list[float]:
+        from .indexing import SCHEMES  # local import: avoid cycles
+
+        if scheme not in SCHEMES:
+            raise MachineConfigurationError(
+                f"unknown mesh indexing scheme {scheme!r}; "
+                f"choose from {sorted(SCHEMES)}"
+            )
+        import numpy as np
+
+        if self.n_pe == 1:
+            return [0.0]
+        idx_scheme = SCHEMES[scheme](self.n_pe)
+        r, c = idx_scheme.all_coords()
+        ranks = np.arange(self.n_pe)
+        profile = []
+        for b in range(max(1, self.n_pe.bit_length() - 1)):
+            partner = ranks ^ (1 << b)
+            dist = np.abs(r - r[partner]) + np.abs(c - c[partner])
+            profile.append(float(dist.max()))
+        return profile
+
+    def exchange_distance(self, pe_bit: int) -> float:
+        if pe_bit >= 2 * (self.side.bit_length() - 1):
+            raise MachineConfigurationError(
+                f"rank bit {pe_bit} out of range for mesh of size {self.n_pe}"
+            )
+        if self._bit_distance is None:
+            return float(1 << (pe_bit // 2))
+        return self._bit_distance[pe_bit]
+
+    @property
+    def diameter(self) -> float:
+        return float(2 * (self.side - 1))
+
+
+class HypercubeTopology(Topology):
+    """Hypercube of ``n = 2^q`` PEs (Figure 3), Gray-code ranked.
+
+    Under binary-reflected Gray code ranking, PEs whose ranks differ in bit
+    ``j`` are at hypercube distance at most 2 (exactly 1 for the ranks the
+    bitonic network pairs, since aligned ``2^j`` blocks occupy subcubes);
+    we charge the standard unit cost used in the paper's analysis.
+    """
+
+    name = "hypercube"
+
+    def __init__(self, n_pe: int):
+        super().__init__(n_pe)
+        if n_pe & (n_pe - 1):
+            raise MachineConfigurationError(
+                f"hypercube size {n_pe} must be a power of two"
+            )
+        self.dim = n_pe.bit_length() - 1
+
+    def exchange_distance(self, pe_bit: int) -> float:
+        if pe_bit >= self.dim and self.n_pe > 1:
+            raise MachineConfigurationError(
+                f"rank bit {pe_bit} out of range for hypercube of size {self.n_pe}"
+            )
+        return 1.0
+
+    @property
+    def diameter(self) -> float:
+        return float(self.dim)
+
+
+class CCCTopology(Topology):
+    """Cube-connected cycles — the paper's Section 1 closing remark.
+
+    A CCC replaces every hypercube node with a cycle of ``log n`` small
+    processors, keeping degree 3.  For *normal* algorithms — those that
+    touch rank bits in sequential order, which covers bitonic networks and
+    recursive doubling, i.e. everything in :mod:`repro.ops` — the CCC
+    emulates the hypercube with constant slowdown [Preparata–Vuillemin]:
+    each bit-exchange costs O(1) cycle rotations plus one cube edge.  We
+    charge that constant explicitly so the envelope algorithms can be run
+    and measured on this architecture too, confirming the paper's "it is
+    possible that these algorithms can be implemented on other
+    architectures" with the same ``Theta(log^2 n)`` totals at a ~3x
+    constant.
+    """
+
+    name = "ccc"
+
+    #: Amortised cost of one bit-exchange for a normal algorithm: rotate
+    #: the cycle (1), traverse the cube edge (1), rotate back into place (1).
+    EMULATION_FACTOR = 3.0
+
+    def __init__(self, n_pe: int):
+        super().__init__(n_pe)
+        if n_pe & (n_pe - 1):
+            raise MachineConfigurationError(
+                f"CCC emulation size {n_pe} must be a power of two"
+            )
+        self.dim = n_pe.bit_length() - 1
+
+    def exchange_distance(self, pe_bit: int) -> float:
+        if pe_bit >= self.dim and self.n_pe > 1:
+            raise MachineConfigurationError(
+                f"rank bit {pe_bit} out of range for CCC of size {self.n_pe}"
+            )
+        return self.EMULATION_FACTOR
+
+    @property
+    def diameter(self) -> float:
+        # 2.5 log n is the classic CCC diameter bound.
+        return 2.5 * max(1, self.dim)
+
+
+class ShuffleExchangeTopology(Topology):
+    """Shuffle-exchange network — the other Section 1 remark architecture.
+
+    Degree-3 network with *shuffle* (cyclic bit rotation) and *exchange*
+    (flip bit 0) edges.  A normal algorithm's bit-``j`` exchange is
+    performed by shuffling the target bit into position 0, exchanging, and
+    continuing — amortised O(1) shuffles per step when bits are visited in
+    order, charged here as a constant factor of 2.
+    """
+
+    name = "shuffle-exchange"
+
+    EMULATION_FACTOR = 2.0
+
+    def __init__(self, n_pe: int):
+        super().__init__(n_pe)
+        if n_pe & (n_pe - 1):
+            raise MachineConfigurationError(
+                f"shuffle-exchange size {n_pe} must be a power of two"
+            )
+        self.dim = n_pe.bit_length() - 1
+
+    def exchange_distance(self, pe_bit: int) -> float:
+        if pe_bit >= self.dim and self.n_pe > 1:
+            raise MachineConfigurationError(
+                f"rank bit {pe_bit} out of range for size {self.n_pe}"
+            )
+        return self.EMULATION_FACTOR
+
+    @property
+    def diameter(self) -> float:
+        return 2.0 * max(1, self.dim)
+
+
+class PRAMTopology(Topology):
+    """CREW PRAM: uniform unit-cost access to shared memory.
+
+    Used by the Chandran–Mount baseline (Sections 1 and 6); *simulating*
+    this machine on a mesh or hypercube multiplies each step by the host's
+    concurrent-read/concurrent-write cost.
+    """
+
+    name = "pram"
+
+    def exchange_distance(self, pe_bit: int) -> float:
+        return 1.0
+
+    @property
+    def diameter(self) -> float:
+        return 1.0
+
+
+class SerialTopology(Topology):
+    """A single processor: every "parallel" round costs one unit per slot."""
+
+    name = "serial"
+
+    def __init__(self):
+        super().__init__(1)
+
+    def exchange_distance(self, pe_bit: int) -> float:  # pragma: no cover
+        return 1.0
+
+    def slot_exchange_distance(self, bit: int, length: int) -> float:
+        return 0.0  # all slots are local; cost is charged as L local steps
+
+    @property
+    def diameter(self) -> float:
+        return 0.0

@@ -1,0 +1,26 @@
+"""Data movement operations of Section 2.6 (Table 1).
+
+Every operation takes a :class:`~repro.machines.machine.Machine` first and
+charges simulated parallel time as it runs; the asymptotics of Table 1
+emerge from the topology's per-round costs.
+"""
+
+from .bitonic import bitonic_merge, bitonic_sort, compare_exchange_round
+from .concurrent import concurrent_read, concurrent_write, interval_locate
+from .route import pack, permute, unpack_lists
+from .scan import (
+    broadcast,
+    fill_backward,
+    fill_forward,
+    parallel_prefix,
+    parallel_suffix,
+    semigroup,
+)
+
+__all__ = [
+    "bitonic_merge", "bitonic_sort", "compare_exchange_round",
+    "concurrent_read", "concurrent_write", "interval_locate",
+    "pack", "permute", "unpack_lists",
+    "broadcast", "fill_backward", "fill_forward",
+    "parallel_prefix", "parallel_suffix", "semigroup",
+]

@@ -1,0 +1,76 @@
+"""Shared helpers for the data-movement operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OperationContractError
+
+__all__ = ["as_key_list", "lex_gt", "lex_eq", "check_power_of_two",
+           "check_segment_size", "next_pow2"]
+
+
+def next_pow2(m: int) -> int:
+    """Smallest power of two >= max(m, 1)."""
+    return 1 << max(0, (max(m, 1) - 1).bit_length())
+
+
+def check_power_of_two(length: int, what: str = "operation length") -> None:
+    if length < 1 or (length & (length - 1)):
+        raise OperationContractError(f"{what} must be a power of two, got {length}")
+
+
+def check_segment_size(length: int, segment_size: int | None) -> int:
+    """Validate and default the per-segment size for segmented networks."""
+    check_power_of_two(length)
+    if segment_size is None:
+        return length
+    check_power_of_two(segment_size, "segment size")
+    if segment_size > length or length % segment_size:
+        raise OperationContractError(
+            f"segment size {segment_size} incompatible with length {length}"
+        )
+    return segment_size
+
+
+def as_key_list(keys) -> list[np.ndarray]:
+    """Normalise a key spec (one array or a list of arrays) to a list.
+
+    Multiple keys compare lexicographically, most significant first.
+    NaN keys are rejected: NaN comparisons are all-false, which would make
+    the compare-exchange network silently produce garbage.
+    """
+    if isinstance(keys, np.ndarray):
+        keys = [keys]
+    keys = [np.asarray(k) for k in keys]
+    if not keys:
+        raise OperationContractError("at least one key array is required")
+    length = len(keys[0])
+    if any(len(k) != length for k in keys):
+        raise OperationContractError("key arrays must share one length")
+    for k in keys:
+        if np.issubdtype(k.dtype, np.floating) and np.isnan(k).any():
+            raise OperationContractError("keys must not contain NaN")
+    return keys
+
+
+def _bool(arr) -> np.ndarray:
+    return np.asarray(arr, dtype=bool)
+
+
+def lex_gt(a: list[np.ndarray], b: list[np.ndarray]) -> np.ndarray:
+    """Vectorised lexicographic ``a > b`` over parallel key lists."""
+    gt = np.zeros(len(a[0]), dtype=bool)
+    eq = np.ones(len(a[0]), dtype=bool)
+    for x, y in zip(a, b):
+        gt |= eq & _bool(x > y)
+        eq &= _bool(x == y)
+    return gt
+
+
+def lex_eq(a: list[np.ndarray], b: list[np.ndarray]) -> np.ndarray:
+    """Vectorised lexicographic equality over parallel key lists."""
+    eq = np.ones(len(a[0]), dtype=bool)
+    for x, y in zip(a, b):
+        eq &= _bool(x == y)
+    return eq

@@ -1,0 +1,158 @@
+"""Sort-based concurrent read / concurrent write and grouping (Section 2.6).
+
+Meshes and hypercubes have no shared memory, so the CREW/CRCW operations a
+PRAM gets for free are implemented by sorting: requests and master records
+are sorted together on their keys, values are spread along equal-key runs by
+segmented fills, and everything is routed back.  The resulting costs —
+``Theta(sqrt(n))`` on the mesh and ``Theta(log^2 n)`` on the bitonic
+hypercube — are exactly the concurrent-read/concurrent-write charges the
+paper uses when costing direct PRAM simulation (Sections 1 and 6).
+
+:func:`interval_locate` is the paper's *grouping* operation: one set of
+ordered data performing simultaneous searches on another set of ordered
+data by sorting both together and scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import OperationContractError
+from ..machines.machine import Machine
+from ._common import next_pow2
+from .bitonic import bitonic_sort
+from .scan import fill_forward, semigroup
+
+__all__ = ["concurrent_read", "concurrent_write", "interval_locate"]
+
+
+def _combined(master_n: int, query_n: int):
+    """Padded layout: masters, then queries, then pad slots."""
+    length = next_pow2(master_n + query_n)
+    is_pad = np.zeros(length, dtype=np.int64)
+    is_pad[master_n + query_n :] = 1
+    is_query = np.zeros(length, dtype=np.int64)
+    is_query[master_n : master_n + query_n] = 1
+    orig = np.arange(length, dtype=np.int64)
+    return length, is_pad, is_query, orig
+
+
+def _pad_keys(keys_m: np.ndarray, keys_q: np.ndarray, length: int) -> np.ndarray:
+    """Concatenate key arrays and fill pad slots with a comparable filler."""
+    if len(keys_m) == 0:
+        raise OperationContractError("at least one master record is required")
+    out = np.empty(length, dtype=object)
+    out[: len(keys_m)] = list(keys_m)
+    out[len(keys_m) : len(keys_m) + len(keys_q)] = list(keys_q)
+    out[len(keys_m) + len(keys_q) :] = keys_m[0]  # pads sort last via is_pad
+    return out
+
+
+def concurrent_read(
+    machine: Machine,
+    master_keys,
+    master_values,
+    query_keys,
+    *,
+    default=None,
+) -> np.ndarray:
+    """Every query slot reads the value of the master with an equal key.
+
+    ``master_keys`` must be distinct.  Queries whose key matches no master
+    receive ``default``.  Cost: two bitonic sorts plus scans.
+    """
+    master_keys = np.asarray(master_keys, dtype=object)
+    master_values = np.asarray(master_values, dtype=object)
+    query_keys = np.asarray(query_keys, dtype=object)
+    m, q = len(master_keys), len(query_keys)
+    length, is_pad, is_query, orig = _combined(m, q)
+    keys = _pad_keys(master_keys, query_keys, length)
+    values = np.full(length, default, dtype=object)
+    values[:m] = master_values
+
+    (sp, sk, sq), (sv, so) = bitonic_sort(
+        machine, [is_pad, keys, is_query], [values, orig]
+    )
+    is_master = (sp == 0) & (sq == 0)
+    filled = fill_forward(machine, sv, is_master, segments=sk)
+    # Masters keep their own value; queries with no equal-key master keep
+    # ``default`` because fill never crosses a key boundary.
+    (_,), (back,) = bitonic_sort(machine, [so], [filled])
+    return back[m : m + q]
+
+
+def concurrent_write(
+    machine: Machine,
+    master_keys,
+    request_keys,
+    request_values,
+    combine: Callable,
+    *,
+    default=None,
+) -> np.ndarray:
+    """Combine all requests targeting each master key (combining CW).
+
+    Returns an array aligned with ``master_keys`` holding the ``combine``
+    of all request values with that key, or ``default`` for masters nobody
+    wrote to.  ``combine`` is an associative, commutative scalar function.
+    """
+    master_keys = np.asarray(master_keys, dtype=object)
+    request_keys = np.asarray(request_keys, dtype=object)
+    request_values = np.asarray(request_values, dtype=object)
+    m, q = len(master_keys), len(request_keys)
+    length, is_pad, is_query, orig = _combined(m, q)
+    keys = _pad_keys(master_keys, request_keys, length)
+    values = np.full(length, None, dtype=object)
+    values[m : m + q] = request_values
+
+    def merge_opt(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return combine(a, b)
+
+    op = np.frompyfunc(merge_opt, 2, 1)
+    (sp, sk, sq), (sv, so) = bitonic_sort(
+        machine, [is_pad, keys, is_query], [values, orig]
+    )
+    totals = semigroup(machine, sv, op, segments=sk)
+    # Pads share a master's key value; exclude their (None) contribution —
+    # None is the identity of merge_opt, so they are harmless, but a pad
+    # slot must not *receive* a result either; masters are selected below.
+    (_,), (back,) = bitonic_sort(machine, [so], [totals])
+    out = back[:m]
+    return np.array([default if v is None else v for v in out], dtype=object)
+
+
+def interval_locate(
+    machine: Machine,
+    boundaries,
+    queries,
+) -> np.ndarray:
+    """For each query, the index of the rightmost boundary ``<= query``.
+
+    ``boundaries`` must be sorted ascending.  Returns ``-1`` for queries
+    before the first boundary.  This is the *grouping* search of Section
+    2.6: sort both ordered sets together, scan, route back.
+    """
+    boundaries = np.asarray(boundaries, dtype=object)
+    queries = np.asarray(queries, dtype=object)
+    b, q = len(boundaries), len(queries)
+    if b and any(boundaries[i] > boundaries[i + 1] for i in range(b - 1)):
+        raise OperationContractError("boundaries must be sorted ascending")
+    length, is_pad, is_query, orig = _combined(b, q)
+    keys = _pad_keys(boundaries, queries, length)
+    idx_val = np.full(length, -1, dtype=np.int64)
+    idx_val[:b] = np.arange(b)
+
+    (sp, sk, sq), (sv, so) = bitonic_sort(
+        machine, [is_pad, keys, is_query], [idx_val, orig]
+    )
+    is_boundary = (sp == 0) & (sq == 0)
+    filled = fill_forward(machine, sv, is_boundary)  # unsegmented: carry left
+    # Pads sort after all real records, so they never feed a real query.
+    (_,), (back,) = bitonic_sort(machine, [so], [filled])
+    return back[b : b + q].astype(np.int64)

@@ -1,0 +1,105 @@
+"""Data routing: packing, unpacking, and permutation routes.
+
+*Packing* (compression) moves the marked items of a string to its front,
+preserving order — the operation the paper invokes as "a parallel prefix
+operation may be used to pack this sequence into a string" (Theorem 4.5
+Step 5, Theorem 4.6 Step 5).  Destinations come from a prefix sum and the
+movement is an order-preserving *monotone route*, which crosses each rank-bit
+dimension at most once without congestion: ``Theta(sqrt(n))`` mesh time,
+``Theta(log n)`` hypercube time.
+
+*Unpacking* (expansion) spreads per-slot lists of up to O(1) items into one
+item per slot — how the subpieces created in Step 4 of Lemma 3.1 are laid
+out one per PE for the next round.
+
+General permutation routes are performed by sorting on the destination rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OperationContractError
+from ..machines.machine import Machine
+from ._common import check_power_of_two, next_pow2
+from .bitonic import bitonic_sort
+from .scan import parallel_prefix
+
+__all__ = ["pack", "unpack_lists", "permute"]
+
+
+def pack(machine: Machine, mask: np.ndarray, payloads, *, fill=None):
+    """Move marked items to the front of the string, preserving order.
+
+    Returns ``(packed_payloads, count)`` where each packed array has the
+    original length with unmarked tail slots set to ``fill``.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    length = len(mask)
+    check_power_of_two(length)
+    payloads = [np.asarray(p) for p in payloads]
+    if any(len(p) != length for p in payloads):
+        raise OperationContractError("payload arrays must match mask length")
+    ranks = parallel_prefix(machine, mask.astype(np.int64), np.add)
+    machine.local(length)  # each marked slot computes its destination
+    dest = ranks - 1
+    count = int(ranks[-1]) if length else 0
+    outs = []
+    for p in payloads:
+        if p.dtype == object:
+            out = np.full(length, fill, dtype=object)
+        elif fill is None:
+            out = np.zeros(length, dtype=p.dtype)
+        else:
+            out = np.full(length, fill, dtype=p.dtype)
+        out[dest[mask]] = p[mask]
+        outs.append(out)
+    machine.monotone_route(length)
+    return outs, count
+
+
+def unpack_lists(machine: Machine, lists: np.ndarray, *, fill=None,
+                 out_length: int | None = None):
+    """Flatten per-slot item lists into one item per slot, order preserved.
+
+    ``lists`` is an object array whose elements are (possibly empty)
+    sequences of bounded length c = O(1).  Returns ``(flat, total)`` where
+    ``flat`` is an object array of length ``out_length`` (default: the
+    smallest power of two holding all items).  Cost: one prefix sum plus
+    ``c`` monotone routes.
+    """
+    length = len(lists)
+    check_power_of_two(length)
+    counts = np.array([len(x) for x in lists], dtype=np.int64)
+    machine.local(length)
+    max_per = int(counts.max()) if length else 0
+    offsets = parallel_prefix(machine, counts, np.add) - counts
+    total = int(counts.sum())
+    out_length = out_length or next_pow2(total)
+    if total > out_length:
+        raise OperationContractError(
+            f"{total} items do not fit in output of length {out_length}"
+        )
+    flat = np.full(out_length, fill, dtype=object)
+    for j in range(max_per):
+        has = counts > j
+        idx = offsets[has] + j
+        flat[idx] = [lists[i][j] for i in np.flatnonzero(has)]
+        machine.monotone_route(out_length)
+    return flat, total
+
+
+def permute(machine: Machine, dest: np.ndarray, payloads):
+    """Route item ``i`` to slot ``dest[i]`` (a permutation of the slots).
+
+    Implemented as a sort on the destination rank — the standard
+    deterministic technique, costing one full sort (``Theta(sqrt(n))`` mesh,
+    ``Theta(log^2 n)`` hypercube).  Returns the routed payload arrays.
+    """
+    dest = np.asarray(dest, dtype=np.int64)
+    length = len(dest)
+    check_power_of_two(length)
+    if sorted(dest.tolist()) != list(range(length)):
+        raise OperationContractError("dest must be a permutation of the slots")
+    _, routed = bitonic_sort(machine, dest, payloads)
+    return routed

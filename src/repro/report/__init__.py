@@ -1,0 +1,61 @@
+"""The reproduction harness: regenerate every table and figure of the paper.
+
+Each experiment module exposes ``TITLE`` and ``tables() -> list of
+(title, headers, rows)``.  The benchmark suite (`benchmarks/`) asserts on
+these rows under pytest-benchmark; this package also works standalone:
+
+.. code-block:: console
+
+   python -m repro.report             # everything
+   python -m repro.report table1      # one experiment
+   python -m repro.report --list      # what's available
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis import render_table
+from . import (
+    ablations,
+    architectures,
+    validation,
+    figures,
+    section6,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = ["EXPERIMENTS", "run", "run_all"]
+
+#: Registry of experiment name -> module.
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "figures": figures,
+    "section6": section6,
+    "ablations": ablations,
+    "architectures": architectures,
+    "validation": validation,
+}
+
+
+def run(name: str, out: Callable[[str], None] = print) -> list[tuple]:
+    """Generate and print one experiment's tables; returns them."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    produced = EXPERIMENTS[name].tables()
+    for title, headers, rows in produced:
+        render_table(title, headers, rows, out=out)
+    return produced
+
+
+def run_all(out: Callable[[str], None] = print) -> dict[str, list[tuple]]:
+    """Generate and print every experiment; returns them keyed by name."""
+    return {name: run(name, out=out) for name in EXPERIMENTS}

@@ -1,0 +1,38 @@
+"""CLI entry point: ``python -m repro.report [name ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EXPERIMENTS, run, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, mod in EXPERIMENTS.items():
+            print(f"{name:10s} {mod.TITLE}")
+        return 0
+    if not args.experiments:
+        run_all()
+        return 0
+    for name in args.experiments:
+        try:
+            run(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

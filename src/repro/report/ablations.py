@@ -1,0 +1,95 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Two questions the paper's constructions answer implicitly, made explicit:
+
+* **Indexing ablation** — what would Table 1's mesh sort cost under each
+  Figure 2 indexing scheme?  (Answer: only shuffled-row-major keeps the
+  Thompson–Kung ``Theta(sqrt n)`` totals lowest; this is *why* the cost
+  model assumes it.)
+* **Recursion ablation** — why does Theorem 3.2 halve recursively instead
+  of folding functions in one at a time?  Sequential insertion performs a
+  ``Theta(lambda(i, s))``-sized combine per function, so its *parallel*
+  time on the mesh is ``Theta(n sqrt n)`` against the recursive
+  ``Theta(sqrt(lambda))`` — and the measured gap grows with n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import power_fit
+from ..core.envelope import combine_pairwise, envelope, normalize_inputs
+from ..core.family import PolynomialFamily
+from ..kinetics.polynomial import Polynomial
+from ..machines.machine import Machine, mesh_machine
+from ..machines.topology import MeshTopology
+from ..ops import bitonic_sort
+
+TITLE = "Ablations: indexing scheme and envelope recursion"
+
+FAMILY = PolynomialFamily(1)
+
+
+def sort_cost_by_scheme(sizes=None) -> list[list]:
+    """Measured bitonic sort time under each mesh indexing cost model."""
+    sizes = sizes or [64, 256, 1024, 4096]
+    out = []
+    for scheme in ("shuffled-row-major", "row-major", "snake-like",
+                   "proximity"):
+        times = []
+        for n in sizes:
+            machine = Machine(MeshTopology(n, scheme))
+            rng = np.random.default_rng(0)
+            bitonic_sort(machine, rng.uniform(size=n))
+            times.append(machine.metrics.time)
+        out.append([scheme, f"{times[-1]:.0f}",
+                    power_fit(sizes, times).describe()])
+    return out
+
+
+def _curves(n: int, seed: int = 0) -> list[Polynomial]:
+    rng = np.random.default_rng(seed)
+    return [Polynomial(rng.uniform(-10, 10, 2)) for _ in range(n)]
+
+
+def insertion_envelope(machine, fns, family):
+    """The ablated algorithm: fold functions into the envelope one by one.
+
+    Each step is a full Lemma 3.1 combine against an envelope of growing
+    size; the steps are inherently sequential, so their times add.
+    """
+    level = normalize_inputs(fns)
+    acc = level[0]
+    for f in level[1:]:
+        acc = combine_pairwise(machine, acc, f, family)
+    return acc
+
+
+def recursion_rows(sizes=None) -> list[list]:
+    sizes = sizes or [16, 64, 256]
+    rec_t, ins_t = [], []
+    for n in sizes:
+        fns = _curves(n)
+        m_rec = mesh_machine(4096)
+        envelope(m_rec, fns, FAMILY)
+        rec_t.append(m_rec.metrics.time)
+        m_ins = mesh_machine(4096)
+        insertion_envelope(m_ins, fns, FAMILY)
+        ins_t.append(m_ins.metrics.time)
+    out = []
+    for n, r, i in zip(sizes, rec_t, ins_t):
+        out.append([n, f"{r:.0f}", f"{i:.0f}", f"{i / r:.1f}x"])
+    out.append(["fit", power_fit(sizes, rec_t).describe(),
+                power_fit(sizes, ins_t).describe(), "-"])
+    return out
+
+
+def tables() -> list[tuple]:
+    return [
+        ("Ablation: mesh bitonic sort cost by indexing scheme",
+         ["scheme", "time (n=4096)", "fit"],
+         sort_cost_by_scheme()),
+        ("Ablation: recursive halving vs sequential insertion (mesh)",
+         ["n", "recursive (Thm 3.2)", "insertion", "penalty"],
+         recursion_rows()),
+    ]

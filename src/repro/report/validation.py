@@ -1,0 +1,98 @@
+"""Cross-level validation generator: abstract cost model vs micro machines.
+
+Mesh side: broadcast/semigroup round counts of real grid programs must
+track the model within a constant band, and shearsort must pay a widening
+log-factor over the Thompson–Kung bitonic totals.  Hypercube side: the
+micro machine's round counts must equal the model **exactly** (there is no
+geometry to abstract on the cube).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machines.machine import hypercube_machine, mesh_machine
+from ..machines.micro import MicroMesh, broadcast_micro, reduce_all, shearsort
+from ..machines.micro_cube import MicroHypercube, cube_bitonic_sort, cube_reduce
+from ..ops import bitonic_sort, broadcast, semigroup
+
+TITLE = "Cross-level validation: micro machines vs the cost model"
+
+SIZES = [64, 256, 1024]
+
+
+def micro_mesh_cost(program, n: int) -> float:
+    m = MicroMesh(n)
+    m.load("x", np.random.default_rng(0).uniform(size=n))
+    program(m)
+    return m.metrics.time
+
+
+def mesh_rows() -> list[list]:
+    rows = []
+    for n in SIZES:
+        micro_bc = micro_mesh_cost(lambda m: broadcast_micro(m, "x", 0, 0), n)
+        model = mesh_machine(n)
+        marked = np.zeros(n, dtype=bool)
+        marked[0] = True
+        broadcast(model, np.zeros(n), marked)
+        model_bc = model.metrics.time
+
+        micro_sg = micro_mesh_cost(
+            lambda m: reduce_all(m, "x", np.minimum, np.inf), n
+        )
+        model2 = mesh_machine(n)
+        semigroup(model2, np.zeros(n), np.minimum)
+        model_sg = model2.metrics.time
+
+        micro_ss = micro_mesh_cost(lambda m: shearsort(m, "x"), n)
+        model3 = mesh_machine(n)
+        bitonic_sort(model3, np.random.default_rng(1).uniform(size=n))
+        model_bs = model3.metrics.time
+        rows.append([
+            n,
+            f"{micro_bc:.0f}", f"{model_bc:.0f}", f"{micro_bc/model_bc:.2f}",
+            f"{micro_sg:.0f}", f"{model_sg:.0f}", f"{micro_sg/model_sg:.2f}",
+            f"{micro_ss:.0f}", f"{model_bs:.0f}", f"{micro_ss/model_bs:.1f}",
+        ])
+    return rows
+
+
+def cube_rows() -> list[list]:
+    rows = []
+    for n in SIZES:
+        data = np.random.default_rng(0).uniform(size=n)
+        micro = MicroHypercube(n)
+        micro.load("x", data)
+        cube_bitonic_sort(micro, "x")
+        model = hypercube_machine(n)
+        bitonic_sort(model, data)
+        micro2 = MicroHypercube(n)
+        micro2.load("x", data)
+        cube_reduce(micro2, "x", np.minimum)
+        model2 = hypercube_machine(n)
+        semigroup(model2, data, np.minimum)
+        rows.append([
+            n,
+            micro.metrics.comm_rounds, int(model.metrics.comm_rounds),
+            "exact" if micro.metrics.comm_rounds ==
+            model.metrics.comm_rounds else "MISMATCH",
+            micro2.metrics.comm_rounds, int(model2.metrics.comm_rounds),
+            "exact" if micro2.metrics.comm_rounds ==
+            model2.metrics.comm_rounds else "MISMATCH",
+        ])
+    return rows
+
+
+def tables() -> list[tuple]:
+    return [
+        ("Mesh: micro machine vs abstract cost model",
+         ["n", "bcast micro", "bcast model", "ratio",
+          "semigroup micro", "semigroup model", "ratio",
+          "shearsort micro", "bitonic model", "ratio (log-factor gap)"],
+         mesh_rows()),
+        ("Hypercube: micro machine vs abstract cost model (exactness)",
+         ["n", "sort rounds micro", "sort rounds model", "sort",
+          "reduce rounds micro", "reduce rounds model", "reduce"],
+         cube_rows()),
+    ]

@@ -1,0 +1,124 @@
+"""Tests for the serial / PRAM / brute-force baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import (
+    bounding_box_at,
+    closest_pair_at,
+    farthest_at,
+    farthest_pair_at,
+    fits_box_at,
+    hull_vertices_at,
+    nearest_at,
+    sampled_envelope,
+)
+from repro.baselines.pram import (
+    chandran_mount_steps,
+    crcw_round_cost,
+    pram_envelope,
+    simulation_cost,
+)
+from repro.baselines.serial import (
+    serial_closest_sequence,
+    serial_envelope,
+    serial_envelope_cost,
+    serial_work_units,
+)
+from repro.core.family import PolynomialFamily
+from repro.kinetics.motion import random_system, static_system
+from repro.kinetics.polynomial import Polynomial
+from repro.machines import hypercube_machine, mesh_machine
+
+FAM1 = PolynomialFamily(1)
+
+
+def rand_lines(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Polynomial(rng.uniform(-10, 10, 2)) for _ in range(n)]
+
+
+class TestSerialBaseline:
+    def test_serial_envelope_matches_engine(self):
+        fns = rand_lines(12, 3)
+        env = serial_envelope(fns, FAM1)
+        assert env.check_envelope_of(fns)
+
+    def test_cost_counted_envelope(self):
+        fns = rand_lines(16, 1)
+        env, cost = serial_envelope_cost(fns, FAM1)
+        assert env.check_envelope_of(fns)
+        assert cost > 16  # at least linear serial work
+
+    def test_serial_work_grows_superlinearly(self):
+        assert serial_work_units(128) > 2 * serial_work_units(32)
+
+    def test_serial_closest_sequence(self):
+        system = random_system(6, seed=2)
+        env = serial_closest_sequence(system)
+        j, d2 = nearest_at(system, 0, 5.0)
+        assert env(5.0) == pytest.approx(d2, rel=1e-6)
+
+
+class TestPramBaseline:
+    def test_pram_envelope_correct(self):
+        fns = rand_lines(16, 5)
+        env, steps = pram_envelope(fns, FAM1)
+        assert env.check_envelope_of(fns)
+        assert steps > 0
+
+    def test_pram_steps_polylog(self):
+        _, s64 = pram_envelope(rand_lines(64, 1), FAM1)
+        _, s512 = pram_envelope(rand_lines(512, 1), FAM1)
+        # log^2 growth: (9/6)^2 = 2.25; allow generous slack, reject linear.
+        assert s512 < 4 * s64
+
+    def test_chandran_mount_model(self):
+        assert chandran_mount_steps(1024) == pytest.approx(40.0)
+        assert chandran_mount_steps(1) == 4.0
+
+    def test_crcw_cost_mesh_vs_hypercube(self):
+        mesh_cost = crcw_round_cost(mesh_machine(256), 256)
+        cube_cost = crcw_round_cost(hypercube_machine(256), 256)
+        assert mesh_cost > cube_cost > 0
+
+    def test_section6_claim_native_beats_simulation(self):
+        """The paper's Section 6 comparison, at n = 1024, on both hosts."""
+        from repro.core.envelope import envelope
+        n = 1024
+        fns = rand_lines(n, 9)
+        for mk in (mesh_machine, hypercube_machine):
+            native = mk(n)
+            envelope(native, fns, FAM1)
+            sim_host = mk(n)
+            sim = simulation_cost(sim_host, n)
+            assert native.metrics.time < sim, mk.__name__
+
+
+class TestBruteOracles:
+    def test_sampled_envelope(self):
+        fns = [Polynomial([0.0, 1.0]), Polynomial([2.0])]
+        ts = np.array([0.0, 1.0, 3.0])
+        np.testing.assert_allclose(sampled_envelope(fns, ts), [0, 1, 2])
+
+    def test_pair_oracles_agree(self):
+        system = random_system(9, seed=7)
+        i, j, d2 = closest_pair_at(system, 2.0)
+        assert i < j
+        fi, fj, fd2 = farthest_pair_at(system, 2.0)
+        assert fd2 >= d2
+
+    def test_nearest_farthest(self):
+        system = static_system([[0, 0], [1, 0], [10, 0]])
+        assert nearest_at(system, 0, 0.0)[0] == 1
+        assert farthest_at(system, 0, 0.0)[0] == 2
+
+    def test_box_oracles(self):
+        system = static_system([[0, 0], [2, 3]])
+        np.testing.assert_allclose(bounding_box_at(system, 1.0), [2, 3])
+        assert fits_box_at(system, [2, 3], 1.0)
+        assert not fits_box_at(system, [1, 3], 1.0)
+
+    def test_hull_vertices(self):
+        system = static_system([[0, 0], [4, 0], [4, 4], [0, 4], [2, 2]])
+        assert hull_vertices_at(system, 0.0) == [0, 1, 2, 3]

@@ -1,0 +1,77 @@
+"""Tests for the event-driven kinetic baseline vs the envelope approach."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kinetic import (
+    kinetic_closest_pair_sequence,
+    kinetic_closest_sequence,
+)
+from repro.core.neighbors import closest_point_sequence
+from repro.core.pairs import closest_pair_sequence
+from repro.errors import DegenerateSystemError
+from repro.kinetics.motion import Motion, PointSystem, random_system
+
+
+def fused_labels(env):
+    """Envelope labels with consecutive duplicates collapsed (the kinetic
+    sweep reports takeovers only)."""
+    out = []
+    for lab in env.labels():
+        if not out or out[-1] != lab:
+            out.append(lab)
+    return out
+
+
+class TestKineticVsEnvelope:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_nearest_sequences_agree(self, seed, k):
+        system = random_system(7, d=2, k=k, seed=seed * 3 + k)
+        env = closest_point_sequence(None, system)
+        kin = kinetic_closest_sequence(system)
+        assert kin.labels == fused_labels(env)
+        # Breakpoints agree too.
+        env_times = [p.hi for p in env.pieces[:-1]]
+        assert len(kin.times) <= len(env_times)
+        for t_kin, t_env in zip(kin.times, env_times):
+            assert t_kin == pytest.approx(t_env, abs=1e-5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pair_sequences_agree(self, seed):
+        system = random_system(5, d=2, k=1, seed=seed + 40)
+        env = closest_pair_sequence(None, system)
+        kin = kinetic_closest_pair_sequence(system)
+        assert kin.labels == fused_labels(env)
+
+    def test_no_events_for_stable_system(self):
+        system = PointSystem([
+            Motion.linear([0.0, 0.0], [0.0, 0.0]),
+            Motion.linear([1.0, 0.0], [0.0, 0.0]),
+            Motion.linear([9.0, 0.0], [0.0, 0.0]),
+        ])
+        kin = kinetic_closest_sequence(system)
+        assert kin.labels == [1]
+        assert kin.events == 0
+
+    def test_event_and_work_accounting(self):
+        system = random_system(8, d=2, k=1, seed=5)
+        kin = kinetic_closest_sequence(system)
+        assert kin.events == len(kin.labels) - 1
+        # Theta(n) solves per interval.
+        assert kin.root_solves >= (len(system) - 2) * len(kin.labels)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(DegenerateSystemError):
+            kinetic_closest_sequence(
+                PointSystem([Motion.stationary([0.0, 0.0])])
+            )
+
+    def test_work_comparison_grows_with_events(self):
+        """The online sweep re-solves everything per event; the offline
+        envelope shares work across events — its advantage grows with the
+        number of pieces."""
+        lively = random_system(12, d=2, k=2, seed=8, scale=8.0)
+        kin = kinetic_closest_pair_sequence(lively)
+        pairs = len(lively) * (len(lively) - 1) // 2
+        assert kin.root_solves >= pairs  # at least one full certificate pass

@@ -1,0 +1,68 @@
+"""Tests for the all-points kinetic hull history."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import hull_vertices_at
+from repro.core.hull_membership import all_hull_membership_intervals
+from repro.core.steady import steady_hull
+from repro.kinetics.motion import random_system
+from repro.machines import hypercube_machine, mesh_machine
+
+
+def members_at(intervals_per_query, t):
+    return sorted(
+        q for q, ivs in enumerate(intervals_per_query)
+        if any(lo - 1e-9 <= t <= hi + 1e-9 for lo, hi in ivs)
+    )
+
+
+class TestAllMembership:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_instantaneous_hulls(self, seed):
+        system = random_system(6, d=2, k=1, seed=seed + 11, scale=5.0)
+        history = all_hull_membership_intervals(None, system)
+        ends = [e for ivs in history for iv in ivs for e in iv
+                if math.isfinite(e)]
+        for t in np.linspace(0.07, 25.0, 60):
+            if any(abs(t - e) < 0.05 for e in ends):
+                continue
+            assert members_at(history, t) == hull_vertices_at(system, t), \
+                f"t={t}"
+
+    def test_tail_matches_steady_hull(self):
+        from repro.kinetics.motion import divergent_system
+        system = divergent_system(7, d=2, seed=3)
+        history = all_hull_membership_intervals(None, system)
+        eventually = sorted(
+            q for q, ivs in enumerate(history)
+            if ivs and math.isinf(ivs[-1][1])
+        )
+        assert eventually == sorted(steady_hull(None, system))
+
+    def test_machine_charges_max_not_sum(self):
+        system = random_system(5, d=2, k=1, seed=9, scale=5.0)
+        whole = mesh_machine(1024)
+        all_hull_membership_intervals(whole, system)
+        single = mesh_machine(1024)
+        from repro.core.hull_membership import hull_membership_intervals
+        worst = 0.0
+        for q in range(len(system)):
+            m = mesh_machine(1024)
+            hull_membership_intervals(m, system, query=q)
+            worst = max(worst, m.metrics.time)
+        # Simultaneous instances: the whole history costs one (worst)
+        # instance, not n of them.
+        assert whole.metrics.time == pytest.approx(worst)
+
+    def test_hypercube_agrees_with_serial(self):
+        system = random_system(5, d=2, k=1, seed=21, scale=5.0)
+        serial = all_hull_membership_intervals(None, system)
+        machine = all_hull_membership_intervals(hypercube_machine(256),
+                                                system)
+        for a, b in zip(serial, machine):
+            assert len(a) == len(b)
+            for (l1, h1), (l2, h2) in zip(a, b):
+                assert l1 == pytest.approx(l2, abs=1e-6)

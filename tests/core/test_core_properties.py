@@ -1,0 +1,108 @@
+"""Deeper property-based coverage of the core algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    PolynomialFamily,
+    Polynomial,
+    certify_envelope,
+    closest_point_sequence,
+    envelope,
+    envelope_serial,
+    lambda_bound,
+    mesh_machine,
+    random_system,
+)
+from repro.kinetics.davenport_schinzel import lambda_exact
+
+# Quantised coefficients keep root finding well-conditioned.
+coeff = st.integers(-40, 40).map(lambda v: v / 4.0)
+cubic = st.lists(coeff, min_size=4, max_size=4)
+quadratic = st.lists(coeff, min_size=3, max_size=3)
+
+
+class TestEnvelopeDegreeThree:
+    """Theorem 3.2 beyond the bench workloads: s = 3 (cubics)."""
+
+    @given(st.lists(cubic, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_serial_cubic_envelopes_certify(self, rows):
+        fns = [Polynomial(r) for r in rows]
+        fam = PolynomialFamily(3)
+        env = envelope_serial(fns, fam)
+        assert certify_envelope(env, fns, tol=1e-4)
+
+    @given(st.lists(cubic, min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_machine_matches_serial_on_cubics(self, rows):
+        fns = [Polynomial(r) for r in rows]
+        fam = PolynomialFamily(3)
+        serial = envelope_serial(fns, fam)
+        machine = envelope(mesh_machine(64), fns, fam)
+        assert machine.labels() == serial.labels()
+
+    @given(st.lists(cubic, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_piece_count_within_lambda_bound(self, rows):
+        fns = [Polynomial(r) for r in rows]
+        env = envelope_serial(fns, PolynomialFamily(3))
+        assert len(env) <= lambda_bound(len(fns), 3)
+
+
+class TestTheorem41Bounds:
+    """The closest-point sequence respects its lambda(n-1, 2k) sizing."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_linear_motion_piece_bound(self, seed):
+        n, k = 9, 1
+        system = random_system(n, d=2, k=k, seed=seed)
+        env = closest_point_sequence(None, system)
+        # d^2 curves have degree 2k = 2: lambda(n-1, 2) = 2(n-1) - 1.
+        assert len(env) <= lambda_exact(n - 1, 2 * k)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_quadratic_motion_piece_bound(self, seed):
+        n, k = 7, 2
+        system = random_system(n, d=2, k=k, seed=seed + 30)
+        env = closest_point_sequence(None, system)
+        assert len(env) <= lambda_bound(n - 1, 2 * k)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sequence_certifies(self, seed):
+        system = random_system(6, d=2, k=1, seed=seed + 50)
+        env = closest_point_sequence(None, system)
+        fns = [system.distance_squared(0, j) for j in range(1, 6)]
+        assert certify_envelope(env, fns, tol=1e-4)
+
+
+class TestEnvelopeStructuralInvariants:
+    @given(st.lists(quadratic, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_total_inputs_give_total_envelope(self, rows):
+        fns = [Polynomial(r) for r in rows]
+        env = envelope_serial(fns, PolynomialFamily(2))
+        assert env[0].lo == 0.0
+        assert math.isinf(env[-1].hi)
+        for a, b in zip(env.pieces, env.pieces[1:]):
+            assert b.lo == pytest.approx(a.hi, abs=1e-7)
+
+    @given(st.lists(quadratic, min_size=2, max_size=8),
+           st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_invariant_under_input_rotation(self, rows, shift):
+        """The envelope is a set operation: input order is irrelevant."""
+        fns = [Polynomial(r) for r in rows]
+        fam = PolynomialFamily(2)
+        labels = list(range(len(fns)))
+        k = shift % len(fns)
+        rotated = fns[k:] + fns[:k]
+        rlabels = labels[k:] + labels[:k]
+        a = envelope_serial(fns, fam, labels=labels)
+        b = envelope_serial(rotated, fam, labels=rlabels)
+        for t in np.linspace(0.1, 20, 17):
+            assert a(t) == pytest.approx(b(t), abs=1e-7)

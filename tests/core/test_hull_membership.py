@@ -1,0 +1,199 @@
+"""Tests for Theorem 4.5 (hull membership) and the angle-curve family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hull_membership import (
+    AngleCurve,
+    AngleFamily,
+    angle_restrictions,
+    hull_membership_intervals,
+    is_extreme_at,
+)
+from repro.errors import DegenerateSystemError
+from repro.kinetics.motion import Motion, PointSystem, random_system
+from repro.kinetics.polynomial import Polynomial
+from repro.machines import hypercube_machine, mesh_machine
+
+
+def check_against_oracle(system, intervals, query=0, t_max=30.0, samples=240):
+    """Compare interval membership with the brute-force oracle, skipping
+    samples within a small guard band of interval endpoints."""
+    ends = [e for iv in intervals for e in iv if math.isfinite(e)]
+    for t in np.linspace(0.013, t_max, samples):
+        if any(abs(t - e) < 0.05 for e in ends):
+            continue
+        inside = any(lo - 1e-9 <= t <= hi + 1e-9 for lo, hi in intervals)
+        want = is_extreme_at(system, query, t)
+        assert inside == want, f"t={t}: algorithm={inside}, oracle={want}"
+
+
+class TestAngleCurve:
+    def test_value_matches_atan2(self):
+        c = AngleCurve(Polynomial([1.0, -1.0]), Polynomial([0.5]), 1)
+        for t in (0.0, 0.5, 2.0, 10.0):
+            assert c(t) == pytest.approx(math.atan2(0.5, 1.0 - t))
+
+    def test_equality_and_hash(self):
+        a = AngleCurve(Polynomial([1.0]), Polynomial([2.0]), 1)
+        b = AngleCurve(Polynomial([1.0]), Polynomial([2.0]), 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAngleFamily:
+    def test_crossings_require_same_orientation(self):
+        fam = AngleFamily(1)
+        # Vectors (1, t-1) and (-1, 1-t): always antiparallel.
+        f = AngleCurve(Polynomial([1.0]), Polynomial([-1.0, 1.0]), 1)
+        g = AngleCurve(Polynomial([-1.0]), Polynomial([1.0, -1.0]), 2)
+        assert fam.crossings(f, g, 0.0, math.inf) == []
+        assert len(fam.opposite_times(f, g, 0.0, math.inf)) == 0  # cross==0
+
+    def test_crossing_detected(self):
+        fam = AngleFamily(1)
+        # (1, t) and (1, 2t-1): parallel when t = 2t-1 -> t=1, same sense.
+        f = AngleCurve(Polynomial([1.0]), Polynomial([0.0, 1.0]), 1)
+        g = AngleCurve(Polynomial([1.0]), Polynomial([-1.0, 2.0]), 2)
+        roots = fam.crossings(f, g, 0.0, math.inf)
+        assert roots == [pytest.approx(1.0)]
+        assert f(1.0) == pytest.approx(g(1.0))
+
+    def test_opposite_times(self):
+        fam = AngleFamily(1)
+        # (1, 0) fixed and (1-t, 0)... use (1,0) vs (2-t, 0): parallel
+        # always; opposite when 2-t < 0.  cross==0 -> no isolated times.
+        f = AngleCurve(Polynomial([1.0]), Polynomial([0.0]), 1)
+        h = AngleCurve(Polynomial([1.0, -1.0]), Polynomial([0.0, 1.0]), 2)
+        # f=(1,0), h=(1-t, t): cross = t; dot = 1-t.  Parallel at t=0 only.
+        assert fam.opposite_times(f, h, 0.0, math.inf) == []
+        h2 = AngleCurve(Polynomial([-1.0, 1.0]), Polynomial([0.0, 0.0, 1.0]), 3)
+        # f=(1,0), h2=(t-1, t^2): cross = t^2, dot = t-1: parallel at t=0
+        # (boundary, excluded).  Construct a genuine opposite crossing:
+        h3 = AngleCurve(Polynomial([1.0, -1.0]), Polynomial([0.0]), 4)
+        # f=(1,0), h3=(1-t,0): cross=0 identically -> [].
+        assert fam.opposite_times(f, h3, 0.0, math.inf) == []
+
+    def test_same_for_parallel_same_sense(self):
+        fam = AngleFamily(1)
+        f = AngleCurve(Polynomial([1.0]), Polynomial([2.0]), 1)
+        g = AngleCurve(Polynomial([2.0]), Polynomial([4.0]), 2)
+        h = AngleCurve(Polynomial([-1.0]), Polynomial([-2.0]), 3)
+        assert fam.same(f, g)
+        assert not fam.same(f, h)
+
+
+class TestAngleRestrictions:
+    def test_partition_of_time(self):
+        system = random_system(5, d=2, k=1, seed=3)
+        gs, bs = angle_restrictions(system)
+        assert len(gs) == len(bs) == 4
+        # For each j, G and B partition [0, inf) up to boundary points.
+        for g, b in zip(gs, bs):
+            for t in np.linspace(0.1, 20.0, 50):
+                assert g.defined_at(t) != b.defined_at(t) or (
+                    g.defined_at(t) and not b.defined_at(t)
+                )
+
+    def test_g_nonnegative_b_negative(self):
+        system = random_system(5, d=2, k=1, seed=4)
+        gs, bs = angle_restrictions(system)
+        for g in gs:
+            for p in g.pieces:
+                assert p.fn(p.midpoint()) >= -1e-9
+        for b in bs:
+            for p in b.pieces:
+                assert p.fn(p.midpoint()) < 1e-9
+
+    def test_transition_count_bounded_by_k(self):
+        """Lemma 3.3 hypothesis: O(k) jumps + transitions per restriction."""
+        for seed in range(5):
+            system = random_system(6, d=2, k=2, seed=seed)
+            gs, bs = angle_restrictions(system)
+            for f in gs + bs:
+                # <= k roots of dy and <= k of dx -> at most 2k+1 pieces.
+                assert len(f.pieces) <= 5
+
+    def test_requires_planar(self):
+        with pytest.raises(DegenerateSystemError):
+            angle_restrictions(random_system(4, d=3, seed=0))
+
+    def test_requires_two_points(self):
+        with pytest.raises(DegenerateSystemError):
+            angle_restrictions(PointSystem([Motion.stationary([0.0, 0.0])]))
+
+
+class TestHullMembershipStatic:
+    """k=0 sanity: membership should be constant over time."""
+
+    def test_square_corner_is_extreme(self):
+        pts = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]
+        system = PointSystem([Motion.stationary(p) for p in pts])
+        intervals = hull_membership_intervals(None, system, query=0)
+        assert intervals == [(0.0, math.inf)]
+
+    def test_interior_point_never_extreme(self):
+        pts = [[0.5, 0.5], [0.0, 0.0], [2.0, 0.0], [1.0, 3.0]]
+        system = PointSystem([Motion.stationary(p) for p in pts])
+        intervals = hull_membership_intervals(None, system, query=0)
+        assert intervals == []
+
+    def test_two_points_always_extreme(self):
+        system = PointSystem([
+            Motion.linear([0.0, 0.0], [1.0, 2.0]),
+            Motion.linear([5.0, 1.0], [-1.0, 0.0]),
+        ])
+        intervals = hull_membership_intervals(None, system)
+        assert intervals == [(0.0, math.inf)]
+
+
+class TestHullMembershipDynamic:
+    def test_point_overtaken_by_swarm(self):
+        """A slow point starts outside the hull of a moving cluster, gets
+        enclosed as the cluster spreads past it."""
+        motions = [Motion.linear([0.0, 0.0], [0.0, 0.0])]  # the query: still
+        # A triangle that starts to the right and moves left around it.
+        motions += [
+            Motion.linear([5.0, 0.0], [-1.0, 0.0]),
+            Motion.linear([6.0, 3.0], [-1.0, 0.0]),
+            Motion.linear([6.0, -3.0], [-1.0, 0.0]),
+        ]
+        system = PointSystem(motions)
+        intervals = hull_membership_intervals(None, system, query=0)
+        check_against_oracle(system, intervals, t_max=20.0)
+        # The query starts extreme (left of the triangle), is swallowed when
+        # the triangle passes over it, and becomes extreme again after.
+        assert len(intervals) == 2
+        assert intervals[0][0] == pytest.approx(0.0)
+        assert math.isinf(intervals[-1][1])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_linear_motion_against_oracle(self, seed):
+        system = random_system(6, d=2, k=1, seed=seed, scale=5.0)
+        intervals = hull_membership_intervals(None, system, query=0)
+        check_against_oracle(system, intervals)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_quadratic_motion_against_oracle(self, seed):
+        system = random_system(5, d=2, k=2, seed=seed, scale=3.0)
+        intervals = hull_membership_intervals(None, system, query=0)
+        check_against_oracle(system, intervals, t_max=15.0)
+
+    def test_nonzero_query(self):
+        system = random_system(5, d=2, k=1, seed=10, scale=5.0)
+        intervals = hull_membership_intervals(None, system, query=2)
+        check_against_oracle(system, intervals, query=2)
+
+    def test_machine_agrees_with_serial(self):
+        system = random_system(6, d=2, k=1, seed=12, scale=5.0)
+        want = hull_membership_intervals(None, system)
+        for mk in (mesh_machine, hypercube_machine):
+            m = mk(256)
+            got = hull_membership_intervals(m, system)
+            assert len(got) == len(want)
+            for (a, b), (c, d) in zip(got, want):
+                assert a == pytest.approx(c, abs=1e-6)
+                if math.isfinite(b) or math.isfinite(d):
+                    assert b == pytest.approx(d, abs=1e-6)
+            assert m.metrics.time > 0

@@ -1,0 +1,126 @@
+"""Direct tests of the paper's counting lemmas and piece-bound claims."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    PolynomialFamily,
+    Polynomial,
+    combine_pairwise_serial,
+    envelope,
+    envelope_serial,
+    lambda_bound,
+    mesh_machine,
+    random_system,
+    threshold_indicator,
+)
+from repro.core.containment import enclosing_cube_edge_function
+from repro.kinetics.piecewise import INF, Piece, PiecewiseFunction
+
+coeff = st.integers(-30, 30).map(lambda v: v / 3.0)
+
+
+def random_piecewise(rng, n_pieces, degree, label):
+    cuts = np.sort(rng.uniform(0, 30, n_pieces - 1)) if n_pieces > 1 else []
+    bounds = [0.0, *cuts, INF]
+    pieces = []
+    for i, (a, b) in enumerate(zip(bounds, bounds[1:])):
+        pieces.append(Piece(a, b, Polynomial(rng.uniform(-9, 9, degree + 1)),
+                            (label, i)))
+    return PiecewiseFunction(pieces, validate=False)
+
+
+class TestLemma25:
+    """Pieces of f have at most m + n nondegenerate intersections with
+    pieces of g."""
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_count(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        f = random_piecewise(rng, m, 1, "f")
+        g = random_piecewise(rng, n, 1, "g")
+        count = sum(
+            1 for p in f.pieces for q in g.pieces if p.overlaps(q)
+        )
+        assert count <= m + n
+
+
+class TestLemma26:
+    """min{f, g} has at most p (s + 1) pieces, with p the number of
+    nondegenerate piece intersections."""
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 2),
+           st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_combined_piece_count(self, m, n, s, seed):
+        rng = np.random.default_rng(seed)
+        f = random_piecewise(rng, m, s, "f")
+        g = random_piecewise(rng, n, s, "g")
+        p = sum(1 for a in f.pieces for b in g.pieces if a.overlaps(b))
+        combined = combine_pairwise_serial(f, g, PolynomialFamily(s))
+        assert len(combined) <= p * (s + 1)
+
+    @given(st.integers(1, 4), st.integers(1, 2), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_indicator_bound(self, m, s, seed):
+        """Each input piece yields at most s + 1 indicator pieces."""
+        rng = np.random.default_rng(seed)
+        f = random_piecewise(rng, m, s, "f")
+        ind = threshold_indicator(f, PolynomialFamily(s), 0.0)
+        assert len(ind) <= m * (s + 1)
+
+
+class TestTheorem47PieceBound:
+    """D(t) has Theta(lambda(n, k)) pieces."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_edge_function_piece_count(self, seed):
+        n, k = 10, 1
+        system = random_system(n, d=2, k=k, seed=seed)
+        D = enclosing_cube_edge_function(None, system)
+        # Constant x lambda bound, with the constant from the Theta(1)
+        # combine stages (d = 2 here; Lemma 2.6 gives (k+1) per stage).
+        assert len(D) <= 4 * (k + 1) * lambda_bound(n, k)
+
+
+class TestBestCaseRemark:
+    """The remark after Theorem 3.4: when the envelope has far fewer than
+    lambda(n, k) pieces, the mesh construction runs faster — our adaptive
+    substring sizing realises this best case."""
+
+    def test_dominated_family_is_cheaper_than_lambda_attaining(self):
+        n = 256
+        rng = np.random.default_rng(0)
+        # Worst case: tangent lines attain lambda(n, 1) = n pieces at every
+        # level of the recursion.
+        from repro.report.figures import tangent_lines
+        worst = tangent_lines(n)
+        # Best case: one globally dominant (lowest) line, everything else
+        # far above it: the envelope has exactly 1 piece.
+        dominated = [Polynomial([-1e9, -1.0])] + [
+            Polynomial(rng.uniform(10, 20, 2)) for _ in range(n - 1)
+        ]
+        fam = PolynomialFamily(1)
+        m1, m2 = mesh_machine(1024), mesh_machine(1024)
+        env_w = envelope(m1, worst, fam)
+        env_d = envelope(m2, dominated, fam)
+        assert len(env_w) == n and len(env_d) == 1
+        # The adaptive substring sizing turns small envelopes into small
+        # machines: a >2x measured separation at n = 256.
+        assert m2.metrics.time < 0.5 * m1.metrics.time
+
+    def test_machine_and_serial_agree_in_best_case(self):
+        n = 64
+        rng = np.random.default_rng(1)
+        dominated = [Polynomial([-1e5, -2.0])] + [
+            Polynomial(rng.uniform(5, 15, 2)) for _ in range(n - 1)
+        ]
+        fam = PolynomialFamily(1)
+        a = envelope(mesh_machine(256), dominated, fam)
+        b = envelope_serial(dominated, fam)
+        assert a.labels() == b.labels() == [0]

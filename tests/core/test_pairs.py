@@ -1,0 +1,74 @@
+"""Tests for repro.core.pairs — the Section 6 pair-sequence extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import closest_pair_at, farthest_pair_at
+from repro.core.pairs import closest_pair_sequence, farthest_pair_sequence
+from repro.errors import DegenerateSystemError
+from repro.kinetics.motion import Motion, PointSystem, random_system
+from repro.machines import hypercube_machine, mesh_machine
+
+
+class TestClosestPairSequence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_over_time(self, seed):
+        system = random_system(6, d=2, k=1, seed=seed)
+        env = closest_pair_sequence(None, system)
+        for t in np.linspace(0.01, 25.0, 50):
+            _, _, want = closest_pair_at(system, t)
+            assert env(t) == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+    def test_labels_are_pairs(self):
+        system = random_system(5, d=2, k=1, seed=9)
+        env = closest_pair_sequence(None, system)
+        for i, j in env.labels():
+            assert 0 <= i < j < 5
+
+    def test_two_body_system(self):
+        system = PointSystem([
+            Motion.linear([0.0, 0.0], [1.0, 0.0]),
+            Motion.linear([5.0, 0.0], [0.0, 1.0]),
+        ])
+        env = closest_pair_sequence(None, system)
+        assert env.labels() == [(0, 1)]
+
+    def test_machine_agrees(self):
+        system = random_system(5, d=2, k=1, seed=2)
+        want = closest_pair_sequence(None, system)
+        for mk in (mesh_machine, hypercube_machine):
+            m = mk(64)
+            got = closest_pair_sequence(m, system)
+            assert got.labels() == want.labels()
+            assert m.metrics.time > 0
+
+    def test_single_point_rejected(self):
+        with pytest.raises(DegenerateSystemError):
+            closest_pair_sequence(None,
+                                  PointSystem([Motion.stationary([0.0, 0.0])]))
+
+
+class TestFarthestPairSequence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force(self, seed):
+        system = random_system(6, d=2, k=1, seed=seed + 10)
+        env = farthest_pair_sequence(None, system)
+        for t in np.linspace(0.01, 25.0, 50):
+            _, _, want = farthest_pair_at(system, t)
+            assert env(t) == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+    def test_diameter_pair_sequence_is_chronological(self):
+        system = random_system(7, d=2, k=1, seed=4)
+        env = farthest_pair_sequence(None, system)
+        for a, b in zip(env.pieces, env.pieces[1:]):
+            assert a.hi == pytest.approx(b.lo, abs=1e-6)
+
+    def test_steady_agreement_with_section5(self):
+        """The last label of the farthest-pair sequence must equal the
+        steady-state farthest pair of Corollary 5.7."""
+        from repro.core.steady import steady_farthest_pair
+        from repro.kinetics.motion import divergent_system
+        system = divergent_system(6, d=2, seed=8)
+        env = farthest_pair_sequence(None, system)
+        sp = tuple(sorted(steady_farthest_pair(None, system)))
+        assert tuple(sorted(env.labels()[-1])) == sp

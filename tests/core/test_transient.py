@@ -1,0 +1,255 @@
+"""Tests for Theorems 4.1, 4.2, 4.6–4.8 (neighbors, collision, containment)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.collision import collides, collision_times, collision_times_with
+from repro.core.containment import (
+    containment_intervals,
+    coordinate_extent_functions,
+    enclosing_cube_edge_function,
+    smallest_enclosing_cube_ever,
+)
+from repro.core.neighbors import closest_point_sequence, farthest_point_sequence
+from repro.errors import DegenerateSystemError, OperationContractError
+from repro.kinetics.motion import (
+    Motion,
+    PointSystem,
+    converging_swarm,
+    crossing_traffic,
+    random_system,
+)
+from repro.machines import hypercube_machine, mesh_machine
+
+
+def brute_nearest(system, query, t):
+    pos = system.positions(t)
+    d = np.linalg.norm(pos - pos[query], axis=1)
+    d[query] = np.inf
+    return float(d.min() ** 2)
+
+
+def brute_farthest(system, query, t):
+    pos = system.positions(t)
+    d = np.linalg.norm(pos - pos[query], axis=1)
+    d[query] = -np.inf
+    return float(d.max() ** 2)
+
+
+class TestClosestPointSequence:
+    @pytest.mark.parametrize("n,k", [(4, 1), (8, 1), (6, 2)])
+    def test_serial_matches_brute_force(self, n, k):
+        system = random_system(n, d=2, k=k, seed=n * 7 + k)
+        env = closest_point_sequence(None, system)
+        for t in np.linspace(0.01, 30.0, 60):
+            assert env(t) == pytest.approx(brute_nearest(system, 0, t),
+                                           rel=1e-6, abs=1e-6)
+
+    def test_machine_matches_serial(self):
+        system = random_system(8, d=2, k=1, seed=5)
+        serial = closest_point_sequence(None, system)
+        for mk in (mesh_machine, hypercube_machine):
+            m = mk(64)
+            got = closest_point_sequence(m, system)
+            assert got.labels() == serial.labels()
+            assert m.metrics.time > 0
+
+    def test_sequence_is_chronological(self):
+        system = random_system(10, d=2, k=1, seed=1)
+        env = closest_point_sequence(None, system)
+        for a, b in zip(env.pieces, env.pieces[1:]):
+            assert a.hi == pytest.approx(b.lo, abs=1e-6)
+
+    def test_first_and_last_members(self):
+        """First member of R: nearest at t=0; last: nearest as t -> inf."""
+        system = random_system(6, d=2, k=1, seed=9)
+        env = closest_point_sequence(None, system)
+        pos0 = system.positions(0.0)
+        d0 = np.linalg.norm(pos0 - pos0[0], axis=1)
+        d0[0] = np.inf
+        assert env[0].label == int(np.argmin(d0))
+        t_far = system.horizon() * 3
+        posF = system.positions(t_far)
+        dF = np.linalg.norm(posF - posF[0], axis=1)
+        dF[0] = np.inf
+        assert env[-1].label == int(np.argmin(dF))
+
+    def test_farthest_sequence(self):
+        system = random_system(7, d=2, k=1, seed=3)
+        env = farthest_point_sequence(None, system)
+        for t in np.linspace(0.01, 20.0, 40):
+            assert env(t) == pytest.approx(brute_farthest(system, 0, t),
+                                           rel=1e-6, abs=1e-6)
+
+    def test_nonzero_query_index(self):
+        system = random_system(5, d=2, k=1, seed=4)
+        env = closest_point_sequence(None, system, query=3)
+        for t in (0.5, 5.0, 15.0):
+            assert env(t) == pytest.approx(brute_nearest(system, 3, t),
+                                           rel=1e-6)
+        assert 3 not in env.labels()
+
+    def test_three_dimensional(self):
+        system = random_system(6, d=3, k=1, seed=8)
+        env = closest_point_sequence(None, system)
+        for t in (1.0, 10.0):
+            assert env(t) == pytest.approx(brute_nearest(system, 0, t),
+                                           rel=1e-6)
+
+    def test_single_point_rejected(self):
+        system = PointSystem([Motion.stationary([0.0, 0.0])])
+        with pytest.raises(DegenerateSystemError):
+            closest_point_sequence(None, system)
+
+    def test_bad_query_rejected(self):
+        system = random_system(3, seed=0)
+        with pytest.raises(DegenerateSystemError):
+            closest_point_sequence(None, system, query=7)
+
+
+class TestCollision:
+    def test_crossing_traffic_known_answer(self):
+        system = crossing_traffic(8, seed=0)
+        times = collision_times(None, system)
+        # Odd indices 1,3,5,7 collide with point 0 at t = 1,3,5,7.
+        np.testing.assert_allclose(times, [1.0, 3.0, 5.0, 7.0], atol=1e-6)
+
+    def test_machine_matches_serial(self):
+        system = crossing_traffic(10, seed=1)
+        want = collision_times(None, system)
+        for mk in (mesh_machine, hypercube_machine):
+            m = mk(16)
+            got = collision_times(m, system)
+            np.testing.assert_allclose(got, want, atol=1e-6)
+            assert m.metrics.time > 0
+
+    def test_no_collisions(self):
+        system = PointSystem([
+            Motion.linear([0.0, 0.0], [1.0, 0.0]),
+            Motion.linear([0.0, 5.0], [1.0, 0.0]),
+        ])
+        assert collision_times(None, system).size == 0
+        assert not collides(system, 0, 1)
+
+    def test_collides_predicate(self):
+        system = crossing_traffic(4, seed=0)
+        assert collides(system, 0, 1)
+        assert not collides(system, 0, 2)
+
+    def test_events_identify_partners(self):
+        system = crossing_traffic(6, seed=0)
+        events = collision_times_with(system)
+        assert [j for _, j in events] == [1, 3, 5]
+
+    def test_head_on_collision_degree_two(self):
+        """Quadratic motion: thrown balls meeting at a computed instant."""
+        a = Motion.from_arrays([[0.0, 1.0], [0.0, 4.0, -1.0]])
+        b = Motion.from_arrays([[4.0, -1.0], [0.0, 4.0, -1.0]])
+        system = PointSystem([a, b])
+        times = collision_times(None, system)
+        np.testing.assert_allclose(times, [2.0], atol=1e-6)
+
+
+class TestContainment:
+    def brute_spread(self, system, t):
+        pos = system.positions(t)
+        return pos.max(axis=0) - pos.min(axis=0)
+
+    def test_spread_functions_match_brute(self):
+        system = random_system(8, d=2, k=1, seed=2)
+        spreads = coordinate_extent_functions(None, system)
+        for t in np.linspace(0.01, 20.0, 30):
+            want = self.brute_spread(system, t)
+            for axis in range(2):
+                assert spreads[axis](t) == pytest.approx(want[axis], rel=1e-6,
+                                                         abs=1e-6)
+
+    def test_containment_intervals_converging(self):
+        system = converging_swarm(8, seed=3)
+        box = [30.0, 30.0]
+        intervals = containment_intervals(None, system, box)
+        assert intervals, "converging swarm must fit eventually"
+        spreads = coordinate_extent_functions(None, system)
+
+        def fits(t):
+            return all(s(t) <= b + 1e-6 for s, b in zip(spreads, box))
+
+        for lo, hi in intervals:
+            mid = lo + 1.0 if math.isinf(hi) else 0.5 * (lo + hi)
+            assert fits(mid)
+        # Sample outside the intervals: must not fit.
+        for t in np.linspace(0.01, 30.0, 70):
+            inside = any(lo - 1e-6 <= t <= hi + 1e-6 for lo, hi in intervals)
+            if not inside:
+                assert not fits(t)
+
+    def test_machine_agrees(self):
+        system = converging_swarm(6, seed=1)
+        want = containment_intervals(None, system, [25.0, 25.0])
+        m = mesh_machine(64)
+        got = containment_intervals(m, system, [25.0, 25.0])
+        assert len(got) == len(want)
+        for (a, b), (c, d) in zip(got, want):
+            assert a == pytest.approx(c, abs=1e-6)
+        assert m.metrics.time > 0
+
+    def test_box_dimension_mismatch(self):
+        system = random_system(4, d=2, seed=0)
+        with pytest.raises(DegenerateSystemError):
+            containment_intervals(None, system, [1.0, 2.0, 3.0])
+
+    def test_negative_box_rejected(self):
+        system = random_system(4, d=2, seed=0)
+        with pytest.raises(OperationContractError):
+            containment_intervals(None, system, [1.0, -2.0])
+
+    def test_huge_box_always_fits(self):
+        system = random_system(5, d=2, k=0, seed=6)  # static points
+        intervals = containment_intervals(None, system, [1e9, 1e9])
+        assert len(intervals) == 1
+        assert intervals[0][0] == pytest.approx(0.0)
+        assert math.isinf(intervals[0][1])
+
+
+class TestEnclosingCube:
+    def test_edge_function_matches_brute(self):
+        system = random_system(7, d=2, k=1, seed=4)
+        D = enclosing_cube_edge_function(None, system)
+        for t in np.linspace(0.01, 25.0, 40):
+            pos = system.positions(t)
+            want = float((pos.max(0) - pos.min(0)).max())
+            assert D(t) == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+    def test_smallest_ever_converging(self):
+        system = converging_swarm(8, seed=5)
+        d_min, t_min = smallest_enclosing_cube_ever(None, system)
+        D = enclosing_cube_edge_function(None, system)
+        assert d_min == pytest.approx(D(t_min), rel=1e-6, abs=1e-8)
+        # Minimum is a global lower bound along a dense sample.
+        for t in np.linspace(0.0, 40.0, 120):
+            assert d_min <= D(t) + 1e-6
+
+    def test_smallest_ever_interior_minimum(self):
+        """The converging swarm's minimum happens strictly after t=0."""
+        system = converging_swarm(10, seed=8)
+        _, t_min = smallest_enclosing_cube_ever(None, system)
+        assert t_min > 0.1
+
+    def test_machine_agrees_and_charges(self):
+        system = converging_swarm(6, seed=2)
+        want = smallest_enclosing_cube_ever(None, system)
+        m = hypercube_machine(64)
+        got = smallest_enclosing_cube_ever(m, system)
+        assert got[0] == pytest.approx(want[0], rel=1e-9)
+        assert got[1] == pytest.approx(want[1], rel=1e-9)
+        assert m.metrics.time > 0
+
+    def test_three_dimensions(self):
+        system = random_system(5, d=3, k=1, seed=11)
+        D = enclosing_cube_edge_function(None, system)
+        for t in (0.5, 5.0, 12.0):
+            pos = system.positions(t)
+            want = float((pos.max(0) - pos.min(0)).max())
+            assert D(t) == pytest.approx(want, rel=1e-6)

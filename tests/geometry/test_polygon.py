@@ -1,0 +1,100 @@
+"""Tests for the convex-polygon utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.steady.reduction import SteadyValue
+from repro.errors import DegenerateSystemError
+from repro.geometry.polygon import (
+    is_ccw_convex,
+    signed_area2,
+    support_vertex,
+    width_squared_along,
+)
+from repro.kinetics.polynomial import Polynomial
+
+SQUARE = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]
+
+
+class TestSignedArea:
+    def test_square(self):
+        assert signed_area2(SQUARE) == pytest.approx(8.0)  # 2 * area
+
+    def test_cw_is_negative(self):
+        assert signed_area2(SQUARE[::-1]) == pytest.approx(-8.0)
+
+    def test_triangle(self):
+        tri = [(0.0, 0.0), (4.0, 0.0), (0.0, 3.0)]
+        assert signed_area2(tri) == pytest.approx(12.0)
+
+    def test_needs_three(self):
+        with pytest.raises(DegenerateSystemError):
+            signed_area2([(0, 0), (1, 1)])
+
+    def test_steady_value_coordinates(self):
+        def sv(*c):
+            return SteadyValue(Polynomial(list(c)))
+        poly = [(sv(0.0), sv(0.0)), (sv(0.0, 1.0), sv(0.0)),
+                (sv(0.0), sv(0.0, 1.0))]
+        area = signed_area2(poly)
+        # Area grows like t^2 / 2 * 2 = t^2 -> positive at infinity.
+        assert area.sign() > 0
+
+
+class TestConvexity:
+    def test_square_ccw(self):
+        assert is_ccw_convex(SQUARE)
+        assert not is_ccw_convex(SQUARE[::-1])
+
+    def test_reflex_rejected(self):
+        poly = [(0, 0), (4, 0), (2, 1), (2, 4)]  # dent at (2, 1)
+        assert not is_ccw_convex(poly)
+
+    def test_collinear_strictness(self):
+        poly = [(0, 0), (1, 0), (2, 0), (2, 2), (0, 2)]
+        assert not is_ccw_convex(poly, strict=True)
+        assert is_ccw_convex(poly, strict=False)
+
+    def test_hull_output_is_convex(self):
+        from repro.geometry import convex_hull
+        pts = [tuple(p) for p in
+               np.random.default_rng(0).uniform(-10, 10, (30, 2))]
+        hull = convex_hull(pts)
+        assert is_ccw_convex([pts[i] for i in hull])
+
+
+class TestSupport:
+    def test_square_directions(self):
+        assert support_vertex(SQUARE, (1.0, 0.0)) in (1, 2)   # right side
+        assert support_vertex(SQUARE, (0.0, 1.0)) in (2, 3)   # top
+        assert support_vertex(SQUARE, (-1.0, -1.0)) == 0      # bottom-left
+
+    def test_empty_rejected(self):
+        with pytest.raises(DegenerateSystemError):
+            support_vertex([], (1.0, 0.0))
+
+    def test_matches_numpy_argmax(self):
+        rng = np.random.default_rng(4)
+        pts = [tuple(p) for p in rng.uniform(-5, 5, (12, 2))]
+        for _ in range(10):
+            d = rng.normal(size=2)
+            i = support_vertex(pts, tuple(d))
+            projs = np.array(pts) @ d
+            assert projs[i] == pytest.approx(projs.max())
+
+
+class TestWidth:
+    def test_square_axis_widths(self):
+        # direction (1,0): span 2, squared 4 (unnormalised |d|=1).
+        assert width_squared_along(SQUARE, (1.0, 0.0)) == pytest.approx(4.0)
+        # direction (1,1): projections 0..4 -> 16; |d|^2 = 2 -> width^2 = 8.
+        assert width_squared_along(SQUARE, (1.0, 1.0)) == pytest.approx(16.0)
+
+    def test_degenerate_direction(self):
+        assert width_squared_along(SQUARE, (0.0, 0.0)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DegenerateSystemError):
+            width_squared_along([], (1.0, 0.0))

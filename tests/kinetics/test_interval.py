@@ -1,0 +1,115 @@
+"""Tests for interval arithmetic and certified envelope verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import envelope, envelope_serial
+from repro.core.family import PolynomialFamily
+from repro.kinetics.interval import Interval, certify_envelope, poly_range
+from repro.kinetics.piecewise import INF, Piece, PiecewiseFunction
+from repro.kinetics.polynomial import Polynomial
+from repro.machines import mesh_machine
+
+
+class TestInterval:
+    def test_construction_and_contains(self):
+        iv = Interval(1.0, 3.0)
+        assert 2.0 in iv and 0.5 not in iv
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_arithmetic_encloses(self):
+        a, b = Interval(1.0, 2.0), Interval(-1.0, 3.0)
+        s = a + b
+        assert s.lo <= 0.0 and s.hi >= 5.0
+        d = a - b
+        assert d.lo <= -2.0 and d.hi >= 3.0
+        m = a * b
+        assert m.lo <= -2.0 and m.hi >= 6.0
+
+    @given(st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5),
+           st.floats(-5, 5), st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=80)
+    def test_property_mul_encloses_samples(self, a, b, c, d, u, v):
+        lo1, hi1 = min(a, b), max(a, b)
+        lo2, hi2 = min(c, d), max(c, d)
+        x = lo1 + u * (hi1 - lo1)
+        y = lo2 + v * (hi2 - lo2)
+        prod = Interval(lo1, hi1) * Interval(lo2, hi2)
+        assert prod.lo - 1e-9 <= x * y <= prod.hi + 1e-9
+
+
+class TestPolyRange:
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=4),
+           st.floats(0, 10), st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100)
+    def test_range_encloses_point_evaluations(self, cs, lo, w, u):
+        p = Polynomial(cs)
+        hi = lo + w
+        t = lo + u * w
+        rng = poly_range(p, Interval(lo, hi))
+        assert rng.lo - 1e-6 <= p(t) <= rng.hi + 1e-6
+
+    def test_tightness_on_linear(self):
+        p = Polynomial([1.0, 2.0])  # 1 + 2t
+        rng = poly_range(p, Interval(0.0, 1.0))
+        assert rng.lo == pytest.approx(1.0, abs=1e-9)
+        assert rng.hi == pytest.approx(3.0, abs=1e-9)
+
+
+class TestCertifyEnvelope:
+    def rand_fns(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        return [Polynomial(rng.uniform(-10, 10, k + 1)) for _ in range(n)]
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (8, 1), (6, 2)])
+    def test_certifies_true_envelopes(self, n, k):
+        fns = self.rand_fns(n, k, seed=n + k)
+        env = envelope_serial(fns, PolynomialFamily(k))
+        assert certify_envelope(env, fns)
+
+    def test_certifies_machine_envelope(self):
+        fns = self.rand_fns(10, 2, seed=9)
+        env = envelope(mesh_machine(64), fns, PolynomialFamily(2))
+        assert certify_envelope(env, fns)
+
+    def test_certifies_max_envelope(self):
+        fns = self.rand_fns(6, 1, seed=1)
+        env = envelope_serial(fns, PolynomialFamily(1), op="max")
+        assert certify_envelope(env, fns, op="max")
+
+    def test_rejects_wrong_envelope(self):
+        f = Polynomial([0.0, 1.0])   # t
+        g = Polynomial([2.0])        # 2 (smaller for t > 2)
+        bogus = PiecewiseFunction([Piece(0.0, INF, f, 0)])
+        assert not certify_envelope(bogus, [f, g])
+
+    def test_rejects_subtle_violation(self):
+        """A piece that is correct except on a thin interior window."""
+        f = Polynomial([0.0, 1.0])        # t
+        dip = Polynomial.from_roots([4.9, 5.1]) * 100.0 + Polynomial([0.0, 1.0])
+        # dip < f only within (4.9, 5.1); claiming f is the min is wrong
+        # there but right elsewhere — sampling could miss it.
+        bogus = PiecewiseFunction([Piece(0.0, INF, f, 0)])
+        assert not certify_envelope(bogus, [f, dip], horizon=20.0)
+
+    def test_rejects_bad_op(self):
+        env = PiecewiseFunction.total(Polynomial([1.0]), 0)
+        with pytest.raises(ValueError):
+            certify_envelope(env, [Polynomial([1.0])], op="median")
+
+    def test_rejects_non_polynomial_pieces(self):
+        env = PiecewiseFunction.total(lambda t: t, 0)
+        with pytest.raises(TypeError):
+            certify_envelope(env, [Polynomial([1.0])])
+
+    @given(st.lists(st.lists(st.integers(-20, 20).map(float),
+                             min_size=2, max_size=3),
+                    min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_serial_envelopes_certify(self, rows):
+        fns = [Polynomial(r) for r in rows]
+        env = envelope_serial(fns, PolynomialFamily(2))
+        assert certify_envelope(env, fns, tol=1e-5)

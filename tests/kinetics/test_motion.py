@@ -1,0 +1,149 @@
+"""Unit tests for repro.kinetics.motion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DegenerateSystemError
+from repro.kinetics.motion import (
+    Motion,
+    PointSystem,
+    converging_swarm,
+    crossing_traffic,
+    divergent_system,
+    expanding_swarm,
+    random_system,
+    static_system,
+)
+from repro.kinetics.polynomial import Polynomial
+
+
+class TestMotion:
+    def test_linear(self):
+        m = Motion.linear([1.0, 2.0], [3.0, -1.0])
+        np.testing.assert_allclose(m(0.0), [1.0, 2.0])
+        np.testing.assert_allclose(m(2.0), [7.0, 0.0])
+        assert m.degree == 1
+        assert m.dimension == 2
+
+    def test_stationary(self):
+        m = Motion.stationary([4.0, 5.0, 6.0])
+        np.testing.assert_allclose(m(99.0), [4.0, 5.0, 6.0])
+        assert m.degree == 0
+
+    def test_from_arrays(self):
+        m = Motion.from_arrays([[0.0, 0.0, 1.0], [1.0]])  # (t^2, 1)
+        np.testing.assert_allclose(m(3.0), [9.0, 1.0])
+        assert m.degree == 2
+
+    def test_getitem_returns_coordinate_polynomial(self):
+        m = Motion.linear([1.0], [2.0])
+        assert isinstance(m[0], Polynomial)
+        assert m[0](1.0) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpoly(self):
+        with pytest.raises(ValueError):
+            Motion([])
+        with pytest.raises(TypeError):
+            Motion([1.0, 2.0])
+
+    def test_linear_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Motion.linear([0.0], [1.0, 2.0])
+
+    def test_eq_hash(self):
+        a = Motion.linear([0.0, 0.0], [1.0, 1.0])
+        b = Motion.linear([0.0, 0.0], [1.0, 1.0])
+        assert a == b and hash(a) == hash(b)
+
+    def test_distance_squared_degree(self):
+        a = Motion.linear([0.0, 0.0], [1.0, 0.0])
+        b = Motion.linear([1.0, 1.0], [0.0, 1.0])
+        d2 = a.distance_squared(b)
+        assert d2.degree <= 2
+        for t in (0.0, 0.5, 2.0):
+            expected = np.sum((a(t) - b(t)) ** 2)
+            assert d2(t) == pytest.approx(expected)
+
+    def test_distance_squared_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Motion.stationary([0.0]).distance_squared(Motion.stationary([0.0, 0.0]))
+
+
+class TestPointSystem:
+    def test_validates_distinct_starts(self):
+        with pytest.raises(DegenerateSystemError):
+            PointSystem([
+                Motion.linear([0.0, 0.0], [1.0, 0.0]),
+                Motion.linear([0.0, 0.0], [0.0, 1.0]),
+            ])
+
+    def test_validates_dimensions(self):
+        with pytest.raises(DegenerateSystemError):
+            PointSystem([Motion.stationary([0.0]), Motion.stationary([1.0, 1.0])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DegenerateSystemError):
+            PointSystem([])
+
+    def test_positions_shape(self):
+        sys = random_system(5, d=3, k=2, seed=1)
+        assert sys.positions(1.5).shape == (5, 3)
+        assert len(sys) == 5
+        assert sys.dimension == 3
+        assert sys.k <= 2
+
+    def test_distance_squared(self):
+        sys = static_system([[0.0, 0.0], [3.0, 4.0]])
+        assert sys.distance_squared(0, 1)(0.0) == pytest.approx(25.0)
+
+    def test_horizon_is_finite_positive(self):
+        sys = random_system(4, k=2, seed=3)
+        assert sys.horizon() > 0
+
+
+class TestWorkloads:
+    def test_random_system_reproducible(self):
+        a = random_system(6, seed=42)
+        b = random_system(6, seed=42)
+        np.testing.assert_allclose(a.positions(1.0), b.positions(1.0))
+
+    def test_crossing_traffic_collisions(self):
+        sys = crossing_traffic(6, seed=0)
+        # Odd-indexed aircraft meet aircraft 0 at t = their index.
+        for i in (1, 3, 5):
+            d2 = sys.distance_squared(0, i)
+            assert d2(float(i)) == pytest.approx(0.0, abs=1e-9)
+        # Even-indexed never collide with 0.
+        for i in (2, 4):
+            d2 = sys.distance_squared(0, i)
+            assert all(d2(t) > 1.0 for t in np.linspace(0, 20, 50))
+
+    def test_crossing_traffic_needs_two(self):
+        with pytest.raises(ValueError):
+            crossing_traffic(1)
+
+    def test_converging_swarm_shrinks(self):
+        sys = converging_swarm(10, seed=7)
+        def box_size(t):
+            pos = sys.positions(t)
+            return float(np.max(pos.max(0) - pos.min(0)))
+        assert box_size(8.0) < box_size(0.0)
+
+    def test_expanding_swarm_grows(self):
+        sys = expanding_swarm(8, seed=7)
+        p0 = sys.positions(0.0)
+        p5 = sys.positions(5.0)
+        assert np.linalg.norm(p5, axis=1).min() > np.linalg.norm(p0, axis=1).min()
+
+    def test_divergent_system_separates(self):
+        sys = divergent_system(5, seed=2)
+        t = sys.horizon()
+        pos = sys.positions(t)
+        d = np.linalg.norm(pos[:, None] - pos[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 1.0
+
+    def test_static_system(self):
+        sys = static_system([[0, 0], [1, 1], [2, 0]])
+        assert sys.k == 0
+        np.testing.assert_allclose(sys.positions(5.0), sys.positions(0.0))

@@ -1,0 +1,142 @@
+"""Unit tests for repro.kinetics.piecewise."""
+
+import math
+
+import pytest
+
+from repro.kinetics.piecewise import INF, Piece, PiecewiseFunction
+from repro.kinetics.polynomial import Polynomial
+
+
+def const(v):
+    return Polynomial.constant(v)
+
+
+class TestPiece:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Piece(2.0, 1.0, const(0))
+
+    def test_degenerate(self):
+        assert Piece(1.0, 1.0, const(0)).is_degenerate()
+        assert not Piece(1.0, 2.0, const(0)).is_degenerate()
+
+    def test_midpoint_finite_and_infinite(self):
+        assert Piece(1.0, 3.0, const(0)).midpoint() == 2.0
+        assert Piece(5.0, INF, const(0)).midpoint() == 6.0
+
+    def test_call_evaluates_fn(self):
+        p = Piece(0.0, 1.0, Polynomial([0.0, 2.0]))
+        assert p(0.5) == pytest.approx(1.0)
+
+    def test_overlaps(self):
+        a = Piece(0.0, 2.0, const(0))
+        b = Piece(1.0, 3.0, const(0))
+        c = Piece(2.0, 3.0, const(0))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching = degenerate intersection
+
+    def test_clipped(self):
+        p = Piece(0.0, 10.0, const(1), label="x")
+        q = p.clipped(2.0, 4.0)
+        assert q.interval == (2.0, 4.0)
+        assert q.label == "x"
+
+
+class TestPiecewiseFunction:
+    def make(self):
+        return PiecewiseFunction([
+            Piece(0.0, 1.0, const(1.0), "a"),
+            Piece(1.0, 4.0, const(2.0), "b"),
+            Piece(6.0, INF, const(3.0), "c"),
+        ])
+
+    def test_validates_ordering(self):
+        with pytest.raises(ValueError):
+            PiecewiseFunction([
+                Piece(0.0, 3.0, const(0)),
+                Piece(1.0, 2.0, const(1)),
+            ])
+
+    def test_total_and_empty(self):
+        f = PiecewiseFunction.total(const(5.0), label="only")
+        assert len(f) == 1
+        assert f(123.0) == 5.0
+        assert len(PiecewiseFunction.empty()) == 0
+
+    def test_evaluation_and_gaps(self):
+        f = self.make()
+        assert f(0.5) == 1.0
+        assert f(2.0) == 2.0
+        assert f(100.0) == 3.0
+        assert not f.defined_at(5.0)
+        with pytest.raises(ValueError):
+            f(5.0)
+
+    def test_piece_at_boundaries(self):
+        f = self.make()
+        assert f.piece_at(0.0).label == "a"
+        assert f.piece_at(4.0).label == "b"
+        assert f.piece_at(6.0).label == "c"
+
+    def test_labels_in_order(self):
+        assert self.make().labels() == ["a", "b", "c"]
+
+    def test_breakpoints(self):
+        assert self.make().breakpoints() == [0.0, 1.0, 4.0, 6.0]
+
+    def test_domain_measure(self):
+        f = self.make()
+        assert f.domain_measure(10.0) == pytest.approx(1.0 + 3.0 + 4.0)
+
+    def test_fused_merges_same_fn(self):
+        f = PiecewiseFunction([
+            Piece(0.0, 1.0, const(1.0), "a"),
+            Piece(1.0, 2.0, const(1.0), "a"),
+            Piece(2.0, 3.0, const(2.0), "b"),
+        ])
+        g = f.fused()
+        assert len(g) == 2
+        assert g[0].interval == (0.0, 2.0)
+
+    def test_fused_respects_gaps(self):
+        f = PiecewiseFunction([
+            Piece(0.0, 1.0, const(1.0), "a"),
+            Piece(2.0, 3.0, const(1.0), "a"),
+        ])
+        assert len(f.fused()) == 2
+
+    def test_restricted(self):
+        f = self.make()
+        g = f.restricted(0.5, 7.0)
+        assert len(g) == 3
+        assert g[0].interval == (0.5, 1.0)
+        assert g[2].interval == (6.0, 7.0)
+
+    def test_restricted_drops_empty(self):
+        f = self.make()
+        g = f.restricted(4.5, 5.5)  # entirely inside the gap
+        assert len(g) == 0
+
+    def test_transition_times(self):
+        f = PiecewiseFunction([
+            Piece(1.0, 2.0, const(0), "a"),
+            Piece(3.0, INF, const(0), "b"),
+        ])
+        ts = f.transition_times()
+        assert ts == [1.0, 2.0, 3.0]
+
+    def test_check_envelope_of_accepts_true_envelope(self):
+        f1 = Polynomial([0.0, 1.0])       # t
+        f2 = Polynomial([2.0])            # 2
+        env = PiecewiseFunction([
+            Piece(0.0, 2.0, f1, 0),
+            Piece(2.0, INF, f2, 1),
+        ])
+        assert env.check_envelope_of([f1, f2])
+
+    def test_check_envelope_of_rejects_wrong(self):
+        f1 = Polynomial([0.0, 1.0])
+        f2 = Polynomial([2.0])
+        bad = PiecewiseFunction([Piece(0.0, INF, f1, 0)])
+        assert not bad.check_envelope_of([f1, f2])

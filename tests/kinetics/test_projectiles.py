@@ -1,0 +1,49 @@
+"""Tests for the ballistic (k = 2) workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.containment import enclosing_cube_edge_function
+from repro.kinetics.motion import projectile_system
+
+
+class TestProjectileSystem:
+    def test_degree_is_two(self):
+        system = projectile_system(5, seed=0)
+        assert system.k == 2
+        assert system.dimension == 2
+
+    def test_reproducible(self):
+        a = projectile_system(4, seed=9)
+        b = projectile_system(4, seed=9)
+        np.testing.assert_allclose(a.positions(2.0), b.positions(2.0))
+
+    def test_launches_from_ground(self):
+        system = projectile_system(6, seed=1)
+        np.testing.assert_allclose(system.positions(0.0)[:, 1], 0.0)
+
+    def test_ballistic_arc(self):
+        """Every projectile rises then falls back through the ground."""
+        system = projectile_system(6, seed=2)
+        for m in system.motions:
+            y = m[1]
+            # Upward initial velocity, downward acceleration.
+            assert y.coeffs[1] > 0
+            assert y.coeffs[2] < 0
+            apex_t = -y.coeffs[1] / (2 * y.coeffs[2])
+            assert y(apex_t) > 0
+            assert y(3 * apex_t) < 0
+
+    def test_gravity_parameter(self):
+        weak = projectile_system(3, seed=3, gravity=1.0)
+        strong = projectile_system(3, seed=3, gravity=20.0)
+        # Same launch, stronger gravity -> lower at the same time.
+        assert strong.positions(2.0)[0, 1] < weak.positions(2.0)[0, 1]
+
+    def test_salvo_spread_grows_then_its_envelope_is_exact(self):
+        system = projectile_system(5, seed=4)
+        D = enclosing_cube_edge_function(None, system)
+        for t in np.linspace(0.1, 6.0, 25):
+            pos = system.positions(t)
+            want = float((pos.max(0) - pos.min(0)).max())
+            assert D(t) == pytest.approx(want, rel=1e-6, abs=1e-6)

@@ -1,0 +1,92 @@
+"""Tests for the ASCII renderers."""
+
+import pytest
+
+from repro.kinetics.piecewise import INF, Piece, PiecewiseFunction
+from repro.kinetics.polynomial import Polynomial
+from repro.kinetics.render import (
+    render_function,
+    render_intervals,
+    render_timeline,
+)
+
+
+def sample_pw():
+    return PiecewiseFunction([
+        Piece(0.0, 2.0, Polynomial([0.0, 1.0]), "a"),   # t
+        Piece(2.0, 5.0, Polynomial([2.0]), "b"),        # 2
+        Piece(7.0, INF, Polynomial([9.0, -1.0]), "c"),  # 9 - t
+    ])
+
+
+class TestRenderFunction:
+    def test_contains_marks_and_axis(self):
+        text = render_function(sample_pw(), width=40, height=8)
+        assert "*" in text
+        assert "+" in text and "-" in text
+        assert len(text.splitlines()) == 10
+
+    def test_gap_columns_blank(self):
+        pw = PiecewiseFunction([
+            Piece(0.0, 1.0, Polynomial([1.0]), "a"),
+            Piece(9.0, 10.0, Polynomial([1.0]), "b"),
+        ])
+        text = render_function(pw, width=50, height=5)
+        # Middle of the chart (the gap) must be blank in every row.
+        rows = [ln.split("|", 1)[1] for ln in text.splitlines() if "|" in ln]
+        middle = [r[20:30] for r in rows if len(r) >= 30]
+        assert all(set(m) <= {" "} for m in middle)
+
+    def test_empty_function(self):
+        assert "nowhere defined" in render_function(PiecewiseFunction.empty())
+
+    def test_constant_function_no_crash(self):
+        pw = PiecewiseFunction.total(Polynomial([5.0]), "c")
+        text = render_function(pw, width=30, height=5, t_max=10.0)
+        assert "*" in text
+
+
+class TestRenderTimeline:
+    def test_labels_in_order_with_legend(self):
+        text = render_timeline(sample_pw(), width=60)
+        bar = text.splitlines()[0]
+        assert bar.startswith("|") and bar.endswith("|")
+        assert "0=a" in text and "1=b" in text and "2=c" in text
+        # Gap between t=5 and t=7 renders as dots.
+        assert "." in bar
+
+    def test_empty(self):
+        text = render_timeline(PiecewiseFunction.empty(), width=10)
+        assert set(text.splitlines()[0].strip("|")) <= {"."}
+
+
+class TestRenderIntervals:
+    def test_bars(self):
+        text = render_intervals([(0.0, 1.0), (3.0, 4.0)], width=40, t_max=5.0)
+        bar = text.splitlines()[0].strip("|")
+        assert "#" in bar and "." in bar
+        assert bar[0] == "#" and bar[-1] == "."
+
+    def test_infinite_interval(self):
+        text = render_intervals([(2.0, float("inf"))], width=20, t_max=10.0)
+        bar = text.splitlines()[0].strip("|")
+        assert bar.endswith("#")
+
+    def test_empty(self):
+        assert render_intervals([]) == "(no intervals)"
+
+
+class TestRealPipelines:
+    def test_closest_sequence_timeline(self):
+        from repro import closest_point_sequence, random_system
+        system = random_system(6, seed=4)
+        seq = closest_point_sequence(None, system)
+        text = render_timeline(seq, width=64)
+        assert "legend:" in text
+
+    def test_membership_intervals_render(self):
+        from repro import hull_membership_intervals, random_system
+        system = random_system(5, d=2, k=1, seed=7, scale=4.0)
+        intervals = hull_membership_intervals(None, system)
+        text = render_intervals(intervals, t_max=20.0)
+        assert text.startswith("|") or text == "(no intervals)"

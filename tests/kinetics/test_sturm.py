@@ -1,0 +1,99 @@
+"""Tests for the Sturm-sequence root isolation backend."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RootFindingError
+from repro.kinetics.polynomial import ZERO, Polynomial
+from repro.kinetics.sturm import count_roots, real_roots_sturm, sturm_chain
+
+
+class TestSturmChain:
+    def test_chain_of_quadratic(self):
+        p = Polynomial.from_roots([1.0, 3.0])
+        chain = sturm_chain(p)
+        assert chain[0] == p
+        assert chain[1] == p.derivative()
+        assert chain[-1].degree == 0
+
+    def test_zero_rejected(self):
+        with pytest.raises(RootFindingError):
+            sturm_chain(ZERO)
+
+
+class TestCountRoots:
+    def test_counts_simple_roots(self):
+        p = Polynomial.from_roots([1.0, 2.0, 5.0])
+        assert count_roots(p, 0.0, 10.0) == 3
+        assert count_roots(p, 1.5, 10.0) == 2
+        assert count_roots(p, 2.5, 4.0) == 0
+        assert count_roots(p, 0.0, 2.0) == 2  # half-open: (0, 2] includes 2
+
+    def test_counts_distinct_despite_multiplicity(self):
+        p = Polynomial.from_roots([2.0, 2.0, 7.0])
+        assert count_roots(p, 0.0, 10.0) == 2  # distinct roots only
+
+    def test_no_real_roots(self):
+        assert count_roots(Polynomial([1.0, 0.0, 1.0]), -10.0, 10.0) == 0
+
+
+class TestRealRootsSturm:
+    def test_matches_known_roots(self):
+        p = Polynomial.from_roots([0.5, 1.5, 9.0])
+        roots = real_roots_sturm(p)
+        np.testing.assert_allclose(roots, [0.5, 1.5, 9.0], atol=1e-8)
+
+    def test_double_root_reported_once(self):
+        p = Polynomial.from_roots([3.0, 3.0])
+        roots = real_roots_sturm(p)
+        assert len(roots) == 1
+        assert roots[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_interval_restriction(self):
+        p = Polynomial.from_roots([1.0, 5.0, 9.0])
+        assert real_roots_sturm(p, 2.0, 8.0) == [pytest.approx(5.0)]
+
+    def test_root_at_interval_start(self):
+        p = Polynomial.from_roots([0.0, 4.0])
+        roots = real_roots_sturm(p, 0.0, 10.0)
+        assert len(roots) == 2
+        assert roots[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_degenerate_inputs(self):
+        assert real_roots_sturm(ZERO) == []
+        assert real_roots_sturm(Polynomial([5.0])) == []
+
+    @given(st.lists(st.floats(min_value=0.2, max_value=30),
+                    min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_cross_validates_companion_backend(self, roots):
+        roots = sorted(roots)
+        for a, b in zip(roots, roots[1:]):
+            if b - a < 1e-2:
+                return  # clustered roots: both backends' dedup gets fuzzy
+        p = Polynomial.from_roots(roots)
+        fast = p.real_roots()
+        certified = real_roots_sturm(p)
+        assert len(fast) == len(certified) == len(roots)
+        np.testing.assert_allclose(certified, fast, atol=1e-6)
+
+    @given(st.lists(st.integers(-8, 8).map(float), min_size=3, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_coefficients_agree_with_companion(self, cs):
+        p = Polynomial(cs)
+        if p.degree < 1:
+            return
+        fast = p.real_roots(0.0, 50.0)
+        certified = real_roots_sturm(p, 0.0, 50.0)
+        # Distinct-root counts agree away from tangencies; compare the
+        # value sets with tolerance.
+        for r in certified:
+            assert any(abs(r - f) < 1e-4 * max(1, abs(r)) for f in fast) or \
+                abs(p(r)) < 1e-6
+        for f in fast:
+            assert any(abs(f - r) < 1e-4 * max(1, abs(f)) for r in certified) or \
+                abs(p(f)) < 1e-6

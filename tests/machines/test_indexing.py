@@ -1,0 +1,120 @@
+"""Unit tests for repro.machines.indexing (Figure 2 / Figure 3 properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigurationError
+from repro.machines.indexing import (
+    SCHEMES,
+    adjacency_fraction,
+    gray_code,
+    gray_code_inverse,
+    is_recursively_decomposable,
+    max_consecutive_distance,
+    proximity,
+    row_major,
+    shuffled_row_major,
+    snake_like,
+)
+
+
+@pytest.mark.parametrize("maker", SCHEMES.values(), ids=SCHEMES.keys())
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+class TestBijection:
+    def test_scheme_is_a_bijection(self, maker, n):
+        scheme = maker(n)
+        r, c = scheme.all_coords()
+        assert len(set(zip(r.tolist(), c.tolist()))) == n
+        assert r.min() >= 0 and r.max() < scheme.side
+        assert c.min() >= 0 and c.max() < scheme.side
+
+    def test_rank_table_inverts(self, maker, n):
+        scheme = maker(n)
+        table = scheme.rank_table()
+        r, c = scheme.all_coords()
+        np.testing.assert_array_equal(table[r, c], np.arange(n))
+
+
+class TestSizeValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(MachineConfigurationError):
+            row_major(12)
+
+    def test_rejects_non_power_of_four(self):
+        # 36 = 6^2 but 6 is not a power of two.
+        with pytest.raises(MachineConfigurationError):
+            proximity(36)
+
+
+class TestFigure2Properties:
+    """The two properties of proximity order from Section 2.2."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024])
+    def test_proximity_consecutive_pes_adjacent(self, n):
+        assert max_consecutive_distance(proximity(n)) == 1
+        assert adjacency_fraction(proximity(n)) == 1.0
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_proximity_recursively_decomposable(self, n):
+        assert is_recursively_decomposable(proximity(n))
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_shuffled_row_major_decomposable_but_not_adjacent(self, n):
+        scheme = shuffled_row_major(n)
+        assert is_recursively_decomposable(scheme)
+        assert max_consecutive_distance(scheme) > 1
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_snake_adjacent_but_not_decomposable(self, n):
+        scheme = snake_like(n)
+        assert max_consecutive_distance(scheme) == 1
+        assert not is_recursively_decomposable(scheme)
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_row_major_has_neither_property(self, n):
+        scheme = row_major(n)
+        assert max_consecutive_distance(scheme) > 1
+        assert not is_recursively_decomposable(scheme)
+
+    def test_shuffled_row_major_bit_locality(self):
+        """Rank bit j toggles a row-or-column bit j//2 (Thompson–Kung)."""
+        scheme = shuffled_row_major(64)
+        r, c = scheme.all_coords()
+        for j in range(6):
+            ranks = np.arange(64)
+            partner = ranks ^ (1 << j)
+            dist = np.abs(r[ranks] - r[partner]) + np.abs(c[ranks] - c[partner])
+            assert np.all(dist == (1 << (j // 2)))
+
+
+class TestGrayCode:
+    def test_small_table(self):
+        np.testing.assert_array_equal(
+            gray_code(np.arange(8)), [0, 1, 3, 2, 6, 7, 5, 4]
+        )
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100)
+    def test_inverse(self, j):
+        assert int(gray_code_inverse(gray_code(j))) == j
+
+    def test_consecutive_ranks_are_neighbours(self):
+        """Section 2.3: consecutive Gray-ranked PEs differ in one node bit."""
+        g = gray_code(np.arange(1024))
+        diffs = g[:-1] ^ g[1:]
+        assert np.all(diffs & (diffs - 1) == 0)
+        assert np.all(diffs != 0)
+
+    def test_aligned_blocks_are_subcubes(self):
+        """Blocks of 2^k consecutive ranks occupy subcubes."""
+        g = gray_code(np.arange(256))
+        for k in (1, 2, 4, 8, 16, 32):
+            for start in range(0, 256, k):
+                block = g[start : start + k]
+                fixed = block[0]
+                varying = 0
+                for b in block:
+                    varying |= b ^ fixed
+                assert bin(int(varying)).count("1") <= int(np.log2(k))

@@ -1,0 +1,148 @@
+"""Unit tests for repro.machines.{topology,machine,metrics}."""
+
+import pytest
+
+from repro.errors import MachineConfigurationError
+from repro.machines import (
+    HypercubeTopology,
+    MeshTopology,
+    Metrics,
+    PRAMTopology,
+    SerialTopology,
+    hypercube_machine,
+    mesh_machine,
+    pram_machine,
+    serial_machine,
+)
+
+
+class TestTopologyValidation:
+    def test_mesh_must_be_power_of_four(self):
+        MeshTopology(64)
+        with pytest.raises(MachineConfigurationError):
+            MeshTopology(32)
+        with pytest.raises(MachineConfigurationError):
+            MeshTopology(12)
+
+    def test_hypercube_must_be_power_of_two(self):
+        HypercubeTopology(32)
+        with pytest.raises(MachineConfigurationError):
+            HypercubeTopology(12)
+
+    def test_positive_pes(self):
+        with pytest.raises(MachineConfigurationError):
+            PRAMTopology(0)
+
+
+class TestDiameters:
+    """Communication diameters of Sections 2.2 and 2.3."""
+
+    @pytest.mark.parametrize("n,expected", [(4, 2), (16, 6), (64, 14), (256, 30)])
+    def test_mesh_diameter(self, n, expected):
+        assert MeshTopology(n).diameter == expected  # 2*(sqrt(n)-1)
+
+    @pytest.mark.parametrize("n,expected", [(2, 1), (16, 4), (1024, 10)])
+    def test_hypercube_diameter(self, n, expected):
+        assert HypercubeTopology(n).diameter == expected  # log2(n)
+
+
+class TestExchangeCosts:
+    def test_mesh_bit_cost(self):
+        t = MeshTopology(64)
+        assert [t.exchange_distance(b) for b in range(6)] == [1, 1, 2, 2, 4, 4]
+        with pytest.raises(MachineConfigurationError):
+            t.exchange_distance(6)
+
+    def test_hypercube_bit_cost(self):
+        t = HypercubeTopology(16)
+        assert all(t.exchange_distance(b) == 1 for b in range(4))
+        with pytest.raises(MachineConfigurationError):
+            t.exchange_distance(4)
+
+    def test_virtual_slots_are_local(self):
+        t = MeshTopology(16)
+        # 64 slots on 16 PEs: 4 slots per PE -> bits 0,1 are intra-PE.
+        assert t.slot_exchange_distance(0, 64) == 0
+        assert t.slot_exchange_distance(1, 64) == 0
+        assert t.slot_exchange_distance(2, 64) == 1  # PE bit 0
+        assert t.slot_exchange_distance(4, 64) == 2  # PE bit 2
+
+    def test_slot_length_must_be_power_of_two(self):
+        with pytest.raises(MachineConfigurationError):
+            MeshTopology(16).slot_exchange_distance(0, 12)
+
+
+class TestMachineCharging:
+    def test_local_cost_scales_with_virtualisation(self):
+        m = mesh_machine(16)
+        m.local(16)
+        assert m.metrics.time == 1
+        m.reset()
+        m.local(64)  # 4 slots per PE
+        assert m.metrics.time == 4
+
+    def test_serial_machine_charges_per_slot(self):
+        m = serial_machine()
+        m.local(128)
+        assert m.metrics.time == 128
+
+    def test_exchange_intra_pe_counts_as_local(self):
+        m = mesh_machine(16)
+        m.exchange(64, 0)
+        assert m.metrics.comm_rounds == 0
+        assert m.metrics.local_rounds == 4
+
+    def test_exchange_comm_cost(self):
+        m = mesh_machine(16)
+        m.exchange(16, 2)  # PE bit 2 -> distance 2
+        assert m.metrics.comm_time == 2.0
+        h = hypercube_machine(16)
+        h.exchange(16, 3)
+        assert h.metrics.comm_time == 1.0
+
+    def test_monotone_route_costs(self):
+        mesh = mesh_machine(256)
+        mesh.monotone_route(256)
+        # sum over bits: 1+1+2+2+4+4+8+8 = 30 ~ Theta(sqrt(n))
+        assert mesh.metrics.comm_time == 30.0
+        cube = hypercube_machine(256)
+        cube.monotone_route(256)
+        assert cube.metrics.comm_time == 8.0  # log2(256) rounds
+
+    def test_pram_everything_unit(self):
+        p = pram_machine(64)
+        p.exchange(64, 5)
+        assert p.metrics.comm_time == 1.0
+
+    def test_phase_attribution(self):
+        m = mesh_machine(16)
+        with m.phase("sort"):
+            m.exchange(16, 2)
+        m.local(16)
+        assert m.metrics.phases["sort"] == 2.0
+        assert m.metrics.time == 3.0
+
+    def test_reset(self):
+        m = mesh_machine(16)
+        m.local(16)
+        m.reset()
+        assert m.metrics.time == 0
+        assert m.metrics.snapshot()["rounds"] == 0
+
+
+class TestMetrics:
+    def test_snapshot_contains_phases(self):
+        met = Metrics()
+        with met.phase("x"):
+            met.charge_comm(3.0)
+        snap = met.snapshot()
+        assert snap["phases"] == {"x": 3.0}
+        assert snap["comm_time"] == 3.0
+        assert snap["time"] == 3.0
+
+    def test_nested_phases_charge_innermost(self):
+        met = Metrics()
+        with met.phase("outer"):
+            with met.phase("inner"):
+                met.charge_local()
+        assert met.phases == {"inner": 1}

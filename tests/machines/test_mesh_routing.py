@@ -1,0 +1,92 @@
+"""Tests for mesh packet routing — and why the mesh has no "expected" column.
+
+On the hypercube, randomized routing buys an asymptotic improvement
+(Theta(log n) expected vs Theta(log^2 n) deterministic sort).  On the mesh
+every strategy is pinned to the Theta(sqrt n) communication diameter, which
+is exactly why Tables 1 and 3 of the paper list expected-time improvements
+for the hypercube only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigurationError, OperationContractError
+from repro.machines.mesh_routing import (
+    mesh_route_packets,
+    mesh_transpose_permutation,
+)
+
+
+class TestTranspose:
+    def test_is_permutation_and_involution(self):
+        for n in (16, 64, 256):
+            p = mesh_transpose_permutation(n)
+            assert sorted(p.tolist()) == list(range(n))
+            np.testing.assert_array_equal(p[p], np.arange(n))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MachineConfigurationError):
+            mesh_transpose_permutation(12)
+
+
+class TestMeshRouting:
+    def test_identity_is_free(self):
+        res = mesh_route_packets(np.arange(16))
+        assert res.rounds == 0 and res.total_hops == 0
+
+    @pytest.mark.parametrize("strategy", ["xy", "valiant"])
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_permutations_delivered(self, strategy, n):
+        rng = np.random.default_rng(n)
+        res = mesh_route_packets(rng.permutation(n), strategy=strategy,
+                                 seed=n)
+        assert res.rounds >= 1
+        assert res.total_hops >= res.rounds
+
+    def test_xy_hop_conservation(self):
+        """XY routes are minimal: hops = sum of Manhattan distances."""
+        n, side = 64, 8
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(n)
+        res = mesh_route_packets(perm, strategy="xy")
+        src_r, src_c = np.arange(n) // side, np.arange(n) % side
+        dst_r, dst_c = perm // side, perm % side
+        manhattan = np.abs(src_r - dst_r) + np.abs(src_c - dst_c)
+        assert res.total_hops == manhattan.sum()
+
+    def test_rounds_are_diameter_bound(self):
+        """Every strategy needs Theta(sqrt n) rounds — the Section 2.2
+        communication diameter — so randomization cannot help the mesh the
+        way it helps the hypercube (no mesh 'expected' column in Table 1)."""
+        rounds_xy, rounds_v = [], []
+        sizes = [64, 256, 1024]
+        for n in sizes:
+            tp = mesh_transpose_permutation(n)
+            rounds_xy.append(mesh_route_packets(tp, strategy="xy").rounds)
+            rounds_v.append(
+                mesh_route_packets(tp, strategy="valiant", seed=1).rounds
+            )
+        for n, rx, rv in zip(sizes, rounds_xy, rounds_v):
+            diam = 2 * (int(np.sqrt(n)) - 1)
+            assert rx >= diam / 2
+            assert rv >= rx  # two phases can only add rounds
+        # Growth ~ sqrt(n): 4x packets -> ~2x rounds for both strategies.
+        assert 1.7 < rounds_xy[2] / rounds_xy[1] < 2.4
+        assert 1.7 < rounds_v[2] / rounds_v[1] < 2.4
+
+    def test_transpose_queues_stay_small_under_xy(self):
+        """Unlike the hypercube transpose, the mesh transpose drains its
+        turn nodes (arrivals are staggered along the row), so XY queues
+        stay O(1) — mesh congestion is capacity-, not hotspot-, limited."""
+        for n in (64, 256, 1024):
+            res = mesh_route_packets(mesh_transpose_permutation(n),
+                                     strategy="xy")
+            assert res.max_queue <= 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(MachineConfigurationError):
+            mesh_route_packets(np.arange(12))
+        with pytest.raises(OperationContractError):
+            mesh_route_packets(np.zeros(16, dtype=int))
+        with pytest.raises(OperationContractError):
+            mesh_route_packets(np.arange(16), strategy="teleport")

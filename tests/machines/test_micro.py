@@ -1,0 +1,204 @@
+"""Tests for the register-transfer-level mesh (repro.machines.micro)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigurationError, OperationContractError
+from repro.machines.micro import (
+    MicroMesh,
+    broadcast_micro,
+    prefix_rows,
+    reduce_all,
+    reduce_cols,
+    reduce_rows,
+    shearsort,
+    sort_rows_odd_even,
+)
+
+
+def grid(n, seed=0):
+    return np.random.default_rng(seed).uniform(-50, 50, n)
+
+
+class TestMicroMesh:
+    def test_size_validation(self):
+        MicroMesh(16)
+        with pytest.raises(MachineConfigurationError):
+            MicroMesh(8)
+
+    def test_load_shapes(self):
+        m = MicroMesh(16)
+        m.load("a", np.arange(16))
+        m.load("b", np.arange(16).reshape(4, 4))
+        np.testing.assert_array_equal(m.read("a"), m.read("b"))
+        with pytest.raises(OperationContractError):
+            m.load("c", np.arange(8))
+
+    def test_shift_semantics(self):
+        m = MicroMesh(16)
+        m.load("x", np.arange(16))
+        m.shift("y", "x", "west", fill=-1.0)  # receive from the left
+        y = m.registers["y"]
+        assert y[0, 0] == -1.0
+        assert y[0, 1] == 0.0  # value of PE (0,0)
+        assert m.metrics.comm_rounds == 1
+
+    def test_shift_rejects_bad_direction(self):
+        m = MicroMesh(16)
+        m.load("x", np.arange(16))
+        with pytest.raises(OperationContractError):
+            m.shift("y", "x", "up")
+
+    def test_compute_charges_local(self):
+        m = MicroMesh(16)
+        m.load("x", np.arange(16))
+        m.compute("y", lambda g: g * 2, "x")
+        assert m.metrics.local_rounds == 1
+        np.testing.assert_array_equal(m.read("y"), np.arange(16) * 2)
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_broadcast(self, n):
+        m = MicroMesh(n)
+        data = grid(n, seed=n)
+        m.load("x", data)
+        broadcast_micro(m, "x", 1, 2)
+        want = data.reshape(m.side, m.side)[1, 2]
+        np.testing.assert_allclose(m.read("x"), want)
+
+    @pytest.mark.parametrize("op,fill,np_red", [
+        (np.minimum, np.inf, np.min),
+        (np.maximum, -np.inf, np.max),
+        (np.add, 0.0, np.sum),
+    ])
+    def test_reduce_all(self, op, fill, np_red):
+        n = 64
+        m = MicroMesh(n)
+        data = grid(n, seed=3)
+        m.load("x", data)
+        reduce_all(m, "x", op, fill)
+        np.testing.assert_allclose(m.read("x"), np_red(data), rtol=1e-12)
+
+    def test_reduce_rows_cols(self):
+        n = 64
+        data = grid(n, seed=5).reshape(8, 8)
+        m = MicroMesh(n)
+        m.load("x", data)
+        reduce_rows(m, "x", np.minimum, np.inf)
+        np.testing.assert_allclose(
+            m.registers["x"], np.broadcast_to(data.min(1)[:, None], (8, 8))
+        )
+        m2 = MicroMesh(n)
+        m2.load("x", data)
+        reduce_cols(m2, "x", np.maximum, -np.inf)
+        np.testing.assert_allclose(
+            m2.registers["x"], np.broadcast_to(data.max(0)[None, :], (8, 8))
+        )
+
+    def test_prefix_rows_sum(self):
+        n = 64
+        data = grid(n, seed=7).reshape(8, 8)
+        m = MicroMesh(n)
+        m.load("x", data)
+        prefix_rows(m, "x", np.add, 0.0)
+        np.testing.assert_allclose(m.registers["x"], np.cumsum(data, axis=1),
+                                   rtol=1e-12)
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_sort_rows(self, n):
+        data = grid(n, seed=n + 1)
+        m = MicroMesh(n)
+        m.load("x", data)
+        sort_rows_odd_even(m, "x")
+        np.testing.assert_allclose(
+            m.registers["x"], np.sort(data.reshape(m.side, m.side), axis=1)
+        )
+
+    def test_sort_rows_descending_mask(self):
+        n = 16
+        data = grid(n, seed=9)
+        m = MicroMesh(n)
+        m.load("x", data)
+        mask = np.array([False, True, False, True])
+        sort_rows_odd_even(m, "x", descending_mask=mask)
+        g = m.registers["x"]
+        ref = np.sort(data.reshape(4, 4), axis=1)
+        np.testing.assert_allclose(g[0], ref[0])
+        np.testing.assert_allclose(g[1], ref[1][::-1])
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_shearsort_snake_order(self, n):
+        data = grid(n, seed=n + 2)
+        m = MicroMesh(n)
+        m.load("x", data)
+        shearsort(m, "x")
+        g = m.registers["x"].copy()
+        g[1::2] = g[1::2, ::-1]  # unfold the snake
+        flat = g.reshape(-1)
+        assert np.all(np.diff(flat) >= -1e-9)
+        np.testing.assert_allclose(np.sort(flat), np.sort(data))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_shearsort_is_permutation(self, seed):
+        n = 16
+        data = grid(n, seed=seed)
+        m = MicroMesh(n)
+        m.load("x", data)
+        shearsort(m, "x")
+        np.testing.assert_allclose(np.sort(m.read("x")), np.sort(data))
+
+
+class TestCrossValidation:
+    """The abstract cost model tracks the micro machine's real rounds."""
+
+    def _micro_cost(self, program, n):
+        m = MicroMesh(n)
+        m.load("x", grid(n, seed=0))
+        program(m)
+        return m.metrics.time
+
+    def test_broadcast_scaling_matches_model(self):
+        from repro.ops import broadcast as model_broadcast
+        from repro.machines import mesh_machine
+        ratios = []
+        for n in (64, 256, 1024):
+            micro = self._micro_cost(
+                lambda m: broadcast_micro(m, "x", 0, 0), n
+            )
+            model = mesh_machine(n)
+            marked = np.zeros(n, dtype=bool)
+            marked[0] = True
+            model_broadcast(model, np.zeros(n), marked)
+            ratios.append(micro / model.metrics.time)
+        # Both Theta(sqrt n): the ratio must stay within a constant band.
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_semigroup_scaling_matches_model(self):
+        from repro.ops import semigroup as model_semigroup
+        from repro.machines import mesh_machine
+        ratios = []
+        for n in (64, 256, 1024):
+            micro = self._micro_cost(
+                lambda m: reduce_all(m, "x", np.minimum, np.inf), n
+            )
+            model = mesh_machine(n)
+            model_semigroup(model, np.zeros(n), np.minimum)
+            ratios.append(micro / model.metrics.time)
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_shearsort_pays_the_log_factor(self):
+        """Shearsort (micro) grows ~sqrt(n) log n; bitonic under the
+        shuffled cost model grows ~sqrt(n): their ratio must increase."""
+        from repro.ops import bitonic_sort
+        from repro.machines import mesh_machine
+        ratios = []
+        for n in (64, 256, 1024):
+            micro = self._micro_cost(lambda m: shearsort(m, "x"), n)
+            model = mesh_machine(n)
+            bitonic_sort(model, grid(n, seed=1))
+            ratios.append(micro / model.metrics.time)
+        assert ratios[-1] > ratios[0]

@@ -1,0 +1,133 @@
+"""Tests for the register-transfer-level hypercube (micro_cube).
+
+The key property: on the hypercube the abstract cost model abstracts away
+*nothing* (every rank-bit exchange is one physical link), so the micro
+machine's communication round counts must equal the model's **exactly**.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigurationError, OperationContractError
+from repro.machines import hypercube_machine
+from repro.machines.micro_cube import (
+    MicroHypercube,
+    cube_bitonic_sort,
+    cube_broadcast,
+    cube_prefix,
+    cube_reduce,
+)
+from repro.ops import bitonic_sort, semigroup
+
+
+def data(n, seed=0):
+    return np.random.default_rng(seed).uniform(-100, 100, n)
+
+
+class TestMicroHypercube:
+    def test_size_validation(self):
+        MicroHypercube(32)
+        with pytest.raises(MachineConfigurationError):
+            MicroHypercube(12)
+
+    def test_load_shape(self):
+        c = MicroHypercube(8)
+        with pytest.raises(OperationContractError):
+            c.load("x", np.zeros(4))
+
+    def test_exchange_is_involution(self):
+        c = MicroHypercube(8)
+        c.load("x", np.arange(8))
+        c.exchange("y", "x", 1)
+        c.exchange("z", "y", 1)
+        np.testing.assert_array_equal(c.read("z"), np.arange(8))
+        assert c.metrics.comm_rounds == 2
+
+    def test_exchange_dim_range(self):
+        c = MicroHypercube(8)
+        c.load("x", np.zeros(8))
+        with pytest.raises(OperationContractError):
+            c.exchange("y", "x", 3)
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    @pytest.mark.parametrize("op,red", [(np.minimum, np.min),
+                                        (np.add, np.sum)])
+    def test_reduce(self, n, op, red):
+        c = MicroHypercube(n)
+        d = data(n, seed=n)
+        c.load("x", d)
+        cube_reduce(c, "x", op)
+        np.testing.assert_allclose(c.read("x"), red(d), rtol=1e-12)
+        assert c.metrics.comm_rounds == int(np.log2(n))
+
+    @pytest.mark.parametrize("source", [0, 3, 13])
+    def test_broadcast(self, source):
+        n = 16
+        c = MicroHypercube(n)
+        d = data(n, seed=1)
+        c.load("x", d)
+        cube_broadcast(c, "x", source)
+        np.testing.assert_allclose(c.read("x"), d[source])
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_prefix(self, n):
+        c = MicroHypercube(n)
+        d = data(n, seed=n + 5)
+        c.load("x", d)
+        cube_prefix(c, "x", np.add)
+        np.testing.assert_allclose(c.read("x"), np.cumsum(d), rtol=1e-10)
+        assert c.metrics.comm_rounds == int(np.log2(n))
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_bitonic_sort(self, n):
+        c = MicroHypercube(n)
+        d = data(n, seed=n + 9)
+        c.load("x", d)
+        cube_bitonic_sort(c, "x")
+        np.testing.assert_allclose(c.read("x"), np.sort(d))
+        q = int(np.log2(n))
+        assert c.metrics.comm_rounds == q * (q + 1) // 2
+
+    def test_descending_sort(self):
+        c = MicroHypercube(16)
+        d = data(16, seed=3)
+        c.load("x", d)
+        cube_bitonic_sort(c, "x", ascending=False)
+        np.testing.assert_allclose(c.read("x"), np.sort(d)[::-1])
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    @settings(max_examples=64, deadline=None)
+    def test_zero_one_principle(self, bits):
+        """Batcher's 0-1 principle: a comparator network sorting every 0-1
+        input sorts all inputs; we check the 0-1 side exhaustively-ish."""
+        c = MicroHypercube(8)
+        c.load("x", np.array(bits, dtype=float))
+        cube_bitonic_sort(c, "x")
+        np.testing.assert_array_equal(c.read("x"), np.sort(bits))
+
+
+class TestExactModelAgreement:
+    """Micro round counts == abstract model comm rounds, exactly."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_sort_rounds_exact(self, n):
+        micro = MicroHypercube(n)
+        micro.load("x", data(n))
+        cube_bitonic_sort(micro, "x")
+        model = hypercube_machine(n)
+        bitonic_sort(model, data(n))
+        assert micro.metrics.comm_rounds == model.metrics.comm_rounds
+        assert micro.metrics.comm_time == model.metrics.comm_time
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_semigroup_rounds_exact(self, n):
+        micro = MicroHypercube(n)
+        micro.load("x", data(n))
+        cube_reduce(micro, "x", np.minimum)
+        model = hypercube_machine(n)
+        semigroup(model, data(n), np.minimum)
+        assert micro.metrics.comm_rounds == model.metrics.comm_rounds

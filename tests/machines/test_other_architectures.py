@@ -1,0 +1,81 @@
+"""Tests for the CCC and shuffle-exchange cost models (Section 1 remark)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigurationError
+from repro.machines import (
+    CCCTopology,
+    ShuffleExchangeTopology,
+    ccc_machine,
+    hypercube_machine,
+    shuffle_exchange_machine,
+)
+from repro.ops import bitonic_sort, parallel_prefix, semigroup
+
+
+class TestTopologies:
+    def test_power_of_two_required(self):
+        CCCTopology(16)
+        ShuffleExchangeTopology(16)
+        with pytest.raises(MachineConfigurationError):
+            CCCTopology(12)
+        with pytest.raises(MachineConfigurationError):
+            ShuffleExchangeTopology(12)
+
+    def test_constant_bit_distance(self):
+        ccc = CCCTopology(64)
+        se = ShuffleExchangeTopology(64)
+        for b in range(6):
+            assert ccc.exchange_distance(b) == 3.0
+            assert se.exchange_distance(b) == 2.0
+        with pytest.raises(MachineConfigurationError):
+            ccc.exchange_distance(6)
+
+    def test_diameters_logarithmic(self):
+        assert CCCTopology(1024).diameter == 25.0
+        assert ShuffleExchangeTopology(1024).diameter == 20.0
+
+
+class TestEmulation:
+    """Normal algorithms run at an exact constant factor of the hypercube."""
+
+    @pytest.mark.parametrize("op_name", ["sort", "prefix", "semigroup"])
+    def test_constant_slowdown(self, op_name):
+        n = 256
+        data = np.random.default_rng(0).uniform(size=n)
+
+        def run(machine):
+            if op_name == "sort":
+                bitonic_sort(machine, data)
+            elif op_name == "prefix":
+                parallel_prefix(machine, data, np.add)
+            else:
+                semigroup(machine, data, np.minimum)
+            return machine.metrics.comm_time
+
+        cube = run(hypercube_machine(n))
+        ccc = run(ccc_machine(n))
+        se = run(shuffle_exchange_machine(n))
+        assert ccc == pytest.approx(3.0 * cube)
+        assert se == pytest.approx(2.0 * cube)
+
+    def test_results_identical(self):
+        data = np.random.default_rng(1).uniform(size=64)
+        outs = []
+        for mk in (hypercube_machine, ccc_machine, shuffle_exchange_machine):
+            (out,), _ = bitonic_sort(mk(64), data)
+            outs.append(out)
+        for o in outs[1:]:
+            np.testing.assert_array_equal(o, outs[0])
+
+    def test_envelope_runs_on_remark_architectures(self):
+        from repro import PolynomialFamily, Polynomial, envelope, envelope_serial
+        rng = np.random.default_rng(2)
+        fns = [Polynomial(rng.uniform(-10, 10, 2)) for _ in range(12)]
+        fam = PolynomialFamily(1)
+        want = envelope_serial(fns, fam).labels()
+        for mk in (ccc_machine, shuffle_exchange_machine):
+            m = mk(64)
+            assert envelope(m, fns, fam).labels() == want
+            assert m.metrics.time > 0

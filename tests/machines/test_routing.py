@@ -1,0 +1,111 @@
+"""Tests for the hypercube packet-routing simulator (Reif–Valiant substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigurationError, OperationContractError
+from repro.machines.routing import (
+    transpose_permutation,
+    RoutingResult,
+    bit_reversal_permutation,
+    randomized_sort_rounds,
+    route_packets,
+)
+
+
+class TestBitReversal:
+    def test_is_permutation_and_involution(self):
+        for n in (4, 16, 64, 256):
+            p = bit_reversal_permutation(n)
+            assert sorted(p.tolist()) == list(range(n))
+            np.testing.assert_array_equal(p[p], np.arange(n))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(MachineConfigurationError):
+            bit_reversal_permutation(12)
+
+
+class TestRouting:
+    def test_identity_costs_nothing(self):
+        res = route_packets(np.arange(16))
+        assert res.rounds == 0 and res.total_hops == 0
+
+    def test_single_swap_delivers(self):
+        dst = np.arange(16)
+        dst[0], dst[1] = 1, 0
+        res = route_packets(dst)
+        assert res.rounds >= 1
+
+    @pytest.mark.parametrize("strategy", ["ecube", "valiant"])
+    @pytest.mark.parametrize("n", [8, 64, 256])
+    def test_random_permutations_delivered(self, strategy, n):
+        rng = np.random.default_rng(n)
+        perm = rng.permutation(n)
+        res = route_packets(perm, strategy=strategy, seed=n)
+        assert isinstance(res, RoutingResult)
+        assert res.rounds >= 1
+        # Work conservation: every packet walks at least its Hamming distance.
+        dist = np.array([bin(i ^ p).count("1") for i, p in enumerate(perm)])
+        if strategy == "ecube":
+            assert res.total_hops == dist.sum()
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(OperationContractError):
+            route_packets(np.zeros(8, dtype=int))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(MachineConfigurationError):
+            route_packets(np.arange(12))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(OperationContractError):
+            route_packets(np.arange(8), strategy="warp")
+
+    def test_ecube_congestion_on_transpose(self):
+        """The classic lower bound: dimension-order routing congests on the
+        transpose permutation (queues grow like sqrt(n)), while Valiant's
+        randomized scheme stays near the O(log n) ideal."""
+        queues = {}
+        for n in (256, 1024, 4096):
+            det = route_packets(transpose_permutation(n), strategy="ecube")
+            queues[n] = det.max_queue
+        # Theta(sqrt(n)) hot spots: 4x nodes -> ~2x queue.
+        assert queues[1024] >= 1.5 * queues[256]
+        assert queues[4096] >= 1.5 * queues[1024]
+        assert queues[4096] >= np.sqrt(4096) / 8
+        # At n=4096 the randomized scheme beats deterministic rounds.
+        det = route_packets(transpose_permutation(4096), strategy="ecube")
+        rnd = route_packets(transpose_permutation(4096), strategy="valiant",
+                            seed=1)
+        assert rnd.rounds < det.rounds
+        assert rnd.max_queue < det.max_queue
+
+    def test_valiant_scales_logarithmically(self):
+        """Expected O(log n): rounds grow far slower than n."""
+        rounds = {}
+        for n in (64, 256, 1024):
+            rng = np.random.default_rng(7)
+            res = route_packets(rng.permutation(n), strategy="valiant", seed=7)
+            rounds[n] = res.rounds
+        assert rounds[1024] < rounds[64] * 4  # 16x packets, < 4x rounds
+        assert rounds[1024] <= 12 * np.log2(1024)
+
+
+class TestRandomizedSortModel:
+    def test_monotone_and_logarithmic(self):
+        r64 = randomized_sort_rounds(64, seed=3)
+        r1024 = randomized_sort_rounds(1024, seed=3)
+        assert r1024 > r64
+        assert r1024 < 4 * r64  # log-like growth
+
+    def test_trivial(self):
+        assert randomized_sort_rounds(1) == 1.0
+
+    def test_expected_beats_bitonic_at_scale(self):
+        """Table 1's expected Theta(log n) sort vs deterministic log^2 n."""
+        from repro.machines import hypercube_machine
+        from repro.ops import bitonic_sort
+        n = 4096
+        m = hypercube_machine(n)
+        bitonic_sort(m, np.random.default_rng(0).uniform(size=n))
+        assert randomized_sort_rounds(n, seed=0) < m.metrics.time

@@ -1,0 +1,65 @@
+"""Tests for scheme-parametrized mesh cost models (the indexing ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigurationError
+from repro.machines import Machine
+from repro.machines.topology import MeshTopology
+from repro.ops import bitonic_sort
+
+
+class TestSchemeParametrization:
+    def test_default_is_shuffled_closed_form(self):
+        t = MeshTopology(64)
+        assert t.scheme == "shuffled-row-major"
+        assert [t.exchange_distance(b) for b in range(6)] == [1, 1, 2, 2, 4, 4]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(MachineConfigurationError):
+            MeshTopology(16, scheme="zigzag")
+
+    def test_row_major_profile(self):
+        t = MeshTopology(16, scheme="row-major")
+        # Rank bit 0,1 move along the row (1,2), bits 2,3 along the column.
+        assert [t.exchange_distance(b) for b in range(4)] == [1, 2, 1, 2]
+
+    def test_snake_profile_worst_case(self):
+        """Snake order folds rows: low bits can cross the whole row."""
+        t = MeshTopology(16, scheme="snake-like")
+        profile = [t.exchange_distance(b) for b in range(4)]
+        assert max(profile) >= 3  # partners land far after the fold
+
+    def test_shuffled_explicit_matches_closed_form(self):
+        analytic = MeshTopology(64)
+        # Explicit profile computation must agree with the closed form.
+        measured = MeshTopology(64, scheme="shuffled-row-major")
+        for b in range(6):
+            assert measured.exchange_distance(b) == \
+                analytic.exchange_distance(b)
+
+    def test_trivial_mesh(self):
+        t = MeshTopology(1, scheme="proximity")
+        assert t.diameter == 0.0
+
+    def test_sort_cost_ordering(self):
+        """Thompson–Kung: shuffled order gives the cheapest bitonic sort."""
+        data = np.random.default_rng(0).uniform(size=256)
+        costs = {}
+        for scheme in ("shuffled-row-major", "row-major", "snake-like",
+                       "proximity"):
+            m = Machine(MeshTopology(256, scheme))
+            bitonic_sort(m, data)
+            costs[scheme] = m.metrics.time
+        assert costs["shuffled-row-major"] == min(costs.values())
+
+    def test_results_identical_across_schemes(self):
+        """The scheme changes cost only — never the computed answer."""
+        data = np.random.default_rng(1).uniform(size=64)
+        outs = []
+        for scheme in ("shuffled-row-major", "row-major", "proximity"):
+            m = Machine(MeshTopology(64, scheme))
+            (out,), _ = bitonic_sort(m, data)
+            outs.append(out)
+        for o in outs[1:]:
+            np.testing.assert_array_equal(o, outs[0])

@@ -1,0 +1,133 @@
+"""Unit tests for repro.ops.bitonic (Table 1: Sorting, Merging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationContractError
+from repro.machines import hypercube_machine, mesh_machine, pram_machine
+from repro.ops import bitonic_merge, bitonic_sort
+
+
+def machines(n):
+    return [mesh_machine(n), hypercube_machine(n), pram_machine(n)]
+
+
+class TestSortCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64, 256])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        data = rng.uniform(-100, 100, n)
+        for m in machines(max(n, 4) if n < 4 else n):
+            (out,), _ = bitonic_sort(m, data)
+            np.testing.assert_allclose(out, np.sort(data))
+
+    def test_descending(self):
+        data = np.array([3.0, 1.0, 4.0, 1.5])
+        (out,), _ = bitonic_sort(mesh_machine(4), data, ascending=False)
+        np.testing.assert_allclose(out, [4.0, 3.0, 1.5, 1.0])
+
+    def test_payloads_travel_with_keys(self):
+        keys = np.array([3.0, 1.0, 4.0, 2.0])
+        tags = np.array(["c", "a", "d", "b"], dtype=object)
+        (k,), (t,) = bitonic_sort(mesh_machine(4), keys, [tags])
+        assert list(t) == ["a", "b", "c", "d"]
+
+    def test_lexicographic_keys(self):
+        k1 = np.array([1, 1, 0, 0])
+        k2 = np.array([0.5, 0.1, 9.0, 2.0])
+        (s1, s2), _ = bitonic_sort(mesh_machine(4), [k1, k2])
+        assert list(s1) == [0, 0, 1, 1]
+        assert list(s2) == [2.0, 9.0, 0.1, 0.5]
+
+    def test_inputs_not_modified(self):
+        data = np.array([2.0, 1.0])
+        bitonic_sort(mesh_machine(4), data)
+        assert list(data) == [2.0, 1.0]
+
+    def test_segmented_sort(self):
+        data = np.array([4.0, 3.0, 2.0, 1.0, 8.0, 5.0, 7.0, 6.0])
+        (out,), _ = bitonic_sort(mesh_machine(4), data, segment_size=4)
+        np.testing.assert_allclose(out, [1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(OperationContractError):
+            bitonic_sort(mesh_machine(4), np.zeros(6))
+
+    def test_rejects_mismatched_payload(self):
+        with pytest.raises(OperationContractError):
+            bitonic_sort(mesh_machine(4), np.zeros(4), [np.zeros(2)])
+
+    def test_rejects_bad_segment_size(self):
+        with pytest.raises(OperationContractError):
+            bitonic_sort(mesh_machine(4), np.zeros(8), segment_size=3)
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50),
+                    min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sorted_permutation(self, xs):
+        n = 1 << (len(xs) - 1).bit_length()
+        data = np.array(xs + [10**6] * (n - len(xs)), dtype=np.int64)
+        (out,), _ = bitonic_sort(hypercube_machine(max(n, 2)), data)
+        assert list(out) == sorted(data.tolist())
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 16, 64])
+    def test_two_sorted_halves(self, n):
+        rng = np.random.default_rng(n)
+        a = np.sort(rng.uniform(0, 10, n // 2))
+        b = np.sort(rng.uniform(0, 10, n // 2))
+        data = np.concatenate([a, b])
+        for m in machines(max(n, 4)):
+            (out,), _ = bitonic_merge(m, data)
+            np.testing.assert_allclose(out, np.sort(data))
+
+    def test_segmented_merge(self):
+        data = np.array([1.0, 5.0, 2.0, 6.0,   0.0, 9.0, 4.0, 4.5])
+        (out,), _ = bitonic_merge(mesh_machine(4), data, segment_size=4)
+        np.testing.assert_allclose(out, [1, 2, 5, 6, 0, 4, 4.5, 9])
+
+    def test_merge_with_payload(self):
+        data = np.array([1.0, 3.0, 2.0, 4.0])
+        tag = np.array([10, 30, 20, 40])
+        (k,), (t,) = bitonic_merge(hypercube_machine(4), data, [tag])
+        assert list(t) == [10, 20, 30, 40]
+
+    def test_trivial_segment(self):
+        (out,), _ = bitonic_merge(mesh_machine(4), np.array([5.0]), segment_size=1)
+        assert list(out) == [5.0]
+
+
+class TestSortCosts:
+    """Table 1: sort is Theta(sqrt(n)) mesh, Theta(log^2 n) hypercube."""
+
+    def _cost(self, machine_fn, n):
+        m = machine_fn(n)
+        bitonic_sort(m, np.random.default_rng(0).uniform(size=n))
+        return m.metrics.time
+
+    def test_mesh_sort_scales_like_sqrt_n(self):
+        c1 = self._cost(mesh_machine, 256)
+        c2 = self._cost(mesh_machine, 4096)  # 16x more PEs
+        ratio = c2 / c1
+        assert 2.5 < ratio < 7.0  # sqrt(16) = 4, with log-factor slack
+
+    def test_hypercube_sort_scales_like_log2(self):
+        c1 = self._cost(hypercube_machine, 256)   # log^2 = 64
+        c2 = self._cost(hypercube_machine, 4096)  # log^2 = 144
+        ratio = c2 / c1
+        assert 1.5 < ratio < 3.2  # 144/64 = 2.25
+
+    def test_mesh_slower_than_hypercube(self):
+        assert self._cost(mesh_machine, 1024) > self._cost(hypercube_machine, 1024)
+
+    def test_sort_cost_dominates_merge(self):
+        n = 1024
+        data = np.random.default_rng(1).uniform(size=n)
+        ms, mm = mesh_machine(n), mesh_machine(n)
+        bitonic_sort(ms, data)
+        half_sorted = np.concatenate([np.sort(data[: n // 2]), np.sort(data[n // 2 :])])
+        bitonic_merge(mm, half_sorted)
+        assert mm.metrics.time < ms.metrics.time

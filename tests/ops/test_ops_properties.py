@@ -1,0 +1,150 @@
+"""Property-based and contract tests across the operation library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationContractError
+from repro.machines import hypercube_machine, mesh_machine
+from repro.ops import (
+    bitonic_merge,
+    bitonic_sort,
+    broadcast,
+    concurrent_read,
+    concurrent_write,
+    parallel_prefix,
+    parallel_suffix,
+    semigroup,
+)
+
+
+def pad_pow2(xs, fill):
+    n = 1 << max(0, (len(xs) - 1)).bit_length() if xs else 1
+    n = max(n, 2)
+    return np.array(list(xs) + [fill] * (n - len(xs)))
+
+
+class TestNaNGuards:
+    def test_sort_rejects_nan_keys(self):
+        keys = np.array([1.0, float("nan"), 2.0, 0.0])
+        with pytest.raises(OperationContractError):
+            bitonic_sort(mesh_machine(4), keys)
+
+    def test_merge_rejects_nan_keys(self):
+        keys = np.array([1.0, 2.0, float("nan"), 4.0])
+        with pytest.raises(OperationContractError):
+            bitonic_merge(mesh_machine(4), keys)
+
+    def test_inf_keys_allowed(self):
+        keys = np.array([np.inf, 1.0, -np.inf, 2.0])
+        (out,), _ = bitonic_sort(mesh_machine(4), keys)
+        assert out[0] == -np.inf and out[-1] == np.inf
+
+
+class TestObjectPayloads:
+    def test_sort_with_python_object_keys(self):
+        keys = np.empty(4, dtype=object)
+        keys[:] = [(2, "b"), (1, "z"), (1, "a"), (3, "q")]
+        (out,), _ = bitonic_sort(hypercube_machine(4), keys)
+        assert list(out) == [(1, "a"), (1, "z"), (2, "b"), (3, "q")]
+
+    def test_semigroup_object_op(self):
+        vals = np.array([{1}, {2}, {3}, {4}], dtype=object)
+        union = np.frompyfunc(lambda a, b: a | b, 2, 1)
+        out = semigroup(mesh_machine(4), vals, union)
+        assert all(v == {1, 2, 3, 4} for v in out)
+
+    def test_broadcast_object_values(self):
+        vals = np.array([None, ("payload", 7), None, None], dtype=object)
+        marked = np.array([0, 1, 0, 0], dtype=bool)
+        out = broadcast(mesh_machine(4), vals, marked)
+        assert all(v == ("payload", 7) for v in out)
+
+
+class TestScanAlgebra:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_suffix_mirror(self, xs):
+        data = pad_pow2(xs, 0).astype(np.int64)
+        m = hypercube_machine(len(data))
+        pre = parallel_prefix(m, data, np.add)
+        suf = parallel_suffix(m, data[::-1].copy(), np.add)
+        np.testing.assert_array_equal(pre, suf[::-1])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_semigroup_equals_prefix_tail(self, xs):
+        data = pad_pow2(xs, 0).astype(np.int64)
+        m = mesh_machine(4)
+        total = semigroup(m, data, np.add)
+        pre = parallel_prefix(m, data, np.add)
+        assert total[0] == pre[-1]
+
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_segmented_prefix_never_crosses(self, seg_list):
+        segs = pad_pow2(seg_list, seg_list[-1])
+        segs = np.sort(segs)  # segments must be runs
+        data = np.ones(len(segs), dtype=np.int64)
+        out = parallel_prefix(hypercube_machine(len(segs)), data, np.add,
+                              segments=segs)
+        # Within each run the prefix restarts from 1 and counts up.
+        for sid in np.unique(segs):
+            run = out[segs == sid]
+            np.testing.assert_array_equal(run, np.arange(1, len(run) + 1))
+
+
+class TestSortAlgebra:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_idempotent(self, xs):
+        data = pad_pow2(xs, 10**6).astype(np.int64)
+        m = hypercube_machine(len(data))
+        (once,), _ = bitonic_sort(m, data)
+        (twice,), _ = bitonic_sort(m, once)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_sorted_halves_equals_sort(self, xs):
+        n = 1 << (len(xs) - 1).bit_length()
+        data = np.array(xs + [10**6] * (n - len(xs)), dtype=np.int64)
+        half = n // 2
+        arranged = np.concatenate([np.sort(data[:half]), np.sort(data[half:])])
+        m = mesh_machine(4)
+        (merged,), _ = bitonic_merge(m, arranged)
+        np.testing.assert_array_equal(merged, np.sort(data))
+
+    def test_descending_segmented(self):
+        data = np.array([1.0, 4.0, 2.0, 3.0, 9.0, 5.0, 7.0, 6.0])
+        (out,), _ = bitonic_sort(mesh_machine(4), data, ascending=False,
+                                 segment_size=4)
+        np.testing.assert_allclose(out, [4, 3, 2, 1, 9, 7, 6, 5])
+
+
+class TestConcurrentProperties:
+    @given(st.dictionaries(st.integers(0, 30), st.integers(-99, 99),
+                           min_size=1, max_size=10),
+           st.lists(st.integers(0, 40), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_read_is_dictionary_lookup(self, table, queries):
+        mkeys = np.array(sorted(table))
+        mvals = np.array([table[k] for k in sorted(table)], dtype=object)
+        out = concurrent_read(hypercube_machine(4), mkeys, mvals,
+                              np.array(queries), default="MISS")
+        for q, got in zip(queries, out):
+            assert got == table.get(q, "MISS")
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(1, 9)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_write_sums_match_groupby(self, writes):
+        mkeys = np.arange(6)
+        rkeys = np.array([k for k, _ in writes])
+        rvals = np.array([v for _, v in writes], dtype=object)
+        out = concurrent_write(mesh_machine(4), mkeys, rkeys, rvals,
+                               lambda a, b: a + b, default=0)
+        for key in range(6):
+            want = sum(v for k, v in writes if k == key)
+            assert out[key] == want

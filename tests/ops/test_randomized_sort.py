@@ -1,0 +1,83 @@
+"""Tests for the expected-time (randomized) sorting substrate."""
+
+import numpy as np
+import pytest
+
+from repro.machines import hypercube_machine
+from repro.ops import bitonic_sort, concurrent_read
+
+
+class TestRandomizedSort:
+    def test_same_answers_as_deterministic(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(size=256)
+        tags = np.arange(256)
+        det = hypercube_machine(256)
+        rnd = hypercube_machine(256, randomized=True)
+        (kd,), (td,) = bitonic_sort(det, data, [tags])
+        (kr,), (tr,) = bitonic_sort(rnd, data, [tags])
+        np.testing.assert_array_equal(kd, kr)
+        np.testing.assert_array_equal(td, tr)
+
+    def test_expected_time_is_cheaper_at_scale(self):
+        """Table 1's expected column: randomized beats bitonic for large n."""
+        n = 4096
+        data = np.random.default_rng(1).uniform(size=n)
+        det = hypercube_machine(n)
+        rnd = hypercube_machine(n, randomized=True)
+        bitonic_sort(det, data)
+        bitonic_sort(rnd, data)
+        assert rnd.metrics.comm_time < det.metrics.comm_time
+
+    def test_expected_time_scaling_is_log_class(self):
+        times = []
+        for n in (256, 1024, 4096):
+            m = hypercube_machine(n, randomized=True)
+            bitonic_sort(m, np.random.default_rng(2).uniform(size=n))
+            times.append(m.metrics.comm_time)
+        # 16x data -> well under 2x rounds (log growth).
+        assert times[-1] < 2.5 * times[0]
+
+    def test_lexicographic_keys(self):
+        m = hypercube_machine(8, randomized=True)
+        k1 = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+        k2 = np.array([3.0, 1.0, 1.0, 2.0, 2.0, 3.0, 0.0, 0.0])
+        (s1, s2), _ = bitonic_sort(m, [k1, k2])
+        assert list(s1[:4]) == [0, 0, 0, 0]
+        assert list(s2[:4]) == sorted(s2[:4])
+
+    def test_descending(self):
+        m = hypercube_machine(8, randomized=True)
+        (out,), _ = bitonic_sort(m, np.arange(8.0), ascending=False)
+        np.testing.assert_array_equal(out, np.arange(8.0)[::-1])
+
+    def test_segmented_falls_back_to_bitonic(self):
+        """Segmented sorts keep the deterministic network (the randomized
+        substrate routes globally)."""
+        m = hypercube_machine(8, randomized=True)
+        data = np.array([3.0, 1.0, 2.0, 0.0, 7.0, 5.0, 6.0, 4.0])
+        (out,), _ = bitonic_sort(m, data, segment_size=4)
+        np.testing.assert_array_equal(out, [0, 1, 2, 3, 4, 5, 6, 7])
+
+    def test_steady_pipeline_end_to_end_expected_time(self):
+        """The Table 3 expected column measured end-to-end: the same
+        steady-state closest pair, cheaper on the randomized machine."""
+        from repro import divergent_system, steady_closest_pair
+        system = divergent_system(64, d=2, seed=3)
+        det = hypercube_machine(64)
+        rnd = hypercube_machine(64, randomized=True)
+        a = steady_closest_pair(det, system)
+        b = steady_closest_pair(rnd, system)
+        assert a == b
+
+    def test_sort_dominated_concurrent_read_benefits(self):
+        n = 1024
+        mkeys = np.arange(n // 2)
+        mvals = np.arange(n // 2).astype(object)
+        queries = np.random.default_rng(5).integers(0, n // 2, n // 2)
+        det = hypercube_machine(n)
+        rnd = hypercube_machine(n, randomized=True)
+        a = concurrent_read(det, mkeys, mvals, queries)
+        b = concurrent_read(rnd, mkeys, mvals, queries)
+        assert list(a) == list(b)
+        assert rnd.metrics.comm_time < det.metrics.comm_time

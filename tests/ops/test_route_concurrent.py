@@ -1,0 +1,179 @@
+"""Unit tests for repro.ops.route and repro.ops.concurrent."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationContractError
+from repro.machines import hypercube_machine, mesh_machine
+from repro.ops import (
+    concurrent_read,
+    concurrent_write,
+    interval_locate,
+    pack,
+    permute,
+    unpack_lists,
+)
+
+
+class TestPack:
+    def test_basic(self):
+        mask = np.array([0, 1, 0, 1], dtype=bool)
+        vals = np.array([10.0, 20.0, 30.0, 40.0])
+        (out,), count = pack(mesh_machine(4), mask, [vals])
+        assert count == 2
+        np.testing.assert_allclose(out[:2], [20.0, 40.0])
+
+    def test_preserves_order(self):
+        mask = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=bool)
+        vals = np.arange(8)
+        (out,), count = pack(hypercube_machine(8), mask, [vals])
+        assert count == 4
+        assert list(out[:4]) == [0, 2, 3, 5]
+
+    def test_object_payload_and_fill(self):
+        mask = np.array([0, 1, 0, 0], dtype=bool)
+        vals = np.array(["a", "b", "c", "d"], dtype=object)
+        (out,), count = pack(mesh_machine(4), mask, [vals], fill="-")
+        assert list(out) == ["b", "-", "-", "-"]
+
+    def test_none_marked(self):
+        mask = np.zeros(4, dtype=bool)
+        (out,), count = pack(mesh_machine(4), mask, [np.zeros(4)])
+        assert count == 0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(OperationContractError):
+            pack(mesh_machine(4), np.zeros(4, dtype=bool), [np.zeros(8)])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_pack(self, bits):
+        n = 1 << (len(bits) - 1).bit_length()
+        mask = np.array(bits + [False] * (n - len(bits)))
+        vals = np.arange(n)
+        (out,), count = pack(hypercube_machine(max(n, 2)), mask, [vals])
+        assert count == int(mask.sum())
+        assert list(out[:count]) == list(vals[mask])
+
+
+class TestUnpack:
+    def test_flattens_in_order(self):
+        lists = np.empty(4, dtype=object)
+        lists[:] = [[1, 2], [], [3], [4, 5, 6]]
+        flat, total = unpack_lists(mesh_machine(4), lists)
+        assert total == 6
+        assert list(flat[:6]) == [1, 2, 3, 4, 5, 6]
+        assert len(flat) == 8  # next power of two
+
+    def test_explicit_output_length(self):
+        lists = np.empty(2, dtype=object)
+        lists[:] = [[1], [2]]
+        flat, total = unpack_lists(mesh_machine(4), lists, out_length=4)
+        assert len(flat) == 4 and total == 2
+
+    def test_overflow_raises(self):
+        lists = np.empty(2, dtype=object)
+        lists[:] = [[1, 2, 3], [4]]
+        with pytest.raises(OperationContractError):
+            unpack_lists(mesh_machine(4), lists, out_length=2)
+
+    def test_all_empty(self):
+        lists = np.empty(4, dtype=object)
+        lists[:] = [[], [], [], []]
+        flat, total = unpack_lists(mesh_machine(4), lists)
+        assert total == 0
+
+
+class TestPermute:
+    def test_routes_to_destinations(self):
+        dest = np.array([2, 0, 3, 1])
+        vals = np.array([10, 20, 30, 40])
+        (out,) = permute(mesh_machine(4), dest, [vals])
+        # item i goes to slot dest[i]
+        assert list(out) == [20, 40, 10, 30]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(OperationContractError):
+            permute(mesh_machine(4), np.array([0, 0, 1, 2]), [np.zeros(4)])
+
+
+class TestConcurrentRead:
+    def test_exact_matches(self):
+        mkeys = np.array([10, 20, 30])
+        mvals = np.array(["x", "y", "z"], dtype=object)
+        qkeys = np.array([30, 10, 10, 99])
+        out = concurrent_read(mesh_machine(4), mkeys, mvals, qkeys, default="?")
+        assert list(out) == ["z", "x", "x", "?"]
+
+    def test_many_readers_one_master(self):
+        """The defining CR pattern: n readers of a single cell."""
+        mkeys = np.array([1])
+        mvals = np.array([3.14], dtype=object)
+        qkeys = np.ones(16, dtype=np.int64)
+        out = concurrent_read(hypercube_machine(16), mkeys, mvals, qkeys)
+        assert all(v == 3.14 for v in out)
+
+    def test_empty_masters_rejected(self):
+        with pytest.raises(OperationContractError):
+            concurrent_read(mesh_machine(4), np.array([]), np.array([]),
+                            np.array([1]))
+
+    def test_cost_matches_sort_class(self):
+        """CR costs Theta(sqrt(n)) mesh / Theta(log^2 n) hypercube (Sec. 6)."""
+        n = 256
+        mkeys = np.arange(n // 2)
+        mvals = np.arange(n // 2).astype(object)
+        qkeys = np.random.default_rng(0).integers(0, n // 2, n // 2)
+        mesh = mesh_machine(n)
+        concurrent_read(mesh, mkeys, mvals, qkeys)
+        cube = hypercube_machine(n)
+        concurrent_read(cube, mkeys, mvals, qkeys)
+        assert mesh.metrics.time > cube.metrics.time
+
+
+class TestConcurrentWrite:
+    def test_combining_semantics(self):
+        mkeys = np.array([1, 2, 3])
+        rkeys = np.array([1, 1, 3, 1])
+        rvals = np.array([5.0, 2.0, 9.0, 1.0], dtype=object)
+        out = concurrent_write(mesh_machine(16), mkeys, rkeys, rvals, min,
+                               default=None)
+        assert out[0] == 1.0  # min of 5, 2, 1
+        assert out[1] is None  # nobody wrote
+        assert out[2] == 9.0
+
+    def test_sum_combine(self):
+        mkeys = np.array([0, 1])
+        rkeys = np.array([0, 0, 0, 1])
+        rvals = np.array([1, 1, 1, 7], dtype=object)
+        out = concurrent_write(hypercube_machine(8), mkeys, rkeys, rvals,
+                               lambda a, b: a + b)
+        assert list(out) == [3, 7]
+
+
+class TestIntervalLocate:
+    def test_basic(self):
+        bounds = np.array([0.0, 10.0, 20.0])
+        queries = np.array([5.0, 10.0, 25.0, -3.0])
+        out = interval_locate(mesh_machine(16), bounds, queries)
+        assert list(out) == [0, 1, 2, -1]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(OperationContractError):
+            interval_locate(mesh_machine(4), np.array([3.0, 1.0]),
+                            np.array([2.0]))
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=10, unique=True),
+        st.lists(st.integers(-10, 110), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_searchsorted(self, bounds, queries):
+        bounds = sorted(bounds)
+        got = interval_locate(
+            mesh_machine(4), np.array(bounds), np.array(queries)
+        )
+        want = np.searchsorted(bounds, queries, side="right") - 1
+        np.testing.assert_array_equal(got, want)

@@ -1,0 +1,181 @@
+"""Unit tests for repro.ops.scan (Table 1: semigroup, broadcast, prefix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationContractError
+from repro.machines import hypercube_machine, mesh_machine, serial_machine
+from repro.ops import (
+    broadcast,
+    fill_backward,
+    fill_forward,
+    parallel_prefix,
+    parallel_suffix,
+    semigroup,
+)
+
+
+class TestPrefix:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
+    def test_matches_cumsum(self, n):
+        rng = np.random.default_rng(n)
+        data = rng.integers(-5, 5, n).astype(np.int64)
+        for m in (mesh_machine(max(4, 4 ** ((max(n, 4) - 1).bit_length() + 1 >> 1))),
+                  hypercube_machine(max(n, 4))):
+            out = parallel_prefix(m, data, np.add)
+            np.testing.assert_array_equal(out, np.cumsum(data))
+
+    def test_max_scan(self):
+        data = np.array([3.0, 1.0, 7.0, 2.0])
+        out = parallel_prefix(mesh_machine(4), data, np.maximum)
+        np.testing.assert_allclose(out, [3, 3, 7, 7])
+
+    def test_segmented(self):
+        data = np.array([1, 1, 1, 1, 1, 1, 1, 1], dtype=np.int64)
+        segs = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        out = parallel_prefix(mesh_machine(4), data, np.add, segments=segs)
+        np.testing.assert_array_equal(out, [1, 2, 3, 1, 2, 1, 2, 3])
+
+    def test_noncommutative_op(self):
+        """Prefix must respect operand order (string concatenation)."""
+        data = np.array(["a", "b", "c", "d"], dtype=object)
+        out = parallel_prefix(mesh_machine(4), data, np.add)
+        assert list(out) == ["a", "ab", "abc", "abcd"]
+
+    def test_suffix_noncommutative(self):
+        data = np.array(["a", "b", "c", "d"], dtype=object)
+        out = parallel_suffix(mesh_machine(4), data, np.add)
+        assert list(out) == ["abcd", "bcd", "cd", "d"]
+
+    def test_rejects_bad_segments_length(self):
+        with pytest.raises(OperationContractError):
+            parallel_prefix(mesh_machine(4), np.zeros(4), np.add,
+                            segments=np.zeros(2))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(OperationContractError):
+            parallel_prefix(mesh_machine(4), np.zeros(6), np.add)
+
+    def test_input_unmodified(self):
+        data = np.array([1, 2], dtype=np.int64)
+        parallel_prefix(mesh_machine(4), data, np.add)
+        assert list(data) == [1, 2]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_prefix(self, xs):
+        n = 1 << (len(xs) - 1).bit_length()
+        data = np.array(xs + [0] * (n - len(xs)), dtype=np.int64)
+        out = parallel_prefix(hypercube_machine(max(n, 2)), data, np.add)
+        np.testing.assert_array_equal(out, np.cumsum(data))
+
+
+class TestSemigroup:
+    def test_unsegmented_total_everywhere(self):
+        data = np.arange(8, dtype=np.int64)
+        out = semigroup(hypercube_machine(8), data, np.add)
+        np.testing.assert_array_equal(out, np.full(8, 28))
+
+    def test_min_operation(self):
+        data = np.array([5.0, 2.0, 9.0, 4.0])
+        out = semigroup(mesh_machine(4), data, np.minimum)
+        np.testing.assert_allclose(out, np.full(4, 2.0))
+
+    def test_segmented(self):
+        data = np.array([1, 2, 3, 4, 10, 20, 30, 40], dtype=np.int64)
+        segs = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        out = semigroup(mesh_machine(4), data, np.add, segments=segs)
+        np.testing.assert_array_equal(out, [10, 10, 10, 10, 100, 100, 100, 100])
+
+    def test_segmented_unaligned(self):
+        data = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.int64)
+        segs = np.array([0, 0, 0, 1, 1, 1, 1, 1])
+        out = semigroup(mesh_machine(4), data, np.add, segments=segs)
+        np.testing.assert_array_equal(out, [6, 6, 6, 30, 30, 30, 30, 30])
+
+    def test_semigroup_cheaper_than_sort_on_hypercube(self):
+        """Table 1: semigroup Theta(log n) vs sort Theta(log^2 n)."""
+        from repro.ops import bitonic_sort
+        n = 1024
+        data = np.random.default_rng(0).uniform(size=n)
+        m1, m2 = hypercube_machine(n), hypercube_machine(n)
+        semigroup(m1, data, np.minimum)
+        bitonic_sort(m2, data)
+        assert m1.metrics.time * 3 < m2.metrics.time
+
+
+class TestFills:
+    def test_fill_forward(self):
+        vals = np.array([9.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0])
+        defined = np.array([1, 0, 0, 1, 0, 0, 0, 0], dtype=bool)
+        out = fill_forward(mesh_machine(4), vals, defined)
+        np.testing.assert_allclose(out, [9, 9, 9, 5, 5, 5, 5, 5])
+
+    def test_fill_forward_nearest_wins(self):
+        vals = np.array([1.0, 0, 2.0, 0, 0, 0, 3.0, 0])
+        defined = np.array([1, 0, 1, 0, 0, 0, 1, 0], dtype=bool)
+        out = fill_forward(mesh_machine(4), vals, defined)
+        np.testing.assert_allclose(out, [1, 1, 2, 2, 2, 2, 3, 3])
+
+    def test_fill_backward(self):
+        vals = np.array([0.0, 0.0, 7.0, 0.0])
+        defined = np.array([0, 0, 1, 0], dtype=bool)
+        out = fill_backward(mesh_machine(4), vals, defined)
+        np.testing.assert_allclose(out, [7, 7, 7, 0])
+
+    def test_fill_respects_segments(self):
+        vals = np.array([9.0, 0, 0, 0])
+        defined = np.array([1, 0, 0, 0], dtype=bool)
+        segs = np.array([0, 0, 1, 1])
+        out = fill_forward(mesh_machine(4), vals, defined, segments=segs)
+        np.testing.assert_allclose(out, [9, 9, 0, 0])
+
+    def test_undefined_slots_keep_values_without_source(self):
+        vals = np.array([1.0, 2.0, 3.0, 9.0])
+        defined = np.array([0, 0, 0, 1], dtype=bool)
+        out = fill_forward(mesh_machine(4), vals, defined)
+        np.testing.assert_allclose(out, [1, 2, 3, 9])
+
+
+class TestBroadcast:
+    def test_single_source(self):
+        vals = np.array([0.0, 0.0, 42.0, 0.0])
+        marked = np.array([0, 0, 1, 0], dtype=bool)
+        out = broadcast(mesh_machine(4), vals, marked)
+        np.testing.assert_allclose(out, np.full(4, 42.0))
+
+    def test_segmented_broadcast(self):
+        vals = np.array([0.0, 7.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0])
+        marked = np.array([0, 1, 0, 0, 0, 0, 1, 0], dtype=bool)
+        segs = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        out = broadcast(hypercube_machine(8), vals, marked, segments=segs)
+        np.testing.assert_allclose(out, [7, 7, 7, 7, 3, 3, 3, 3])
+
+    def test_unmarked_segment_untouched(self):
+        vals = np.array([1.0, 2.0, 5.0, 0.0])
+        marked = np.array([0, 0, 1, 0], dtype=bool)
+        segs = np.array([0, 0, 1, 1])
+        out = broadcast(mesh_machine(4), vals, marked, segments=segs)
+        np.testing.assert_allclose(out, [1, 2, 5, 5])
+
+    def test_broadcast_cost_mesh_sqrt(self):
+        """Table 1: broadcast Theta(sqrt(n)) on the mesh."""
+        def cost(n):
+            m = mesh_machine(n)
+            vals = np.zeros(n)
+            marked = np.zeros(n, dtype=bool)
+            marked[0] = True
+            broadcast(m, vals, marked)
+            return m.metrics.time
+        ratio = cost(4096) / cost(256)
+        assert 2.5 < ratio < 6.0  # ~sqrt(16) = 4
+
+
+class TestSerialMachineCosts:
+    def test_serial_prefix_costs_linear_work(self):
+        m = serial_machine()
+        parallel_prefix(m, np.zeros(64, dtype=np.int64), np.add)
+        # log2(64) rounds, each costing 64 local slots.
+        assert m.metrics.time == 6 * 64

@@ -1,0 +1,68 @@
+"""Tests for repro.analysis (scaling fits and table rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScalingFit,
+    geometric_sizes,
+    polylog_fit,
+    power_fit,
+    render_table,
+)
+
+
+class TestPowerFit:
+    def test_exact_power_law(self):
+        sizes = [16, 64, 256, 1024]
+        times = [3 * n**0.5 for n in sizes]
+        fit = power_fit(sizes, times)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        sizes = [2**i for i in range(4, 12)]
+        times = [n * rng.uniform(0.9, 1.1) for n in sizes]
+        fit = power_fit(sizes, times)
+        assert 0.9 < fit.exponent < 1.1
+        assert fit.r_squared > 0.98
+
+    def test_describe(self):
+        fit = ScalingFit(0.5, 1.0, 0.999)
+        assert "n^0.50" in fit.describe()
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            power_fit([4], [1.0])
+
+
+class TestPolylogFit:
+    def test_log_squared(self):
+        sizes = [64, 256, 1024, 4096]
+        times = [np.log2(n) ** 2 for n in sizes]
+        assert polylog_fit(sizes, times) == pytest.approx(2.0, abs=1e-9)
+
+    def test_plain_log(self):
+        sizes = [64, 256, 1024, 4096]
+        times = [5 * np.log2(n) for n in sizes]
+        assert polylog_fit(sizes, times) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestHelpers:
+    def test_geometric_sizes(self):
+        assert geometric_sizes(16, 1024, factor=4) == [16, 64, 256, 1024]
+        assert geometric_sizes(8, 8) == [8]
+
+    def test_render_table(self):
+        lines = []
+        render_table("T", ["a", "bb"], [[1, 2.5], ["xy", 1e9]],
+                     out=lines.append)
+        text = "\n".join(lines)
+        assert "=== T ===" in text
+        assert "2.50" in text
+        assert "1.00e+09" in text
+        # Alignment: all data rows have the same width.
+        widths = {len(line) for line in lines[1:] if "|" in line or "-+-" in line}
+        assert len(widths) == 1

@@ -1,0 +1,108 @@
+"""Golden-number regression tests for the cost model.
+
+The simulators are fully deterministic, so the *exact* simulated time of a
+fixed operation on a fixed input is a stable contract.  These tests pin
+those numbers: any change to the cost model (even a constant factor) shows
+up here immediately, separating intentional model changes from accidents.
+
+When a model change is intentional, update the golden numbers and the
+affected rows of EXPERIMENTS.md together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    ccc_machine,
+    hypercube_machine,
+    mesh_machine,
+    pram_machine,
+)
+from repro.ops import (
+    bitonic_merge,
+    bitonic_sort,
+    broadcast,
+    parallel_prefix,
+    semigroup,
+)
+
+
+def fixed_data(n):
+    return np.random.default_rng(123).uniform(size=n)
+
+
+class TestGoldenOpCosts:
+    """Exact comm_time of the Table 1 operations at n = 256."""
+
+    N = 256
+
+    def _run(self, mk, op):
+        m = mk(self.N)
+        data = fixed_data(self.N)
+        if op == "sort":
+            bitonic_sort(m, data)
+        elif op == "merge":
+            arranged = np.concatenate(
+                [np.sort(data[: self.N // 2]), np.sort(data[self.N // 2:])]
+            )
+            bitonic_merge(m, arranged)
+        elif op == "prefix":
+            parallel_prefix(m, data, np.add)
+        elif op == "semigroup":
+            semigroup(m, data, np.minimum)
+        elif op == "broadcast":
+            marked = np.zeros(self.N, dtype=bool)
+            marked[0] = True
+            broadcast(m, data, marked)
+        return m.metrics.comm_time
+
+    # Mesh (shuffled-row-major): per-bit distances 1,1,2,2,4,4,8,8 sum 30.
+    @pytest.mark.parametrize("op,want", [
+        ("semigroup", 30.0),       # one doubling sweep
+        ("prefix", 30.0),          # one doubling sweep
+        ("broadcast", 60.0),       # forward + backward fill
+        ("merge", 38.0),           # long shift (8) + one merge stage (30)
+        ("sort", 89.0),            # Thompson-Kung geometric stage total
+    ])
+    def test_mesh_costs(self, op, want):
+        assert self._run(mesh_machine, op) == want
+
+    # Hypercube: unit distance per bit; log n = 8.
+    @pytest.mark.parametrize("op,want", [
+        ("semigroup", 8.0),
+        ("prefix", 8.0),
+        ("broadcast", 16.0),
+        ("merge", 9.0),            # reversal (1) + 8 stages
+        ("sort", 36.0),            # 8 * 9 / 2
+    ])
+    def test_hypercube_costs(self, op, want):
+        assert self._run(hypercube_machine, op) == want
+
+    def test_ccc_is_exactly_3x_cube(self):
+        assert self._run(ccc_machine, "sort") == 3 * self._run(
+            hypercube_machine, "sort"
+        )
+
+    def test_pram_unit_rounds(self):
+        assert self._run(pram_machine, "semigroup") == 8.0  # rounds at cost 1
+
+
+class TestGoldenDiameters:
+    def test_values(self):
+        assert mesh_machine(1024).topology.diameter == 62.0
+        assert hypercube_machine(1024).topology.diameter == 10.0
+        assert ccc_machine(1024).topology.diameter == 25.0
+
+
+class TestGoldenEnvelopeCost:
+    def test_mesh_envelope_pinned(self):
+        """End-to-end envelope cost on a fixed workload is deterministic."""
+        from repro import PolynomialFamily, Polynomial, envelope
+        rng = np.random.default_rng(77)
+        fns = [Polynomial(rng.uniform(-10, 10, 2)) for _ in range(64)]
+        m1 = mesh_machine(256)
+        m2 = mesh_machine(256)
+        envelope(m1, fns, PolynomialFamily(1))
+        envelope(m2, fns, PolynomialFamily(1))
+        assert m1.metrics.time == m2.metrics.time
+        assert m1.metrics.time > 0

@@ -1,0 +1,122 @@
+"""One end-to-end scenario exercising the whole library together.
+
+A 10-point planar system is analysed with every capability of the paper:
+the transient Section 4 suite, the steady-state Section 5 suite, the
+Section 6 pair sequences, serialization round trips, and machine-cost
+sanity relations — all answers cross-checked against each other and
+against brute force.  If any two subsystems disagree about the same
+underlying physics, this test is where it surfaces.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    closest_pair_sequence,
+    closest_point_sequence,
+    collision_times,
+    containment_intervals,
+    enclosing_cube_edge_function,
+    farthest_pair_sequence,
+    hull_membership_intervals,
+    hypercube_machine,
+    is_extreme_at,
+    mesh_machine,
+    random_system,
+    smallest_enclosing_cube_ever,
+    steady_closest_pair,
+    steady_farthest_pair,
+    steady_hull,
+    steady_nearest_neighbor,
+)
+from repro.baselines.brute import closest_pair_at, nearest_at
+from repro.io import piecewise_from_dict, piecewise_to_dict, system_from_dict, system_to_dict
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_system(10, d=2, k=1, seed=2024, scale=6.0)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return hypercube_machine(256)
+
+
+class TestStory:
+    def test_chapter1_transient_neighbors(self, system, machine):
+        seq = closest_point_sequence(machine, system)
+        for t in np.linspace(0.05, 40, 60):
+            j, d2 = nearest_at(system, 0, t)
+            assert seq(t) == pytest.approx(d2, rel=1e-6, abs=1e-6)
+        # Serialization round trip preserves the answer.
+        clone = piecewise_from_dict(piecewise_to_dict(seq))
+        assert clone.labels() == seq.labels()
+
+    def test_chapter2_pairs_vs_point_sequences(self, system):
+        pair_seq = closest_pair_sequence(None, system)
+        for t in (0.3, 4.0, 17.0):
+            _, _, want = closest_pair_at(system, t)
+            assert pair_seq(t) == pytest.approx(want, rel=1e-6)
+        far_seq = farthest_pair_sequence(None, system)
+        for t in (0.3, 4.0, 17.0):
+            assert far_seq(t) >= pair_seq(t)
+
+    def test_chapter3_containment_consistency(self, system):
+        D = enclosing_cube_edge_function(None, system)
+        d_min, t_min = smallest_enclosing_cube_ever(None, system)
+        assert D(t_min) == pytest.approx(d_min, rel=1e-9, abs=1e-9)
+        # Fits-in-box with the minimal edge: t_min must lie inside some
+        # reported window; box slightly smaller than d_min: never fits
+        # around t_min.
+        fits = containment_intervals(None, system, [d_min * 1.001] * 2)
+        assert any(lo - 1e-6 <= t_min <= hi + 1e-6 for lo, hi in fits)
+        too_small = containment_intervals(None, system, [d_min * 0.8] * 2)
+        assert not any(lo <= t_min <= hi for lo, hi in too_small)
+
+    def test_chapter4_membership_vs_oracle_and_steady(self, system):
+        intervals = hull_membership_intervals(None, system, query=0)
+        ends = [e for iv in intervals for e in iv if math.isfinite(e)]
+        for t in np.linspace(0.05, 30, 80):
+            if any(abs(t - e) < 0.05 for e in ends):
+                continue
+            inside = any(lo - 1e-9 <= t <= hi + 1e-9 for lo, hi in intervals)
+            assert inside == is_extreme_at(system, 0, t)
+        steady_extreme = 0 in steady_hull(None, system)
+        tail = bool(intervals) and math.isinf(intervals[-1][1])
+        assert tail == steady_extreme
+
+    def test_chapter5_steady_matches_transient_tails(self, system):
+        nn_seq = closest_point_sequence(None, system)
+        assert steady_nearest_neighbor(None, system) == nn_seq.labels()[-1]
+        cp_seq = closest_pair_sequence(None, system)
+        assert tuple(sorted(steady_closest_pair(None, system))) == \
+            tuple(sorted(cp_seq.labels()[-1]))
+        fp_seq = farthest_pair_sequence(None, system)
+        assert tuple(sorted(steady_farthest_pair(None, system))) == \
+            tuple(sorted(fp_seq.labels()[-1]))
+
+    def test_chapter6_costs_are_sane(self, system):
+        mesh = mesh_machine(256)
+        cube = hypercube_machine(256)
+        closest_point_sequence(mesh, system)
+        closest_point_sequence(cube, system)
+        assert mesh.metrics.time > cube.metrics.time > 0
+        assert mesh.metrics.comm_time <= mesh.metrics.time
+
+    def test_chapter7_collisions_complete(self, system):
+        times = collision_times(None, system)
+        # Every reported time really is a meeting; brute-scan finds no
+        # extra meetings between reported times.
+        for t in times:
+            pos = system.positions(t)
+            d = np.linalg.norm(pos - pos[0], axis=1)
+            d[0] = np.inf
+            assert d.min() < 1e-3
+
+    def test_chapter8_system_round_trip(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        np.testing.assert_allclose(clone.positions(12.3),
+                                   system.positions(12.3))

@@ -1,0 +1,99 @@
+"""Tests for repro.io — JSON round-tripping of systems and results."""
+
+import io as stdio
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    PolynomialFamily,
+    ReproError,
+    closest_point_sequence,
+    random_system,
+)
+from repro.io import (
+    load_system,
+    piecewise_from_dict,
+    piecewise_to_dict,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.kinetics.motion import projectile_system
+
+
+class TestSystemRoundTrip:
+    @pytest.mark.parametrize("maker,kwargs", [
+        (random_system, dict(n=6, d=2, k=1, seed=3)),
+        (random_system, dict(n=4, d=3, k=2, seed=5)),
+        (projectile_system, dict(n=5, seed=1)),
+    ])
+    def test_round_trip_preserves_trajectories(self, maker, kwargs):
+        system = maker(**kwargs)
+        clone = system_from_dict(system_to_dict(system))
+        assert len(clone) == len(system)
+        assert clone.dimension == system.dimension
+        for t in (0.0, 1.7, 9.2):
+            np.testing.assert_allclose(clone.positions(t),
+                                       system.positions(t))
+
+    def test_file_round_trip(self):
+        system = random_system(4, seed=7)
+        buf = stdio.StringIO()
+        save_system(system, buf)
+        buf.seek(0)
+        clone = load_system(buf)
+        np.testing.assert_allclose(clone.positions(3.0), system.positions(3.0))
+
+    def test_document_is_plain_json(self):
+        doc = system_to_dict(random_system(3, seed=0))
+        json.dumps(doc)  # must not raise
+        assert doc["format"] == "repro/point-system"
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ReproError):
+            system_from_dict({"format": "something-else"})
+        with pytest.raises(ReproError):
+            system_from_dict({"format": "repro/point-system", "version": 99})
+
+    def test_rejects_dimension_mismatch(self):
+        doc = system_to_dict(random_system(3, d=2, seed=0))
+        doc["dimension"] = 3
+        with pytest.raises(ReproError):
+            system_from_dict(doc)
+
+
+class TestPiecewiseRoundTrip:
+    def test_envelope_round_trip(self):
+        system = random_system(6, d=2, k=1, seed=11)
+        env = closest_point_sequence(None, system)
+        clone = piecewise_from_dict(piecewise_to_dict(env))
+        assert clone.labels() == env.labels()
+        for t in (0.1, 2.0, 30.0):
+            assert clone(t) == pytest.approx(env(t))
+
+    def test_infinite_piece_round_trips(self):
+        system = random_system(3, seed=1)
+        env = closest_point_sequence(None, system)
+        doc = piecewise_to_dict(env)
+        assert doc["pieces"][-1]["hi"] is None
+        clone = piecewise_from_dict(doc)
+        assert np.isinf(clone[len(clone) - 1].hi)
+
+    def test_tuple_labels_round_trip(self):
+        from repro.core.pairs import closest_pair_sequence
+        system = random_system(4, seed=2)
+        env = closest_pair_sequence(None, system)
+        clone = piecewise_from_dict(piecewise_to_dict(env))
+        assert clone.labels() == env.labels()
+
+    def test_rejects_non_polynomial_pieces(self):
+        from repro.core.hull_membership import angle_restrictions
+        gs, _ = angle_restrictions(random_system(3, seed=0))
+        with pytest.raises(ReproError):
+            piecewise_to_dict(gs[0])
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ReproError):
+            piecewise_from_dict({"format": "nope"})

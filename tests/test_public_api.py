@@ -1,0 +1,70 @@
+"""The public API surface: importability, __all__ hygiene, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.kinetics", "repro.machines", "repro.ops", "repro.geometry",
+    "repro.core", "repro.core.steady", "repro.baselines.pram",
+    "repro.baselines.serial", "repro.baselines.brute", "repro.analysis",
+    "repro.machines.routing", "repro.core.pairs", "repro.errors",
+]
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_duplicates_in_all(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    @pytest.mark.parametrize("mod", SUBPACKAGES)
+    def test_subpackages_import(self, mod):
+        importlib.import_module(mod)
+
+    def test_every_public_callable_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(name)
+        assert not missing, f"missing docstrings: {missing}"
+
+    def test_every_public_class_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing
+
+    def test_subpackage_alls_resolve(self):
+        for mod_name in SUBPACKAGES:
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{mod_name}.{name}"
+
+
+class TestEndToEndSmoke:
+    """The README quickstart, verbatim semantics."""
+
+    def test_quickstart(self):
+        system = repro.random_system(16, d=2, k=1, seed=7)
+        machine = repro.mesh_machine(64)
+        seq = repro.closest_point_sequence(machine, system)
+        assert len(seq.labels()) >= 1
+        assert machine.metrics.time > 0
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.DegenerateSystemError, repro.ReproError)
+        assert issubclass(repro.MachineConfigurationError, repro.ReproError)
+        assert issubclass(repro.OperationContractError, repro.ReproError)
