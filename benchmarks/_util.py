@@ -9,14 +9,28 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import pathlib
+import sys
 
 from repro.analysis import render_table
+from repro.core.family import global_cache_stats
+from repro.machines.metrics import global_wall_phases
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def verbose() -> bool:
+    """True when the run asked for verbose output (pytest/CLI ``-v``)."""
+    return any(a in ("-v", "-vv", "--verbose") for a in sys.argv)
+
+
 def report(bench_name: str, title: str, headers, rows) -> None:
-    """Print a table and append it to the bench's results file."""
+    """Print a table and append it to the bench's results file.
+
+    Under ``--verbose`` a host-side diagnostics block (crossing-cache hit
+    rate, per-phase wall-clock) follows each table on stdout.  Diagnostics
+    never enter the results files: those record only simulated time and
+    must stay bit-identical across host-side optimisations.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     lines: list[str] = []
     render_table(title, headers, rows, out=lines.append)
@@ -24,6 +38,21 @@ def report(bench_name: str, title: str, headers, rows) -> None:
     print(text)
     with open(RESULTS_DIR / f"{bench_name}.txt", "a") as fh:
         fh.write(text + "\n")
+    if verbose():
+        diagnostics(bench_name)
+
+
+def diagnostics(label: str = "") -> None:
+    """Print process-wide host-side counters: cache hit rate, wall phases."""
+    stats = global_cache_stats()
+    prefix = f"[{label}] " if label else ""
+    print(f"{prefix}crossing cache: {stats['hits']} hits / "
+          f"{stats['misses']} misses (hit rate {stats['hit_rate']:.1%})")
+    phases = global_wall_phases()
+    if phases:
+        ranked = sorted(phases.items(), key=lambda kv: -kv[1])
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in ranked)
+        print(f"{prefix}wall-clock by phase: {parts}")
 
 
 def fresh(bench_name: str) -> None:

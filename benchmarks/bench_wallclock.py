@@ -1,0 +1,193 @@
+"""Wall-clock benchmark — real seconds, not simulated charges.
+
+Every other bench in this directory reports *simulated parallel time*, which
+is pure accounting and must stay bit-identical across host-side
+optimisations.  This bench measures the other axis: how long the simulator
+itself takes to run, in seconds, for three representative workloads
+(envelope construction, hull membership, steady-state hull).  Results go to
+``BENCH_wallclock.json`` at the repo root, with speedups against the seed
+revision's numbers (``SEED_SECONDS``, measured with this same harness on
+the pre-optimisation tree, min of 3 runs).
+
+Run directly (``python benchmarks/bench_wallclock.py [--smoke]``) or via
+pytest, where ``test_wallclock_report`` runs the full mode.  Smoke mode
+shrinks every workload so the whole sweep finishes in a few seconds; the
+tier-1 suite uses it through ``tests/test_wallclock_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.envelope import envelope
+from repro.core.family import PolynomialFamily
+from repro.core.hull_membership import hull_membership_intervals
+from repro.core.steady import steady_hull
+from repro.kinetics.motion import divergent_system, random_system
+from repro.kinetics.polynomial import Polynomial
+from repro.machines.machine import mesh_machine
+
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_wallclock.json"
+
+#: Seconds for the seed revision (commit d9f28b7), same harness, same
+#: parameters, min of 3 — the "before" of every speedup in the JSON.
+SEED_SECONDS = {
+    "full": {"envelope": 0.1507, "hull_membership": 0.0906,
+             "steady_hull": 1.1540},
+    "smoke": {"envelope": 0.0480, "hull_membership": 0.0287,
+              "steady_hull": 0.1608},
+}
+
+#: Workload parameters per mode.  ``envelope`` is the acceptance workload
+#: (n >= 256, k = 2): the recursive-halving hot path the batched root
+#: isolation and crossing cache were built for.
+PARAMS = {
+    "full": {
+        "envelope": {"n": 256, "k": 2, "n_pe": 1024},
+        "hull_membership": {"n": 32, "n_pe": 1024},
+        "steady_hull": {"n": 256, "n_pe": 256},
+    },
+    "smoke": {
+        "envelope": {"n": 64, "k": 2, "n_pe": 256},
+        "hull_membership": {"n": 12, "n_pe": 256},
+        "steady_hull": {"n": 48, "n_pe": 64},
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads: each builder returns a zero-argument callable that runs one
+# full pass on a fresh machine and returns that machine.  Inputs are built
+# once per workload (outside the timed region); machines and families are
+# fresh per repeat so the crossing cache never carries over between runs.
+# ----------------------------------------------------------------------
+def _envelope_workload(n: int, k: int, n_pe: int):
+    rng = np.random.default_rng(0)
+    polys = [Polynomial(rng.normal(size=k + 1)) for _ in range(n)]
+
+    def run():
+        machine = mesh_machine(n_pe)
+        envelope(machine, polys, PolynomialFamily(k))
+        return machine
+
+    return run
+
+
+def _hull_workload(n: int, n_pe: int):
+    system = random_system(n, 2, 1, seed=3)
+
+    def run():
+        machine = mesh_machine(n_pe)
+        hull_membership_intervals(machine, system)
+        return machine
+
+    return run
+
+
+def _steady_hull_workload(n: int, n_pe: int):
+    system = divergent_system(n, 2, 1, seed=1)
+
+    def run():
+        machine = mesh_machine(n_pe)
+        steady_hull(machine, system)
+        return machine
+
+    return run
+
+
+_BUILDERS = {
+    "envelope": _envelope_workload,
+    "hull_membership": _hull_workload,
+    "steady_hull": _steady_hull_workload,
+}
+
+
+def _measure(run, repeats: int):
+    """Min/mean wall seconds over ``repeats`` runs, plus the last machine."""
+    seconds = []
+    machine = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        machine = run()
+        seconds.append(time.perf_counter() - t0)
+    return min(seconds), sum(seconds) / len(seconds), machine
+
+
+def run_wallclock(mode: str = "full", repeats: int = 3,
+                  json_path: pathlib.Path | None = JSON_PATH) -> dict:
+    """Measure every workload; return (and optionally write) the results.
+
+    Each workload entry records measured seconds (min and mean of
+    ``repeats``), the seed baseline, the speedup, the *simulated* time the
+    run charged (the number that must never move), and — when the current
+    tree provides them — per-phase wall-clock and crossing-cache counters.
+    """
+    results: dict = {"mode": mode, "repeats": repeats, "workloads": {}}
+    for name, params in PARAMS[mode].items():
+        best, mean, machine = _measure(_BUILDERS[name](**params), repeats)
+        seed = SEED_SECONDS[mode][name]
+        entry = {
+            "params": params,
+            "seconds": round(best, 4),
+            "mean_seconds": round(mean, 4),
+            "seed_seconds": seed,
+            "speedup": round(seed / best, 2) if best > 0 else math.inf,
+            "sim_time": machine.metrics.time,
+        }
+        wall_phases = getattr(machine.metrics, "wall_phases", None)
+        if wall_phases:
+            entry["wall_phases"] = {
+                k: round(v, 4) for k, v in sorted(wall_phases.items())
+            }
+        results["workloads"][name] = entry
+    if json_path is not None:
+        json_path.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _print_results(results: dict) -> None:
+    print(f"\nwall-clock sweep ({results['mode']} mode, "
+          f"min of {results['repeats']}):")
+    for name, entry in results["workloads"].items():
+        print(f"  {name:16s} {entry['seconds']:8.4f}s   "
+              f"seed {entry['seed_seconds']:.4f}s   "
+              f"speedup {entry['speedup']:5.2f}x   "
+              f"sim_time {entry['sim_time']:g}")
+
+
+def test_wallclock_report():
+    results = run_wallclock("full")
+    _print_results(results)
+    for name, entry in results["workloads"].items():
+        assert entry["seconds"] < 10.0, f"{name} runaway: {entry}"
+    # The acceptance workload: host-side batching + caching must keep the
+    # envelope sweep well clear of the seed's wall-clock (3x required;
+    # assert with a margin for machine noise).
+    assert results["workloads"]["envelope"]["speedup"] >= 2.5
+
+
+if __name__ == "__main__":
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced sizes, finishes in a few seconds")
+    def _positive(value):
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("--repeats must be >= 1")
+        return n
+
+    ap.add_argument("--repeats", type=_positive, default=3)
+    ap.add_argument("--no-json", action="store_true",
+                    help="measure and print without rewriting the JSON")
+    args = ap.parse_args()
+    _print_results(run_wallclock(
+        "smoke" if args.smoke else "full", repeats=args.repeats,
+        json_path=None if args.no_json else JSON_PATH,
+    ))

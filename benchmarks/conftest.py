@@ -4,3 +4,15 @@ import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Under ``-v``, close the run with the host-side diagnostics block
+    (crossing-cache hit rate, per-phase wall-clock across all benches)."""
+    # Note: pyproject's ``addopts = "-q"`` offsets pytest's verbosity
+    # counter, so detect the flag itself (shared with _util.verbose()).
+    import _util
+
+    if _util.verbose():
+        terminalreporter.ensure_newline()
+        _util.diagnostics("benchmarks")

@@ -113,11 +113,20 @@ def _cut_points(F: PiecewiseFunction, G: PiecewiseFunction,
         if math.isfinite(p.hi):
             cuts.add(p.hi)
     if with_crossings:
+        # Collect every overlapping pair first, then resolve the crossing
+        # queries in one batched dispatch instead of per-pair.
+        queries = []
         for p in F.pieces:
             for q in G.pieces:
                 lo, hi = max(p.lo, q.lo), min(p.hi, q.hi)
                 if lo + _eps(lo) < hi and not family.same(p.fn, q.fn):
-                    cuts.update(family.crossings(p.fn, q.fn, lo, hi))
+                    queries.append((p.fn, q.fn, lo, hi))
+        if queries:
+            family.prefetch_crossings(
+                dict.fromkeys((f, g) for f, g, _, _ in queries)
+            )
+            for f, g, lo, hi in queries:
+                cuts.update(family.crossings(f, g, lo, hi))
     return sorted(cuts)
 
 
@@ -214,6 +223,22 @@ def _records_of(F: PiecewiseFunction, half: int):
     return end, tie, kind, piece
 
 
+#: When True (default) combine_pairwise computes the data transformations
+#: host-side over the real records only, while issuing the exact same
+#: simulated charge sequence as the array machinery.  Outputs and metrics
+#: are identical either way (tests assert this); the flag exists so tests
+#: and debugging can force the reference array path.
+_FAST_COMBINE = True
+
+
+def set_fast_combine(enabled: bool) -> bool:
+    """Toggle the host-side fast combine path; returns the previous value."""
+    global _FAST_COMBINE
+    prev = _FAST_COMBINE
+    _FAST_COMBINE = bool(enabled)
+    return prev
+
+
 def combine_pairwise(machine: Machine, F: PiecewiseFunction,
                      G: PiecewiseFunction, family: CurveFamily,
                      op: str = "min") -> PiecewiseFunction:
@@ -235,6 +260,9 @@ def combine_pairwise(machine: Machine, F: PiecewiseFunction,
             else PiecewiseFunction.empty()
     half = next_pow2(2 * max(len(F.pieces), len(G.pieces)))
     L = 2 * half
+    if _FAST_COMBINE:
+        return _combine_pairwise_fast(machine, F, G, family, op, select,
+                                      half, L)
 
     # Step 1: record creation (local) and layout (monotone route).
     endF, tieF, kindF, pieceF = _records_of(F, half)
@@ -268,13 +296,15 @@ def combine_pairwise(machine: Machine, F: PiecewiseFunction,
     nxt[:-1] = end[1:]
     nxt[-1] = INF
     machine.exchange(L, 0)
-    subs = np.empty(L, dtype=object)
-    for i in range(L):
-        subs[i] = _gap_subpieces(
-            end[i], nxt[i], active_f[i], active_g[i], family, op
-        )
-    machine.local(L, count=family.s + 1)
-
+    if select:
+        _prefetch_gap_pairs(end, nxt, active_f, active_g, family, L)
+    with machine.phase("cross"):
+        subs = np.empty(L, dtype=object)
+        for i in range(L):
+            subs[i] = _gap_subpieces(
+                end[i], nxt[i], active_f[i], active_g[i], family, op
+            )
+        machine.local(L, count=family.s + 1)
     # Step 5 is implicit: roots come out of the solver sorted, so each PE's
     # subpieces are already ordered left to right.
 
@@ -328,6 +358,160 @@ def _gap_subpieces(lo, hi, pf, pg, family: CurveFamily, op: str):
         win = pf if take_f else pg
         out.append((a, b, win.fn, win.label))
     return out
+
+
+def _prefetch_gap_pairs(end, nxt, active_f, active_g,
+                        family: CurveFamily, L: int) -> None:
+    """Warm the crossing cache for every distinct active pair of Step 4.
+
+    Collecting the pairs up front lets the family resolve all of a
+    combine's crossing queries in one batched dispatch instead of one
+    eigensolve per gap.
+    """
+    pairs = {}
+    for i in range(L):
+        pf = active_f[i]
+        pg = active_g[i]
+        if (
+            pf is not None
+            and pg is not None
+            and math.isfinite(end[i])
+            and nxt[i] - end[i] > _eps(end[i])
+            and pf.fn is not pg.fn
+        ):
+            pairs[(pf.fn, pg.fn)] = None
+    if pairs:
+        family.prefetch_crossings(pairs)
+
+
+def _combine_pairwise_fast(machine: Machine, F: PiecewiseFunction,
+                           G: PiecewiseFunction, family: CurveFamily,
+                           op: str, select: bool, half: int,
+                           L: int) -> PiecewiseFunction:
+    """Host-side evaluation of Lemma 3.1 with machinery-identical charges.
+
+    The array implementation iterates full power-of-two strings of slots;
+    for the small piece counts a combine typically sees, the per-slot NumPy
+    machinery dominates wall-clock.  This path walks only the real records
+    in plain Python and issues the *exact* charge sequence the array path
+    would (every charge is a deterministic function of ``L``, ``s``, and
+    the subpiece counts), so simulated time, rounds, and phase attribution
+    are bit-identical — as is the output: any (endpoint, tie)-sorted merge
+    order yields the same pieces, because tied records always come from
+    different sources (F vs G) and the gap between them is degenerate.
+    """
+    # Step 1: record creation (local) and layout (monotone route).
+    machine.local(L)
+    machine.monotone_route(L)
+
+    # Step 2: merge records by (endpoint, tie); Right (0) before Left (1).
+    recs = []
+    for src, fn in ((0, F), (1, G)):
+        for p in fn.pieces:
+            recs.append((p.lo, 1, p, src))
+            recs.append((p.hi, 0, p, src))
+    recs.sort(key=_rec_key)
+    with machine.phase("merge"):
+        machine.long_shift(L, half)
+        machine.exchange_sweep(L, tuple(range(half.bit_length() - 1, -1, -1)))
+
+    # Step 3: active-piece states (two fill_forward sweeps in the array
+    # path; here a single walk below tracks them directly).
+    with machine.phase("scan"):
+        machine.doubling_sweep(L)
+        machine.doubling_sweep(L)
+
+    # Step 4: per-gap subpiece construction.  The padding slots of the
+    # array layout all carry endpoint +inf and produce no subpieces, so
+    # only the real records' gaps matter; the gap after the last real
+    # record reaches the first padding endpoint, i.e. +inf.
+    machine.exchange(L, 0)
+    n_rec = len(recs)
+    gaps = []
+    cur_f = cur_g = None
+    for i in range(n_rec):
+        end, tie, piece, src = recs[i]
+        if src == 0:
+            cur_f = piece if tie == 1 else None
+        else:
+            cur_g = piece if tie == 1 else None
+        nxt = recs[i + 1][0] if i + 1 < n_rec else INF
+        gaps.append((end, nxt, cur_f, cur_g))
+    if select:
+        pairs = {}
+        for lo, hi, pf, pg in gaps:
+            if (
+                pf is not None
+                and pg is not None
+                and math.isfinite(lo)
+                and hi - lo > _eps(lo)
+                and pf.fn is not pg.fn
+            ):
+                pairs[(pf.fn, pg.fn)] = None
+        if pairs:
+            family.prefetch_crossings(pairs)
+    with machine.phase("cross"):
+        subs = [
+            _gap_subpieces(lo, hi, pf, pg, family, op)
+            for lo, hi, pf, pg in gaps
+        ]
+        machine.local(L, count=family.s + 1)
+
+    # Step 6: flatten (unpack_lists charges), fuse + pack.
+    flat = [piece for sub in subs for piece in sub]
+    total = len(flat)
+    max_per = max(map(len, subs), default=0)
+    P = next_pow2(total)
+    with machine.phase("pack"):
+        machine.local(L)
+        machine.doubling_sweep(L)
+        for _ in range(max_per):
+            machine.monotone_route(P)
+    if total == 0:
+        return PiecewiseFunction.empty()
+    with machine.phase("fuse"):
+        machine.exchange(P, 0)
+        machine.local(P)
+        machine.doubling_sweep(P)  # parallel_prefix over start marks
+        machine.exchange(P, 0)
+        machine.doubling_sweep(P)  # fill_backward of run ends
+        machine.doubling_sweep(P)  # pack: prefix of the start mask
+        machine.local(P)           # pack: destination computation
+        machine.monotone_route(P)  # pack: the route itself
+        pieces = _fuse_host(flat, family)
+    return PiecewiseFunction(pieces, validate=False)
+
+
+def _rec_key(rec):
+    return (rec[0], rec[1])
+
+
+def _fuse_host(flat: list, family: CurveFamily) -> list[Piece]:
+    """Step 6 grouping, host-side: same output as :func:`_fuse_on_machine`.
+
+    Adjacent subpieces fuse when there is no gap between them and they
+    carry the same label and curve — the start-mark rule of the array
+    implementation, applied sequentially.
+    """
+    pieces = []
+    cur_lo = cur_hi = cur_fn = cur_label = None
+    prev = None
+    for lo, hi, fn, label in flat:
+        if (
+            prev is not None
+            and lo - prev[1] <= _eps(lo)
+            and prev[3] == label
+            and family.same(prev[2], fn)
+        ):
+            cur_hi = hi
+        else:
+            if prev is not None:
+                pieces.append(Piece(cur_lo, cur_hi, cur_fn, cur_label))
+            cur_lo, cur_hi, cur_fn, cur_label = lo, hi, fn, label
+        prev = (lo, hi, fn, label)
+    if prev is not None:
+        pieces.append(Piece(cur_lo, cur_hi, cur_fn, cur_label))
+    return pieces
 
 
 def _fuse_on_machine(machine: Machine, flat: np.ndarray, total: int,
@@ -425,26 +609,21 @@ def _absorb_parallel(machine: Machine, branches) -> None:
     """Charge the parent with the slowest sibling of a parallel level.
 
     On the serial machine there is no parallelism across siblings, so the
-    costs add instead.
+    costs add instead.  Wall-clock is absorbed from *every* sibling either
+    way: the host executed them serially regardless of the simulated
+    parallelism.
     """
     if not branches:
         return
     if isinstance(machine.topology, SerialTopology):
         for b in branches:
-            _add_metrics(machine, b)
+            machine.metrics.absorb(b)
         return
-    _add_metrics(machine, max(branches, key=lambda b: b.time))
-
-
-def _add_metrics(machine: Machine, b) -> None:
-    met = machine.metrics
-    met.time += b.time
-    met.rounds += b.rounds
-    met.comm_time += b.comm_time
-    met.comm_rounds += b.comm_rounds
-    met.local_rounds += b.local_rounds
-    for k, v in b.phases.items():
-        met.phases[k] += v
+    worst = max(branches, key=lambda b: b.time)
+    machine.metrics.absorb(worst)
+    for b in branches:
+        if b is not worst:
+            machine.metrics.absorb_wall(b)
 
 
 # ======================================================================

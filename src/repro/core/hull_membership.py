@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 
 from ..errors import DegenerateSystemError
+from ..kinetics.batch import warm_root_candidates
 from ..kinetics.motion import PointSystem
 from ..kinetics.piecewise import INF, Piece, PiecewiseFunction
 from ..kinetics.polynomial import Polynomial
@@ -94,7 +95,9 @@ class AngleFamily(CurveFamily):
 
     Two angle curves agree exactly when the vectors are parallel *and*
     similarly oriented: roots of the degree-``2k`` cross polynomial filtered
-    by the sign of the dot product (Theorem 4.5 proof).
+    by the sign of the dot product (Theorem 4.5 proof).  The per-pair
+    ``(cross, dot)`` polynomials are memoised via the base-class crossing
+    cache; crossings and opposite_times are cheap filters over them.
     """
 
     def __init__(self, k: int):
@@ -106,45 +109,46 @@ class AngleFamily(CurveFamily):
     def value(self, f: AngleCurve, t: float) -> float:
         return f(t)
 
-    def crossings(self, f: AngleCurve, g: AngleCurve, lo: float,
-                  hi: float) -> list[float]:
-        cross = _cross(f, g)
+    def _compute_pair(self, f: AngleCurve, g: AngleCurve):
+        return _cross(f, g), _dot(f, g)
+
+    def _warm_prefetched(self, entries: list) -> None:
+        warm_root_candidates([cross for cross, _ in entries])
+
+    def _parallel_times(self, f: AngleCurve, g: AngleCurve, lo: float,
+                        hi: float, orientation: int) -> list[float]:
+        """Roots of the cross polynomial in ``(lo, hi)`` whose dot product
+        has the requested sign (+1 similarly, -1 oppositely oriented)."""
+        cross, dot = self._pair_entry(f, g)
         if cross.is_zero():
             return []
-        dot = _dot(f, g)
         eps = _EPS * max(1.0, abs(lo))
         out = []
         for r in cross.real_roots(lo, hi):
             if r <= lo + eps or (math.isfinite(hi) and r >= hi - eps):
                 continue
-            if dot(r) > 0:
+            if dot(r) * orientation > 0:
                 out.append(r)
         return out
+
+    def crossings(self, f: AngleCurve, g: AngleCurve, lo: float,
+                  hi: float) -> list[float]:
+        return self._parallel_times(f, g, lo, hi, +1)
 
     def opposite_times(self, f: AngleCurve, g: AngleCurve, lo: float,
                        hi: float) -> list[float]:
         """Times in ``(lo, hi)`` when the vectors are parallel and
         *oppositely* oriented — where ``T_f - T_g`` crosses ``+-pi``."""
-        cross = _cross(f, g)
-        dot = _dot(f, g)
-        eps = _EPS * max(1.0, abs(lo))
-        if cross.is_zero():
-            return []
-        out = []
-        for r in cross.real_roots(lo, hi):
-            if r <= lo + eps or (math.isfinite(hi) and r >= hi - eps):
-                continue
-            if dot(r) < 0:
-                out.append(r)
-        return out
+        return self._parallel_times(f, g, lo, hi, -1)
 
     def same(self, f: AngleCurve, g: AngleCurve) -> bool:
         if f is g:
             return True
-        if not _cross(f, g).is_zero():
+        cross, dot = self._pair_entry(f, g)
+        if not cross.is_zero():
             return False
         # Parallel for all time; same curve iff same orientation.
-        return _dot(f, g).sign_at_infinity() > 0
+        return dot.sign_at_infinity() > 0
 
 
 def angle_restrictions(system: PointSystem, query: int = 0):
@@ -202,22 +206,27 @@ def _pair_indicator(F: PiecewiseFunction, G: PiecewiseFunction,
     charged on ``machine`` when given.
     """
     out = []
+    overlaps = []
     for p in F.pieces:
         for q in G.pieces:
             lo, hi = max(p.lo, q.lo), min(p.hi, q.hi)
-            if hi - lo <= _EPS * max(1.0, abs(lo)):
+            if hi - lo > _EPS * max(1.0, abs(lo)):
+                overlaps.append((p, q, lo, hi))
+    family.prefetch_crossings(
+        dict.fromkeys((p.fn, q.fn) for p, q, _, _ in overlaps)
+    )
+    for p, q, lo, hi in overlaps:
+        cuts = [lo, *family.opposite_times(p.fn, q.fn, lo, hi), hi]
+        for a, b in zip(cuts, cuts[1:]):
+            if b - a <= _EPS * max(1.0, abs(a)):
                 continue
-            cuts = [lo, *family.opposite_times(p.fn, q.fn, lo, hi), hi]
-            for a, b in zip(cuts, cuts[1:]):
-                if b - a <= _EPS * max(1.0, abs(a)):
-                    continue
-                mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
-                diff = p.fn(mid) - q.fn(mid)
-                sat = diff >= math.pi if predicate == "ge" else diff <= math.pi
-                out.append(
-                    Piece(a, b, Polynomial.constant(1.0 if sat else 0.0),
-                          (p.label, q.label))
-                )
+            mid = a + 1.0 if math.isinf(b) else 0.5 * (a + b)
+            diff = p.fn(mid) - q.fn(mid)
+            sat = diff >= math.pi if predicate == "ge" else diff <= math.pi
+            out.append(
+                Piece(a, b, Polynomial.constant(1.0 if sat else 0.0),
+                      (p.label, q.label))
+            )
     out.sort(key=lambda r: r.lo)
     if machine is not None:
         m = next_pow2(max(2, 2 * (len(F.pieces) + len(G.pieces))))
@@ -334,16 +343,13 @@ def all_hull_membership_intervals(machine: Machine | None,
         if sub is not None:
             branch_metrics.append(sub.metrics)
     if machine is not None and branch_metrics:
-        # Simultaneous instances: charge the slowest.
+        # Simultaneous instances: charge the slowest.  Wall-clock adds from
+        # every instance — the host ran them one after another.
         worst = max(branch_metrics, key=lambda b: b.time)
-        met = machine.metrics
-        met.time += worst.time
-        met.rounds += worst.rounds
-        met.comm_time += worst.comm_time
-        met.comm_rounds += worst.comm_rounds
-        met.local_rounds += worst.local_rounds
-        for k, v in worst.phases.items():
-            met.phases[k] += v
+        machine.metrics.absorb(worst)
+        for b in branch_metrics:
+            if b is not worst:
+                machine.metrics.absorb_wall(b)
     return out
 
 

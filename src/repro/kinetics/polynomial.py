@@ -53,21 +53,45 @@ class Polynomial:
     -----
     Instances are hashable on their trimmed coefficient tuple and therefore
     usable as labels in piecewise functions and as dictionary keys in the
-    grouping operations.
+    grouping operations.  The hash is computed eagerly at construction (it
+    keys the crossing caches on every combine) and the root candidates of
+    the instance are memoised after the first computation.
     """
 
-    __slots__ = ("_c", "_hash")
+    __slots__ = ("_c", "_cl", "_hash", "_rc")
 
     def __init__(self, coeffs: Iterable[float]):
-        arr = np.asarray(list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs,
-                         dtype=float)
-        if arr.ndim != 1 or arr.size == 0:
-            raise ValueError("coefficients must be a non-empty 1-D sequence")
-        if not np.all(np.isfinite(arr)):
-            raise ValueError("coefficients must be finite")
-        self._c = _trim(arr)
+        # Normalise to a plain float list first: the polynomials here are
+        # tiny (degree <= 2k), so scalar Python beats a chain of NumPy
+        # calls — and float arithmetic is bit-identical either way.
+        if isinstance(coeffs, np.ndarray):
+            if coeffs.ndim != 1 or coeffs.size == 0:
+                raise ValueError(
+                    "coefficients must be a non-empty 1-D sequence"
+                )
+            lst = coeffs.tolist()
+        else:
+            lst = [float(x) for x in coeffs]
+            if not lst:
+                raise ValueError(
+                    "coefficients must be a non-empty 1-D sequence"
+                )
+        for x in lst:
+            if not math.isfinite(x):
+                raise ValueError("coefficients must be finite")
+        # Trim trailing near-zero coefficients (same rule as _trim).
+        n = len(lst)
+        while n > 1 and -COEFF_EPS <= lst[n - 1] <= COEFF_EPS:
+            n -= 1
+        if n == 1 and -COEFF_EPS <= lst[0] <= COEFF_EPS:
+            lst = [0.0]
+        elif n != len(lst):
+            lst = lst[:n]
+        self._cl = lst
+        self._c = np.asarray(lst)
         self._c.setflags(write=False)
-        self._hash: int | None = None
+        self._hash = hash(tuple(round(x, 9) for x in lst))
+        self._rc: list | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -117,6 +141,14 @@ class Polynomial:
     # ------------------------------------------------------------------
     def __call__(self, t):
         """Evaluate via Horner's scheme.  Accepts scalars or ndarrays."""
+        if isinstance(t, (float, int)):
+            # Scalar fast path: plain-float Horner, bit-identical to the
+            # NumPy evaluation (both are IEEE double operations).
+            cl = self._cl
+            acc = cl[-1]
+            for i in range(len(cl) - 2, -1, -1):
+                acc = acc * t + cl[i]
+            return float(acc)
         t = np.asarray(t, dtype=float)
         acc = np.full(t.shape, self._c[-1], dtype=float)
         for c in self._c[-2::-1]:
@@ -149,7 +181,17 @@ class Polynomial:
         return Polynomial(-self._c)
 
     def __sub__(self, other) -> "Polynomial":
-        return self + (-_coerce(other))
+        other = _coerce(other)
+        a, b = self._cl, other._cl
+        if len(a) < len(b):
+            out = [0.0 - y for y in b]
+            for i, x in enumerate(a):
+                out[i] = x - b[i]
+        else:
+            out = list(a)
+            for i, y in enumerate(b):
+                out[i] = out[i] - y
+        return Polynomial(out)
 
     def __rsub__(self, other) -> "Polynomial":
         return _coerce(other) + (-self)
@@ -190,10 +232,8 @@ class Polynomial:
         return bool(np.allclose(self._c, other._c, rtol=1e-9, atol=COEFF_EPS))
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            # Round so that hash is consistent with tolerance-based __eq__
-            # for exactly-representable inputs (the common case in tests).
-            self._hash = hash(tuple(np.round(self._c, 9)))
+        # Rounded so that hash is consistent with tolerance-based __eq__
+        # for exactly-representable inputs (the common case in tests).
         return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -266,42 +306,47 @@ class Polynomial:
         if self.degree == 1:
             r = -self._c[0] / self._c[1]
             return [float(r)] if lo - ROOT_EPS <= r <= hi + ROOT_EPS else []
+        return _filter_range(self._root_candidates(), lo, hi)
+
+    def _root_candidates(self) -> list:
+        """Sorted, polished real-root candidates before range filtering.
+
+        Only meaningful for degree >= 2 (callers handle lower degrees with
+        closed forms).  Memoised on the instance: the batched solver of
+        :mod:`repro.kinetics.batch` pre-populates this memo so a later
+        :meth:`real_roots` call is a cheap range filter.
+        """
+        if self._rc is not None:
+            return self._rc
         if self.degree == 2:
-            c, b, a = self._c[0], self._c[1], self._c[2]
-            disc = b * b - 4 * a * c
-            if disc < -ROOT_EPS * max(1.0, b * b + abs(4 * a * c)):
-                return []
-            disc = max(disc, 0.0)
-            sq = math.sqrt(disc)
-            # Numerically stable quadratic formula.
-            if b >= 0:
-                q = -(b + sq) / 2.0
-            else:
-                q = -(b - sq) / 2.0
-            cands = set()
-            if abs(a) > COEFF_EPS:
-                cands.add(q / a)
-            if abs(q) > COEFF_EPS:
-                cands.add(c / q)
-            if not cands:  # b == 0 and c == 0: double root at 0
-                cands.add(0.0)
-            roots = sorted(cands)
+            roots = _quadratic_candidates(self._c[0], self._c[1], self._c[2])
         else:
             comp = np.roots(self._c[::-1])
-            scale = max(1.0, float(np.max(np.abs(comp))) if comp.size else 1.0)
-            roots = sorted(
-                float(z.real) for z in comp if abs(z.imag) <= 1e-7 * scale
-            )
-            roots = [self._polish(r) for r in roots]
-        out: list[float] = []
-        for r in roots:
-            if r < lo - ROOT_EPS or r > hi + ROOT_EPS:
-                continue
-            r = min(max(r, lo), hi if math.isfinite(hi) else r)
-            if out and abs(r - out[-1]) <= ROOT_EPS * max(1.0, abs(r)):
-                continue
-            out.append(r)
-        return out
+            roots = self._companion_candidates(comp)
+        self._rc = roots
+        return roots
+
+    def _companion_candidates(self, comp: np.ndarray) -> list:
+        """Near-real companion eigenvalues, sorted and Newton-polished."""
+        scale = max(1.0, float(np.max(np.abs(comp))) if comp.size else 1.0)
+        roots = sorted(
+            float(z.real) for z in comp if abs(z.imag) <= 1e-7 * scale
+        )
+        return [self._polish(r) for r in roots]
+
+    @staticmethod
+    def batch_roots(polys: Sequence["Polynomial"], lo: float = 0.0,
+                    hi: float = math.inf) -> list[list[float]]:
+        """Real roots of many polynomials with one stacked eigenvalue solve.
+
+        Equivalent to ``[p.real_roots(lo, hi) for p in polys]`` (identical
+        output, including tolerance handling), but all companion matrices of
+        equal size are solved by a single ``np.linalg.eigvals`` call.  See
+        :mod:`repro.kinetics.batch`.
+        """
+        from .batch import batch_real_roots
+
+        return batch_real_roots(polys, lo, hi)
 
     def _polish(self, r: float, iters: int = 3) -> float:
         """A few Newton iterations to refine an approximate real root."""
@@ -338,6 +383,44 @@ class Polynomial:
 def _probe(r: float) -> float:
     """Small probe offset proportional to the magnitude of ``r``."""
     return 1e-6 * max(1.0, abs(r))
+
+
+def _quadratic_candidates(c, b, a) -> list:
+    """Roots of ``a t^2 + b t + c`` via the numerically stable formula.
+
+    Shared between the scalar path and the batched solver so both produce
+    bit-identical candidate lists.
+    """
+    disc = b * b - 4 * a * c
+    if disc < -ROOT_EPS * max(1.0, b * b + abs(4 * a * c)):
+        return []
+    disc = max(disc, 0.0)
+    sq = math.sqrt(disc)
+    if b >= 0:
+        q = -(b + sq) / 2.0
+    else:
+        q = -(b - sq) / 2.0
+    cands = set()
+    if abs(a) > COEFF_EPS:
+        cands.add(q / a)
+    if abs(q) > COEFF_EPS:
+        cands.add(c / q)
+    if not cands:  # b == 0 and c == 0: double root at 0
+        cands.add(0.0)
+    return sorted(cands)
+
+
+def _filter_range(roots, lo: float, hi: float) -> list:
+    """Keep candidates in ``[lo, hi]`` (with tolerance), clamp, deduplicate."""
+    out: list[float] = []
+    for r in roots:
+        if r < lo - ROOT_EPS or r > hi + ROOT_EPS:
+            continue
+        r = min(max(r, lo), hi if math.isfinite(hi) else r)
+        if out and abs(r - out[-1]) <= ROOT_EPS * max(1.0, abs(r)):
+            continue
+        out.append(r)
+    return out
 
 
 def _coerce(value) -> Polynomial:

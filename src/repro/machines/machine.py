@@ -34,6 +34,16 @@ __all__ = ["Machine", "mesh_machine", "hypercube_machine", "ccc_machine",
            "shuffle_exchange_machine", "pram_machine", "serial_machine"]
 
 
+#: Charge parameters are pure functions of (topology kind, size, scheme,
+#: operation length), so they are memoised ACROSS machine instances — the
+#: envelope recursion creates a fresh sub-machine per combine, which would
+#: defeat per-instance caches.  Values are small tuples of floats/ints.
+_CHARGE_CACHE: dict = {}
+
+#: Memoised bit tuples for doubling sweeps, keyed by operation length.
+_DOUBLING_BITS: dict = {}
+
+
 class Machine:
     """A simulated SIMD parallel machine with cost accounting.
 
@@ -50,6 +60,12 @@ class Machine:
         self.metrics = Metrics()
         self.randomized = randomized
         self._rand_calls = 0
+        # Cross-instance charge-parameter memo key for this topology.
+        self._sig = (
+            type(topology),
+            topology.n_pe,
+            getattr(topology, "scheme", None),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -90,8 +106,12 @@ class Machine:
         in the corresponding rank bit; the round costs the link distance
         (times the slots-per-PE factor for virtualised operations).
         """
-        c = self._slots_per_pe(length)
-        dist = self.topology.slot_exchange_distance(bit, length)
+        cached = _CHARGE_CACHE.get(("x", self._sig, bit, length))
+        if cached is None:
+            c = self._slots_per_pe(length)
+            dist = self.topology.slot_exchange_distance(bit, length)
+            cached = _CHARGE_CACHE[("x", self._sig, bit, length)] = (c, dist)
+        c, dist = cached
         if dist <= 0:
             # Intra-PE data motion: a local round.
             self.metrics.charge_local(count * c)
@@ -104,13 +124,59 @@ class Machine:
         A monotone route crosses each rank-bit dimension at most once with
         no congestion, so its cost is the sum of per-bit exchange distances:
         ``Theta(sqrt(n))`` on the mesh, ``Theta(log n)`` on the hypercube,
-        1 on the PRAM.
+        1 on the PRAM.  The per-bit legs are aggregated into one charge
+        (all distances are integer-valued, so the total is bit-identical
+        to charging the legs individually).
         """
-        c = self._slots_per_pe(length)
-        bits = max(1, length.bit_length() - 1)
-        for b in range(bits):
-            dist = max(self.topology.slot_exchange_distance(b, length), 1.0)
-            self.metrics.charge_comm(dist * c, rounds=1)
+        cached = _CHARGE_CACHE.get(("r", self._sig, length))
+        if cached is None:
+            c = self._slots_per_pe(length)
+            bits = max(1, length.bit_length() - 1)
+            cost = sum(
+                max(self.topology.slot_exchange_distance(b, length), 1.0) * c
+                for b in range(bits)
+            )
+            cached = _CHARGE_CACHE[("r", self._sig, length)] = (cost, bits)
+        cost, bits = cached
+        self.metrics.charge_comm_total(cost, bits)
+
+    def exchange_sweep(self, length: int, bits: tuple) -> None:
+        """Charge one exchange round per bit in ``bits``, aggregated.
+
+        Bit-identical to ``for b in bits: self.exchange(length, b)``: the
+        per-leg costs are integer-valued, so summing them before charging
+        changes neither the totals nor the local/comm split.
+        """
+        key = ("s", self._sig, length, bits)
+        cached = _CHARGE_CACHE.get(key)
+        if cached is None:
+            c = self._slots_per_pe(length)
+            loc = 0
+            cost = 0.0
+            rounds = 0
+            for b in bits:
+                dist = self.topology.slot_exchange_distance(b, length)
+                if dist <= 0:
+                    loc += c
+                else:
+                    cost += dist * c
+                    rounds += 1
+            cached = _CHARGE_CACHE[key] = (loc, cost, rounds)
+        loc, cost, rounds = cached
+        if loc:
+            self.metrics.charge_local(loc)
+        if rounds:
+            self.metrics.charge_comm_total(cost, rounds)
+
+    def doubling_sweep(self, length: int) -> None:
+        """Charge a recursive-doubling sweep (prefix/fill cost pattern):
+        one exchange round at each bit ``0 .. log2(length) - 1``."""
+        bits = _DOUBLING_BITS.get(length)
+        if bits is None:
+            bits = _DOUBLING_BITS[length] = tuple(
+                range(max(0, length.bit_length() - 1))
+            )
+        self.exchange_sweep(length, bits)
 
     def long_shift(self, length: int, span: int) -> None:
         """Charge a lockstep shift/reversal across a span of ``span`` slots.

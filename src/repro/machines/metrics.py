@@ -7,6 +7,17 @@ quantity whose growth the paper's Theta-bounds describe — and ``rounds`` is
 the unweighted count.  ``phases`` gives a per-label breakdown so benches can
 report, e.g., how much of an envelope construction went into merging versus
 prefix operations.
+
+Wall-clock vs simulated time
+----------------------------
+``wall_time`` / ``wall_phases`` record *real host seconds* spent inside
+:meth:`Metrics.phase` blocks, alongside the simulated charges.  The two are
+deliberately independent: simulated time is accounting (a pure function of
+the operation sequence), wall-clock is execution.  Host-side optimisations
+(batched eigensolves, crossing caches) shrink ``wall_time`` while leaving
+every simulated charge bit-identical — the invariant
+``docs/cost_model.md`` documents and ``benchmarks/bench_wallclock.py``
+tracks.
 """
 
 from __future__ import annotations
@@ -14,20 +25,39 @@ from __future__ import annotations
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 
-__all__ = ["Metrics"]
+__all__ = ["Metrics", "global_wall_phases", "reset_global_wall_phases"]
+
+#: Process-wide per-phase wall-clock, summed over every Metrics instance.
+#: Each phase exit is counted exactly once (absorbing a sub-machine's
+#: metrics into a parent does not re-count), so this is the true host cost
+#: of each phase across an entire run — the number the benchmark harness
+#: prints under --verbose.
+_GLOBAL_WALL_PHASES: dict = defaultdict(float)
+
+
+def global_wall_phases() -> dict:
+    """A copy of the process-wide per-phase wall-clock totals (seconds)."""
+    return dict(_GLOBAL_WALL_PHASES)
+
+
+def reset_global_wall_phases() -> None:
+    _GLOBAL_WALL_PHASES.clear()
 
 
 @dataclass
 class Metrics:
-    """Mutable accumulator of simulated parallel cost."""
+    """Mutable accumulator of simulated parallel cost and host wall-clock."""
 
     time: float = 0.0
     rounds: int = 0
     comm_time: float = 0.0
     comm_rounds: int = 0
     local_rounds: int = 0
+    wall_time: float = 0.0
     phases: dict = field(default_factory=lambda: defaultdict(float))
+    wall_phases: dict = field(default_factory=lambda: defaultdict(float))
     _phase_stack: list = field(default_factory=list)
 
     def charge_local(self, count: int = 1) -> None:
@@ -36,26 +66,73 @@ class Metrics:
         self.rounds += count
         self.local_rounds += count
         if self._phase_stack:
-            self.phases[self._phase_stack[-1]] += count
+            self.phases[self._phase_stack[-1][0]] += count
 
     def charge_comm(self, distance: float, rounds: int = 1) -> None:
         """Charge a communication round spanning ``distance`` links."""
-        cost = distance * rounds
+        self.charge_comm_total(distance * rounds, rounds)
+
+    def charge_comm_total(self, cost: float, rounds: int) -> None:
+        """Charge ``rounds`` communication rounds totalling ``cost``.
+
+        Used to aggregate a deterministic sweep of exchanges (e.g. the
+        per-bit legs of a monotone route) into one call.  All link
+        distances in the cost model are integer-valued, so the aggregated
+        total is bit-identical to charging the legs one by one.
+        """
         self.time += cost
         self.rounds += rounds
         self.comm_time += cost
         self.comm_rounds += rounds
         if self._phase_stack:
-            self.phases[self._phase_stack[-1]] += cost
+            self.phases[self._phase_stack[-1][0]] += cost
 
     @contextmanager
     def phase(self, label: str):
-        """Attribute costs charged inside the block to ``label``."""
-        self._phase_stack.append(label)
+        """Attribute costs charged inside the block to ``label``.
+
+        Simulated charges go to ``phases[label]``; real elapsed host time
+        goes to ``wall_phases[label]`` (self time: nested phases are
+        attributed to the inner label, as with simulated charges) and, for
+        outermost phases, to ``wall_time``.
+        """
+        frame = [label, 0.0]  # label, accumulated child wall time
+        self._phase_stack.append(frame)
+        start = perf_counter()
         try:
             yield self
         finally:
+            elapsed = perf_counter() - start
             self._phase_stack.pop()
+            self_time = elapsed - frame[1]
+            self.wall_phases[label] += self_time
+            _GLOBAL_WALL_PHASES[label] += self_time
+            if self._phase_stack:
+                self._phase_stack[-1][1] += elapsed
+            else:
+                self.wall_time += elapsed
+
+    def absorb(self, other: "Metrics") -> None:
+        """Add another accumulator's simulated charges and wall-clock."""
+        self.time += other.time
+        self.rounds += other.rounds
+        self.comm_time += other.comm_time
+        self.comm_rounds += other.comm_rounds
+        self.local_rounds += other.local_rounds
+        for k, v in other.phases.items():
+            self.phases[k] += v
+        self.absorb_wall(other)
+
+    def absorb_wall(self, other: "Metrics") -> None:
+        """Add only the wall-clock component of another accumulator.
+
+        Parallel composition takes the *maximum* simulated time over
+        siblings but the host executed every sibling serially, so the
+        non-dominant siblings contribute wall-clock without simulated time.
+        """
+        self.wall_time += other.wall_time
+        for k, v in other.wall_phases.items():
+            self.wall_phases[k] += v
 
     def reset(self) -> None:
         self.time = 0.0
@@ -63,7 +140,9 @@ class Metrics:
         self.comm_time = 0.0
         self.comm_rounds = 0
         self.local_rounds = 0
+        self.wall_time = 0.0
         self.phases.clear()
+        self.wall_phases.clear()
         self._phase_stack.clear()
 
     def snapshot(self) -> dict:
@@ -74,5 +153,7 @@ class Metrics:
             "comm_time": self.comm_time,
             "comm_rounds": self.comm_rounds,
             "local_rounds": self.local_rounds,
+            "wall_time": self.wall_time,
             "phases": dict(self.phases),
+            "wall_phases": dict(self.wall_phases),
         }

@@ -119,13 +119,26 @@ def _randomized_sort(machine: Machine, keys, payloads, ascending: bool):
     if any(len(p) != length for p in payloads):
         raise OperationContractError("payload arrays must match key length")
     check_segment_size(length, None)
-    idx = np.arange(length)
-    order = sorted(
-        idx.tolist(),
-        key=lambda i: tuple(k[i] for k in keys),
-        reverse=not ascending,
-    )
-    order = np.asarray(order)
+    def _lexsortable(k):
+        if ascending:
+            return np.issubdtype(k.dtype, np.number)
+        # Descending negates the keys, so unsigned ints are out.
+        return (np.issubdtype(k.dtype, np.floating)
+                or np.issubdtype(k.dtype, np.signedinteger))
+
+    if all(_lexsortable(k) for k in keys):
+        # Stable lexicographic argsort; least-significant key first for
+        # np.lexsort.  Descending order negates the keys, which preserves
+        # the tie order of a stable reverse sort (same permutation as
+        # sorted(..., reverse=True)).
+        cols = keys if ascending else [-k for k in keys]
+        order = np.lexsort(tuple(reversed(cols)))
+    else:
+        order = np.asarray(sorted(
+            range(length),
+            key=lambda i: tuple(k[i] for k in keys),
+            reverse=not ascending,
+        ))
     keys = [k[order] for k in keys]
     payloads = [p[order] for p in payloads]
     machine._rand_calls += 1

@@ -5,7 +5,25 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import EXPERIMENTS, run, run_all
+from . import EXPERIMENTS, run
+
+
+def _diagnostics() -> None:
+    """Host-side counters: crossing-cache hit rate, per-phase wall-clock.
+
+    Diagnostics only — these describe how fast the *simulator* ran, not the
+    simulated-time numbers in the tables, which are independent of caching.
+    """
+    from ..core.family import global_cache_stats
+    from ..machines.metrics import global_wall_phases
+
+    stats = global_cache_stats()
+    print(f"\ncrossing cache: {stats['hits']} hits / {stats['misses']} "
+          f"misses (hit rate {stats['hit_rate']:.1%})")
+    phases = sorted(global_wall_phases().items(), key=lambda kv: -kv[1])
+    if phases:
+        print("wall-clock by phase: "
+              + ", ".join(f"{k}={v:.3f}s" for k, v in phases))
 
 
 def main(argv=None) -> int:
@@ -17,21 +35,25 @@ def main(argv=None) -> int:
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also print host-side diagnostics (crossing-"
+                             "cache hit rate, per-phase wall-clock)")
     args = parser.parse_args(argv)
     if args.list:
         for name, mod in EXPERIMENTS.items():
             print(f"{name:10s} {mod.TITLE}")
         return 0
-    if not args.experiments:
-        run_all()
-        return 0
-    for name in args.experiments:
+    status = 0
+    for name in args.experiments or list(EXPERIMENTS):
         try:
             run(name)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
-            return 2
-    return 0
+            status = 2
+            break
+    if args.verbose:
+        _diagnostics()
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,110 @@
+"""Tests for the batched root-isolation engine (repro.kinetics.batch).
+
+The contract under test is strict: batching is a host-side execution
+strategy, so every batched result must be *identical* (same floats, same
+order) to the per-polynomial computation — not merely close.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinetics.batch import batch_real_roots, warm_root_candidates
+from repro.kinetics.polynomial import ROOT_EPS, Polynomial
+
+
+def _fresh_clone(p: Polynomial) -> Polynomial:
+    """A copy of ``p`` with an empty root-candidate memo."""
+    return Polynomial(np.array(p.coeffs, copy=True))
+
+
+class TestBatchedEqualsSerial:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 5, 6])
+    def test_random_families_match_per_pair(self, degree):
+        rng = np.random.default_rng(100 + degree)
+        polys = [
+            Polynomial(rng.normal(size=degree + 1)) for _ in range(40)
+        ]
+        serial = [_fresh_clone(p).real_roots(0.0, math.inf) for p in polys]
+        batched = batch_real_roots(polys, 0.0, math.inf)
+        assert batched == serial
+
+    @pytest.mark.parametrize("degree", [2, 3, 4])
+    def test_bounded_interval_match(self, degree):
+        rng = np.random.default_rng(7 * degree)
+        polys = [
+            Polynomial(rng.normal(size=degree + 1)) for _ in range(25)
+        ]
+        serial = [_fresh_clone(p).real_roots(-1.5, 2.5) for p in polys]
+        assert batch_real_roots(polys, -1.5, 2.5) == serial
+
+    def test_mixed_degrees_one_call(self):
+        rng = np.random.default_rng(42)
+        polys = []
+        for d in (1, 2, 3, 4, 5, 6):
+            polys.extend(Polynomial(rng.normal(size=d + 1)) for _ in range(8))
+        polys = [polys[i] for i in rng.permutation(len(polys))]
+        serial = [_fresh_clone(p).real_roots() for p in polys]
+        assert batch_real_roots(polys) == serial
+
+    def test_roots_within_root_eps_of_truth(self):
+        # Constructed roots recovered to within ROOT_EPS through the batch.
+        roots = [0.5, 1.25, 3.0]
+        p = Polynomial.from_roots(roots)
+        (got,) = batch_real_roots([p])
+        assert len(got) == len(roots)
+        for r, expect in zip(got, roots):
+            assert abs(r - expect) <= ROOT_EPS * max(1.0, abs(expect))
+
+    def test_degenerate_members(self):
+        polys = [
+            Polynomial([0.0]),            # identically zero
+            Polynomial([2.0]),            # constant, no roots
+            Polynomial([1.0, -1.0]),      # linear, root at 1
+            Polynomial([0.0, 0.0, 1.0]),  # double root at 0
+        ]
+        serial = [_fresh_clone(p).real_roots() for p in polys]
+        assert batch_real_roots(polys) == serial
+
+    def test_zeros_at_origin_stripping(self):
+        # Trailing zero coefficients (roots at the origin) take the
+        # np.roots strip-and-append path; the batch must replicate it.
+        rng = np.random.default_rng(5)
+        polys = []
+        for _ in range(10):
+            c = rng.normal(size=4)
+            c[0] = 0.0  # constant term zero => root at t = 0
+            polys.append(Polynomial(c))
+        serial = [_fresh_clone(p).real_roots() for p in polys]
+        assert batch_real_roots(polys) == serial
+
+
+class TestWarming:
+    def test_warm_installs_candidates(self):
+        rng = np.random.default_rng(11)
+        polys = [Polynomial(rng.normal(size=4)) for _ in range(6)]
+        warm_root_candidates(polys)
+        for p in polys:
+            assert p._rc is not None
+        # Warm results equal the lazily computed ones.
+        for p in polys:
+            assert p._rc == _fresh_clone(p)._root_candidates()
+
+    def test_warm_skips_low_degree_and_warmed(self):
+        lin = Polynomial([1.0, 2.0])
+        const = Polynomial([3.0])
+        quad = Polynomial([1.0, 0.0, -1.0])
+        quad2 = Polynomial([2.0, 0.0, -1.0])
+        warm_root_candidates([quad])
+        memo = quad._rc
+        warm_root_candidates([lin, const, quad, quad2])
+        assert quad._rc is memo  # not recomputed
+        assert quad2._rc is not None
+
+    def test_batch_roots_staticmethod(self):
+        rng = np.random.default_rng(3)
+        polys = [Polynomial(rng.normal(size=5)) for _ in range(9)]
+        assert Polynomial.batch_roots(polys) == [
+            _fresh_clone(p).real_roots() for p in polys
+        ]

@@ -1,0 +1,38 @@
+"""Wall-clock smoke check — tier-1's guard against host-side regressions.
+
+Runs the ``benchmarks/bench_wallclock.py`` sweep in smoke mode (reduced
+sizes, a few seconds total), writes ``BENCH_wallclock.json``, and fails on
+a >2x wall-clock regression against the recorded seed baselines.  The
+budgets are generous — the optimised tree runs 3-6x *faster* than seed, so
+only a genuine regression (e.g. losing the fast combine path *and* the
+crossing cache) can trip them, not machine noise.
+
+Deselect with ``-m "not wallclock"`` when timing is meaningless (e.g.
+under heavy parallel load).
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from bench_wallclock import JSON_PATH, run_wallclock  # noqa: E402
+
+pytestmark = pytest.mark.wallclock
+
+
+def test_wallclock_smoke():
+    results = run_wallclock("smoke", repeats=3)
+    assert JSON_PATH.exists()
+    for name, entry in results["workloads"].items():
+        # >2x regression vs the *seed* baseline fails: even the
+        # unoptimised tree passed this with a 2x margin to spare.
+        assert entry["seconds"] <= 2.0 * entry["seed_seconds"], (
+            f"{name}: {entry['seconds']:.4f}s vs seed "
+            f"{entry['seed_seconds']:.4f}s — wall-clock regression"
+        )
+    # The envelope sweep specifically must retain a clear win over seed:
+    # losing the batched/cached fast path drops this to ~1x.
+    assert results["workloads"]["envelope"]["speedup"] >= 1.5
