@@ -1,0 +1,57 @@
+"""repro.verify — the repo's correctness tooling layer.
+
+The paper (Tables 1–3) claims Theta-bounds with no empirical section, so
+this reproduction's credibility rests on two mechanically checkable facts:
+
+1. **Differential equivalence** (:mod:`repro.verify.oracle`): every dynamic
+   algorithm computes the *same geometry* on the mesh machine, the
+   hypercube machine, the CREW PRAM baseline, and the serial (Atallah)
+   baseline — with the host-side fast-combine path both on and off, where
+   additionally every simulated charge must be bit-identical.
+2. **Theta-conformance** (:mod:`repro.verify.scaling`): measured simulated
+   parallel time scales as the bounds predict —
+   ``Theta(lambda^{1/2}(n, s))`` on the mesh, ``Theta(log^2 n)`` on the
+   hypercube — with fitted exponents pinned as golden JSON with tolerance
+   bands.
+
+Adversarial instances come from :mod:`repro.verify.generators`
+(tangencies, coincident trajectories, breakpoint ties, degree-boundary
+coefficients), usable both as seeded deterministic builders (the oracle's
+fuzz campaign) and as Hypothesis strategies (the property tests under
+``tests/``).  Divergent instances serialize to ``tests/corpus/`` for
+one-command replay; see ``docs/verification.md`` and
+``python -m repro.verify --help``.
+"""
+
+from .compare import canonicalize, outputs_match, sim_snapshot
+from .diffs import render_diff, scalar_diff
+from .generators import (
+    CURVE_KINDS,
+    SYSTEM_KINDS,
+    curves_from_json,
+    curves_to_json,
+    make_curves,
+    make_system,
+    system_from_json,
+    system_to_json,
+)
+from .oracle import ALGORITHMS, BACKENDS, CampaignResult, campaign, replay, run_instance
+from .scaling import (
+    DEFAULT_GOLDEN_PATH,
+    SCALING_TARGETS,
+    check_scaling,
+    fit_scaling,
+    update_golden,
+)
+
+__all__ = [
+    "ALGORITHMS", "BACKENDS", "CampaignResult", "campaign", "replay",
+    "run_instance",
+    "CURVE_KINDS", "SYSTEM_KINDS", "make_curves", "make_system",
+    "curves_to_json", "curves_from_json", "system_to_json",
+    "system_from_json",
+    "canonicalize", "outputs_match", "sim_snapshot",
+    "render_diff", "scalar_diff",
+    "DEFAULT_GOLDEN_PATH", "SCALING_TARGETS", "check_scaling", "fit_scaling",
+    "update_golden",
+]

@@ -1,0 +1,125 @@
+"""``python -m repro.verify`` — fuzz campaign, corpus replay, golden update.
+
+Modes:
+
+* default             — differential-oracle campaign (50 seeded instances
+                        per algorithm) followed by the golden Theta-scaling
+                        check; nonzero exit on any divergence or drift.
+* ``--oracle``        — campaign only.
+* ``--scaling``       — scaling check only.
+* ``--replay FILE..`` — re-run serialized corpus instances (no RNG).
+* ``--update-golden`` — re-measure and re-pin ``golden_scaling.json``
+                        (combine with ``--targets`` for a subset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .oracle import ALGORITHMS, DEFAULT_CORPUS_DIR, campaign, replay
+from .scaling import DEFAULT_GOLDEN_PATH, SCALING_TARGETS, check_scaling, update_golden
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential oracle + Theta-scaling conformance harness.",
+    )
+    p.add_argument("--oracle", action="store_true",
+                   help="run only the differential-oracle campaign")
+    p.add_argument("--scaling", action="store_true",
+                   help="run only the golden scaling check")
+    p.add_argument("--replay", nargs="+", metavar="FILE",
+                   help="re-run serialized corpus instance(s) and exit")
+    p.add_argument("--update-golden", action="store_true",
+                   help="re-measure and rewrite the golden scaling file")
+    p.add_argument("--instances", type=int, default=50,
+                   help="seeded instances per algorithm (default: 50)")
+    p.add_argument("--seed0", type=int, default=0,
+                   help="first seed of the campaign (default: 0)")
+    p.add_argument("--algorithms", nargs="+", metavar="NAME",
+                   choices=sorted(ALGORITHMS),
+                   help="restrict the campaign to these algorithms")
+    p.add_argument("--targets", nargs="+", metavar="NAME",
+                   choices=sorted(SCALING_TARGETS),
+                   help="restrict the scaling check/update to these targets")
+    p.add_argument("--tol", type=float, default=None,
+                   help="override the output comparison tolerance")
+    p.add_argument("--corpus-dir", default=str(DEFAULT_CORPUS_DIR),
+                   help="where divergent instances are serialized")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="do not serialize divergent instances")
+    p.add_argument("--golden", default=str(DEFAULT_GOLDEN_PATH),
+                   help="path of the golden scaling JSON")
+    return p
+
+
+def _run_replay(args) -> int:
+    rc = 0
+    for path in args.replay:
+        kwargs = {} if args.tol is None else {"tol": args.tol}
+        report = replay(path, **kwargs)
+        if report.ok:
+            print(f"{path}: OK ({report.algorithm}/{report.kind} "
+                  f"seed={report.seed})")
+        else:
+            rc = 1
+            print(f"{path}: DIVERGENT ({report.algorithm}/{report.kind} "
+                  f"seed={report.seed})")
+            for d in report.divergences:
+                where = (f"backend={d.backend} fast_combine={d.fast_combine}"
+                         if d.fast_combine is not None else
+                         f"backend={d.backend} metrics fast-combine on/off")
+                for m in d.mismatches:
+                    print(f"  {where}: {m}")
+    return rc
+
+
+def _run_oracle(args) -> int:
+    kwargs = {} if args.tol is None else {"tol": args.tol}
+    result = campaign(
+        algorithms=args.algorithms,
+        instances=args.instances,
+        seed0=args.seed0,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+        progress=lambda line: print(f"  {line}"),
+        **kwargs,
+    )
+    total = len(result.reports)
+    failed = len(result.failures)
+    print(f"oracle: {total - failed}/{total} instances equivalent across "
+          f"serial/mesh/hypercube/PRAM x fast-combine on/off")
+    for path in result.corpus_files:
+        print(f"  divergence serialized: {path}")
+        print(f"  replay with: python -m repro.verify --replay {path}")
+    return 0 if result.ok else 1
+
+
+def _run_scaling(args) -> int:
+    if args.update_golden:
+        doc = update_golden(args.golden, args.targets,
+                            progress=lambda line: print(f"  {line}"))
+        print(f"golden scaling re-pinned: {args.golden} "
+              f"({len(doc['targets'])} targets)")
+        return 0
+    ok, _, rendered = check_scaling(args.golden, args.targets,
+                                    progress=lambda line: print(f"  {line}"))
+    print(rendered)
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    if args.replay:
+        return _run_replay(args)
+    if args.update_golden or args.scaling:
+        return _run_scaling(args)
+    if args.oracle:
+        return _run_oracle(args)
+    rc = _run_oracle(args)
+    return rc or _run_scaling(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Tolerant output canonicalization and comparison for the oracle.
+
+Backends may legitimately differ in *representation* — a tied breakpoint
+resolved in a different order, duplicate curves fused under a different
+label, a degenerate sliver absorbed into a neighbour — while still
+computing the same geometry.  The oracle therefore compares **values**:
+piecewise functions are sampled at the midpoints of the refined partition
+induced by *both* outputs' breakpoints (within each refined interval both
+sides are single bounded-degree polynomials, so agreement at the sample
+points is piecewise equivalence up to tolerance), interval lists are
+compared endpoint-by-endpoint after merging abutting intervals, scalars and
+index outputs directly.
+
+Every comparator returns a list of human-readable mismatch strings (empty
+means equivalent), so the oracle can report *what* diverged, not just that
+something did.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..kinetics.piecewise import PiecewiseFunction
+
+__all__ = ["canonicalize", "outputs_match", "sim_snapshot", "TOL"]
+
+#: Default relative/absolute comparison tolerance.
+TOL = 1e-6
+
+#: Horizon used to sample the unbounded tail of piecewise outputs.
+_TAIL = (1.5, 4.0, 16.0, 64.0)
+
+
+def _close(a: float, b: float, tol: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def sim_snapshot(metrics) -> dict:
+    """Simulated-charge snapshot with host-only (wall-clock) keys removed."""
+    snap = metrics.snapshot()
+    snap.pop("wall_time", None)
+    snap.pop("wall_phases", None)
+    return snap
+
+
+# ----------------------------------------------------------------------
+# Canonical forms
+# ----------------------------------------------------------------------
+def canonicalize(output):
+    """A JSON-serializable canonical form of an algorithm output.
+
+    Used for corpus records and diff rendering; comparison itself runs on
+    the live objects (see :func:`outputs_match`) so piecewise functions can
+    be resampled rather than compared structurally.
+    """
+    if isinstance(output, PiecewiseFunction):
+        return {
+            "kind": "piecewise",
+            "pieces": [
+                [p.lo, p.hi, repr(p.label)] for p in output.pieces
+            ],
+        }
+    if isinstance(output, np.ndarray):
+        return {"kind": "array", "values": [float(v) for v in output]}
+    if isinstance(output, (list, tuple)):
+        return {"kind": "sequence",
+                "values": [canonicalize(v) for v in output]}
+    if isinstance(output, (int, np.integer)):
+        return {"kind": "int", "value": int(output)}
+    if isinstance(output, (float, np.floating)):
+        return {"kind": "float", "value": float(output)}
+    if isinstance(output, bool):
+        return {"kind": "bool", "value": output}
+    return {"kind": "repr", "value": repr(output)}
+
+
+# ----------------------------------------------------------------------
+# Piecewise-function equivalence by refined-partition sampling
+# ----------------------------------------------------------------------
+def _sample_times(F: PiecewiseFunction, G: PiecewiseFunction,
+                  tol: float) -> list[float]:
+    """Midpoints of the partition refined by both functions' breakpoints.
+
+    Near-coincident breakpoints are merged first so no sample lands inside
+    a tolerance-width sliver where the two sides legitimately disagree.
+    """
+    cuts = sorted(set(F.breakpoints()) | set(G.breakpoints()) | {0.0})
+    merged = [cuts[0]]
+    for c in cuts[1:]:
+        if c - merged[-1] > 1e-7 * max(1.0, abs(c)):
+            merged.append(c)
+    ts = []
+    for a, b in zip(merged, merged[1:]):
+        span = b - a
+        ts.extend([a + span * r for r in (0.25, 0.5, 0.75)])
+    last = merged[-1] if merged else 0.0
+    ts.extend(max(1.0, last) * f for f in _TAIL)
+    return ts
+
+
+def _value_at(F: PiecewiseFunction, t: float):
+    p = F.piece_at(t)
+    return None if p is None else float(p.fn(t))
+
+
+def _match_piecewise(a: PiecewiseFunction, b: PiecewiseFunction,
+                     tol: float) -> list[str]:
+    errs = []
+    for t in _sample_times(a, b, tol):
+        va, vb = _value_at(a, t), _value_at(b, t)
+        if va is None and vb is None:
+            continue
+        if va is None or vb is None:
+            errs.append(
+                f"t={t:.6g}: defined on one side only "
+                f"(a={va}, b={vb})"
+            )
+        elif not _close(va, vb, tol):
+            errs.append(f"t={t:.6g}: values differ: {va!r} vs {vb!r}")
+        if len(errs) >= 5:
+            errs.append("... (further samples suppressed)")
+            break
+    return errs
+
+
+# ----------------------------------------------------------------------
+# Interval lists, arrays, scalars, index outputs
+# ----------------------------------------------------------------------
+def _merge_intervals(iv: Sequence[tuple], tol: float) -> list[tuple]:
+    out: list[list[float]] = []
+    for lo, hi in iv:
+        if out and _close(out[-1][1], lo, tol):
+            out[-1][1] = hi
+        else:
+            out.append([lo, hi])
+    return [tuple(x) for x in out]
+
+
+def _match_intervals(a, b, tol: float) -> list[str]:
+    ma, mb = _merge_intervals(a, tol), _merge_intervals(b, tol)
+    if len(ma) != len(mb):
+        return [f"interval count differs: {len(ma)} vs {len(mb)} "
+                f"({ma} vs {mb})"]
+    errs = []
+    for i, ((alo, ahi), (blo, bhi)) in enumerate(zip(ma, mb)):
+        if not (_close(alo, blo, tol) and _close(ahi, bhi, tol)):
+            errs.append(
+                f"interval {i} differs: [{alo:.6g},{ahi:.6g}] vs "
+                f"[{blo:.6g},{bhi:.6g}]"
+            )
+    return errs
+
+
+def _match_arrays(a, b, tol: float) -> list[str]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        return [f"array shape differs: {a.shape} vs {b.shape}"]
+    bad = [
+        f"index {i}: {x!r} vs {y!r}"
+        for i, (x, y) in enumerate(zip(a.tolist(), b.tolist()))
+        if not _close(x, y, tol)
+    ]
+    return bad[:5] + (["..."] if len(bad) > 5 else [])
+
+
+def _is_interval_list(x) -> bool:
+    return (
+        isinstance(x, list)
+        and all(
+            isinstance(v, tuple) and len(v) == 2
+            and all(isinstance(e, (int, float)) for e in v)
+            for v in x
+        )
+    )
+
+
+def outputs_match(a, b, tol: float = TOL) -> list[str]:
+    """Compare two algorithm outputs; return mismatch descriptions.
+
+    Dispatches on output shape: piecewise functions by refined-partition
+    value sampling, ``(lo, hi)`` interval lists with abutting-interval
+    merging, numeric arrays elementwise, scalars with relative tolerance,
+    index/label outputs exactly.
+    """
+    if isinstance(a, PiecewiseFunction) and isinstance(b, PiecewiseFunction):
+        return _match_piecewise(a, b, tol)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return _match_arrays(a, b, tol)
+    if _is_interval_list(a) and _is_interval_list(b):
+        return _match_intervals(a, b, tol)
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return [] if _close(float(a), float(b), tol) else [
+            f"scalars differ: {a!r} vs {b!r}"
+        ]
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return [f"sequence length differs: {len(a)} vs {len(b)} "
+                    f"({a!r} vs {b!r})"]
+        errs = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            for e in outputs_match(x, y, tol):
+                errs.append(f"[{i}] {e}")
+        return errs
+    return [] if a == b else [f"outputs differ: {a!r} vs {b!r}"]

@@ -1,0 +1,63 @@
+"""Readable diff rendering, shared by the oracle, the scaling checker and
+the golden-cost tests.
+
+A golden mismatch should say *which* operation on *which* machine moved,
+from what to what — not fail a bare assert.  These helpers render exactly
+that, in one aligned block that is stable enough to paste into a commit
+message justifying an intentional cost-model change (the workflow
+``CONTRIBUTING.md`` requires).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["scalar_diff", "render_diff"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if math.isinf(v):
+            return "inf"
+        if v == int(v) and abs(v) < 1e15:
+            return f"{v:.1f}"
+        return f"{v:.6g}"
+    return str(v)
+
+
+def scalar_diff(context: dict, expected, got) -> str:
+    """One-line diff: ``op=sort machine=mesh: expected 89.0, got 92.0 (+3.0)``."""
+    where = " ".join(f"{k}={v}" for k, v in context.items())
+    line = f"{where}: expected {_fmt(expected)}, got {_fmt(got)}"
+    if isinstance(expected, (int, float)) and isinstance(got, (int, float)) \
+            and not (math.isinf(float(expected)) or math.isinf(float(got))):
+        delta = float(got) - float(expected)
+        line += f" ({'+' if delta >= 0 else ''}{_fmt(delta)})"
+    return line
+
+
+def render_diff(title: str, rows: list[dict]) -> str:
+    """Multi-row diff block.
+
+    Each row is ``{"context": {...}, "expected": x, "got": y}`` (extra keys
+    like ``"band"`` are appended verbatim).  Returns a newline-joined block
+    headed by ``title``; empty rows render as an all-clear line.
+    """
+    if not rows:
+        return f"{title}: no differences"
+    lines = [title]
+    for row in rows:
+        line = "  " + scalar_diff(
+            row.get("context", {}), row.get("expected"), row.get("got")
+        )
+        extra = {
+            k: v for k, v in row.items()
+            if k not in ("context", "expected", "got")
+        }
+        if extra:
+            line += "  [" + ", ".join(
+                f"{k}={_fmt(v) if isinstance(v, float) else v}"
+                for k, v in extra.items()
+            ) + "]"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Theta-conformance engine: pin the paper's growth rates as goldens.
+
+Tables 1–3 of the paper claim ``Theta(lambda^{1/2}(n, s))`` mesh time and
+``Theta(log^2 n)`` hypercube time for the dynamic algorithms.  This module
+measures *simulated* parallel time over a size sweep for a representative
+workload per algorithm family, log-log-fits
+
+* mesh time against ``lambda(n, s)`` — the fitted exponent should sit
+  near ``0.5`` (time ~ sqrt of the lambda-sized mesh side), and
+* hypercube time against ``log2 n`` — the fitted exponent should sit
+  near ``2``,
+
+and records the fitted exponents plus the mesh/hypercube crossover size
+(the first swept ``n`` at which the hypercube's simulated time beats the
+mesh's) in a golden JSON file with per-field tolerance bands.  Simulated
+time is deterministic, so a re-fit only moves when the cost model or an
+algorithm's round structure changes — :func:`check_scaling` fails on such
+drift and :func:`update_golden` re-pins after an intentional change (the
+same workflow as ``tests/test_golden_costs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis import polylog_fit, power_fit
+from ..core.collision import collision_times
+from ..core.containment import containment_intervals
+from ..core.envelope import envelope
+from ..core.family import PolynomialFamily
+from ..core.hull_membership import hull_membership_intervals
+from ..core.neighbors import closest_point_sequence
+from ..kinetics.davenport_schinzel import lambda_mesh_size
+from ..kinetics.motion import converging_swarm, crossing_traffic, random_system
+from ..machines.machine import hypercube_machine, mesh_machine
+from .diffs import render_diff
+from .generators import make_curves
+
+__all__ = ["SCALING_TARGETS", "ScalingTarget", "DEFAULT_GOLDEN_PATH",
+           "DEFAULT_BANDS", "fit_scaling", "check_scaling", "update_golden"]
+
+DEFAULT_GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "tests" / "corpus" / "golden_scaling.json"
+)
+
+#: Allowed drift per recorded field before :func:`check_scaling` fails.
+#: Exponent fits on 3-point sweeps wobble with any intentional cost-model
+#: retune; crossover sizes are integers and must match exactly.
+DEFAULT_BANDS = {
+    "mesh_exponent": 0.10,
+    "hypercube_exponent": 0.25,
+    "crossover_n": 0.0,
+}
+
+#: Machine size used for every measurement (matches the report generators).
+_PES = 4096
+
+
+@dataclass(frozen=True)
+class ScalingTarget:
+    """One Theta-claim to pin: a workload, a size sweep, a lambda bound."""
+
+    name: str
+    sizes: tuple
+    run: Callable  # (machine, n) -> None; output discarded, metrics read
+    lam: Callable[[int], float]  # n -> lambda(n, s) for the mesh fit
+    claim: str  # human-readable Theta claim (for reports/docs)
+
+
+def _run_envelope(machine, n):
+    envelope(machine, make_curves("random", seed=7, n=n, s=2),
+             PolynomialFamily(2))
+
+
+def _run_closest(machine, n):
+    closest_point_sequence(machine, random_system(n, d=2, k=1, seed=1))
+
+
+def _run_collision(machine, n):
+    collision_times(machine, crossing_traffic(n, seed=1))
+
+
+def _run_hull(machine, n):
+    hull_membership_intervals(machine, random_system(n, d=2, k=1, seed=2,
+                                                     scale=5.0))
+
+
+def _run_containment(machine, n):
+    containment_intervals(machine, converging_swarm(n, seed=3), [40.0, 40.0])
+
+
+SCALING_TARGETS: dict[str, ScalingTarget] = {
+    t.name: t for t in (
+        ScalingTarget("envelope", (16, 64, 256), _run_envelope,
+                      lambda n: lambda_mesh_size(n, 2),
+                      "Theta(lambda^{1/2}(n,2)) mesh / Theta(log^2 n) cube"),
+        ScalingTarget("closest_point", (16, 64, 256), _run_closest,
+                      lambda n: lambda_mesh_size(n - 1, 2),
+                      "Theta(lambda^{1/2}(n-1,2)) mesh / Theta(log^2 n) cube"),
+        ScalingTarget("collision", (16, 64, 256), _run_collision,
+                      lambda n: float(n),
+                      "Theta(n^{1/2}) mesh / Theta(log^2 n) cube"),
+        ScalingTarget("hull_membership", (8, 16, 32), _run_hull,
+                      lambda n: lambda_mesh_size(n, 4),
+                      "Theta(lambda^{1/2}(n,4)) mesh / Theta(log^2 n) cube"),
+        ScalingTarget("containment", (16, 64, 256), _run_containment,
+                      lambda n: lambda_mesh_size(n, 1),
+                      "Theta(lambda^{1/2}(n,1)) mesh / Theta(log^2 n) cube"),
+    )
+}
+
+
+def _measure(target: ScalingTarget, machine_factory) -> list[float]:
+    times = []
+    for n in target.sizes:
+        machine = machine_factory(_PES)
+        target.run(machine, n)
+        times.append(float(machine.metrics.time))
+    return times
+
+
+def fit_scaling(targets=None,
+                progress: Callable[[str], None] | None = None) -> dict:
+    """Measure and fit every (or the named) scaling target.
+
+    Returns ``{name: {"sizes", "mesh_times", "hypercube_times",
+    "mesh_exponent", "mesh_r_squared", "hypercube_exponent",
+    "crossover_n", "claim"}}``.  Deterministic: same code, same numbers.
+    """
+    names = list(targets) if targets else list(SCALING_TARGETS)
+    out = {}
+    for name in names:
+        if name not in SCALING_TARGETS:
+            raise KeyError(f"unknown scaling target {name!r}; "
+                           f"have {sorted(SCALING_TARGETS)}")
+        t = SCALING_TARGETS[name]
+        mesh_t = _measure(t, mesh_machine)
+        cube_t = _measure(t, hypercube_machine)
+        lam = [t.lam(n) for n in t.sizes]
+        mesh_fit = power_fit(lam, mesh_t)
+        cube_p = polylog_fit(t.sizes, cube_t)
+        crossover = next(
+            (n for n, mt, ct in zip(t.sizes, mesh_t, cube_t) if ct < mt),
+            None,
+        )
+        out[name] = {
+            "sizes": list(t.sizes),
+            "mesh_times": mesh_t,
+            "hypercube_times": cube_t,
+            "mesh_exponent": round(mesh_fit.exponent, 4),
+            "mesh_r_squared": round(mesh_fit.r_squared, 4),
+            "hypercube_exponent": round(cube_p, 4),
+            "crossover_n": crossover,
+            "claim": t.claim,
+        }
+        if progress:
+            progress(
+                f"{name}: mesh lambda^{out[name]['mesh_exponent']:.2f} "
+                f"(R^2={out[name]['mesh_r_squared']:.3f}), cube "
+                f"(log n)^{out[name]['hypercube_exponent']:.2f}, "
+                f"crossover n={crossover}"
+            )
+    return out
+
+
+def update_golden(path=DEFAULT_GOLDEN_PATH, targets=None,
+                  progress: Callable[[str], None] | None = None) -> dict:
+    """Re-measure and (re)write the golden scaling file.
+
+    When ``targets`` names a subset, other targets' recorded entries are
+    preserved.  Returns the full golden document written.
+    """
+    path = pathlib.Path(path)
+    doc = {"bands": dict(DEFAULT_BANDS), "targets": {}}
+    if path.exists():
+        doc = json.loads(path.read_text())
+        doc.setdefault("bands", dict(DEFAULT_BANDS))
+        doc.setdefault("targets", {})
+    doc["targets"].update(fit_scaling(targets, progress))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def check_scaling(path=DEFAULT_GOLDEN_PATH, targets=None,
+                  progress: Callable[[str], None] | None = None):
+    """Re-fit and compare against the golden file.
+
+    Returns ``(ok, rows, rendered)`` where ``rows`` feed
+    :func:`repro.verify.diffs.render_diff` (and ``rendered`` is that
+    block, or the all-clear line).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden scaling file at {path}; run "
+            "`python -m repro.verify --scaling --update-golden` to create it"
+        )
+    doc = json.loads(path.read_text())
+    bands = {**DEFAULT_BANDS, **doc.get("bands", {})}
+    golden = doc.get("targets", {})
+    fits = fit_scaling(targets, progress)
+    rows = []
+    for name, fit in fits.items():
+        if name not in golden:
+            rows.append({"context": {"target": name, "field": "recorded"},
+                         "expected": "present in golden", "got": "missing"})
+            continue
+        want = golden[name]
+        for field_name, band in bands.items():
+            exp, got = want.get(field_name), fit.get(field_name)
+            if exp is None and got is None:
+                continue
+            if (exp is None) != (got is None):
+                drifted = True
+            elif isinstance(exp, (int, float)) and isinstance(got, (int, float)):
+                drifted = abs(float(got) - float(exp)) > band
+            else:
+                drifted = exp != got
+            if drifted:
+                rows.append({
+                    "context": {"target": name, "field": field_name},
+                    "expected": exp, "got": got, "band": band,
+                })
+    rendered = render_diff(
+        "golden scaling drift (re-pin with --update-golden if intentional)",
+        rows,
+    )
+    return (not rows), rows, rendered

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.envelope import set_fast_combine
+
+
+@pytest.fixture(params=[True, False], ids=["fast", "array"])
+def fast_combine_mode(request):
+    """Run the decorated tests under both envelope execution strategies.
+
+    The host-side fast combine path (PR 1) must be output- and
+    simulated-charge-identical to the array machinery; classes marked with
+    ``@pytest.mark.usefixtures("fast_combine_mode")`` execute once per mode
+    so neither path rots unexercised.
+    """
+    prev = set_fast_combine(request.param)
+    try:
+        yield request.param
+    finally:
+        set_fast_combine(prev)

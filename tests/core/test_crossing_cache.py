@@ -49,7 +49,10 @@ def cache_disabled():
         CurveFamily.cache_enabled = prev
 
 
+@pytest.mark.usefixtures("fast_combine_mode")
 class TestCacheOnOffIdentity:
+    """Cache identity must hold under both envelope execution strategies."""
+
     def _envelope_run(self, polys, k, machine):
         fam = PolynomialFamily(k)
         E = envelope(machine, polys, fam)

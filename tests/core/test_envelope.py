@@ -177,7 +177,10 @@ class TestSerialEnvelope:
                                      atol=1e-5)
 
 
+@pytest.mark.usefixtures("fast_combine_mode")
 class TestMachinePairwise:
+    """Runs under both envelope execution strategies (fast/array)."""
+
     @pytest.mark.parametrize("mk", [mesh_machine, hypercube_machine,
                                     pram_machine],
                              ids=["mesh", "hypercube", "pram"])
@@ -208,7 +211,10 @@ class TestMachinePairwise:
             assert got(t) == pytest.approx(want(t))
 
 
+@pytest.mark.usefixtures("fast_combine_mode")
 class TestMachineEnvelope:
+    """Runs under both envelope execution strategies (fast/array)."""
+
     @pytest.mark.parametrize("mk", [mesh_machine, hypercube_machine,
                                     serial_machine],
                              ids=["mesh", "hypercube", "serial"])

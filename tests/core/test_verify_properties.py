@@ -1,0 +1,91 @@
+"""Property tests driven by the adversarial families in repro.verify.
+
+These extend the existing property coverage (test_core_properties.py) with
+the *degenerate* instance families the verification layer generates —
+tangencies, duplicates, common-point ties, vanishing leading coefficients —
+checking the paper's structural invariants survive them:
+
+* Lemma 2.2 / Theorem 3.2: envelope piece count is at most
+  ``lambda_bound(n, s)``;
+* envelopes of total inputs are continuous across breakpoints;
+* the envelope is pointwise minimal (resp. maximal) on sampled times;
+* Theorem 4.5 hull membership agrees with the brute-force angular-gap
+  oracle on non-degenerate systems.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.envelope import envelope_serial
+from repro.core.family import PolynomialFamily
+from repro.core.hull_membership import hull_membership_intervals, is_extreme_at
+from repro.kinetics.davenport_schinzel import lambda_bound
+from repro.verify.generators import curve_lists, planar_systems
+
+FAM2 = PolynomialFamily(2)
+
+# Sample grid for pointwise checks: away from 0 and spread past the
+# typical breakpoint range of the quantised families.
+_SAMPLES = [0.13, 0.71, 1.37, 2.53, 4.19, 7.91, 13.7, 29.3]
+
+
+class TestEnvelopeInvariantsOnAdversarialFamilies:
+    @given(curve_lists(s=2, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_piece_count_within_lambda_bound(self, fns):
+        env = envelope_serial(fns, FAM2)
+        assert len(env) <= lambda_bound(len(fns), 2)
+
+    @given(curve_lists(s=2, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_continuity_at_breakpoints(self, fns):
+        """Total inputs: pieces abut and values agree across breakpoints."""
+        env = envelope_serial(fns, FAM2)
+        assert env[0].lo == 0.0
+        assert math.isinf(env[-1].hi)
+        for a, b in zip(env.pieces, env.pieces[1:]):
+            assert b.lo == pytest.approx(a.hi, abs=1e-7)
+            va, vb = a.fn(a.hi), b.fn(b.lo)
+            assert va == pytest.approx(vb, rel=1e-5, abs=1e-5)
+
+    @given(curve_lists(s=2, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_pointwise_minimality(self, fns):
+        env = envelope_serial(fns, FAM2)
+        for t in _SAMPLES:
+            want = min(f(t) for f in fns)
+            assert env(t) == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+    @given(curve_lists(s=2, min_size=2, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_pointwise_maximality(self, fns):
+        env = envelope_serial(fns, FAM2, op="max")
+        for t in _SAMPLES:
+            want = max(f(t) for f in fns)
+            assert env(t) == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+
+class TestHullMembershipConsistency:
+    """Theorem 4.5 vs the brute angular-gap oracle.
+
+    Restricted to the generic-position family: on exactly collinear
+    configurations Lemma 4.4's boundary semantics and the strict-gap brute
+    force legitimately disagree, which is a *semantics* difference, not a
+    bug (the differential oracle covers the degenerate families
+    backend-vs-backend instead).
+    """
+
+    @given(planar_systems(min_size=4, max_size=7, kinds=("random",)))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_brute_oracle(self, system):
+        intervals = hull_membership_intervals(None, system)
+        ends = [e for iv in intervals for e in iv if math.isfinite(e)]
+        for t in _SAMPLES:
+            if any(abs(t - e) < 0.05 for e in ends):
+                continue
+            inside = any(lo - 1e-9 <= t <= hi + 1e-9 for lo, hi in intervals)
+            assert inside == is_extreme_at(system, 0, t), (
+                f"t={t}: algorithm={inside}, brute oracle={not inside}"
+            )

@@ -25,6 +25,7 @@ from repro.ops import (
     parallel_prefix,
     semigroup,
 )
+from repro.verify.diffs import scalar_diff
 
 
 def fixed_data(n):
@@ -65,7 +66,10 @@ class TestGoldenOpCosts:
         ("sort", 89.0),            # Thompson-Kung geometric stage total
     ])
     def test_mesh_costs(self, op, want):
-        assert self._run(mesh_machine, op) == want
+        got = self._run(mesh_machine, op)
+        assert got == want, scalar_diff(
+            {"op": op, "machine": "mesh"}, want, got
+        )
 
     # Hypercube: unit distance per bit; log n = 8.
     @pytest.mark.parametrize("op,want", [
@@ -76,7 +80,10 @@ class TestGoldenOpCosts:
         ("sort", 36.0),            # 8 * 9 / 2
     ])
     def test_hypercube_costs(self, op, want):
-        assert self._run(hypercube_machine, op) == want
+        got = self._run(hypercube_machine, op)
+        assert got == want, scalar_diff(
+            {"op": op, "machine": "hypercube"}, want, got
+        )
 
     def test_ccc_is_exactly_3x_cube(self):
         assert self._run(ccc_machine, "sort") == 3 * self._run(
@@ -84,7 +91,10 @@ class TestGoldenOpCosts:
         )
 
     def test_pram_unit_rounds(self):
-        assert self._run(pram_machine, "semigroup") == 8.0  # rounds at cost 1
+        got = self._run(pram_machine, "semigroup")  # rounds at cost 1
+        assert got == 8.0, scalar_diff(
+            {"op": "semigroup", "machine": "pram"}, 8.0, got
+        )
 
 
 class TestGoldenDiameters:

@@ -1,0 +1,68 @@
+"""Enforce the no-unseeded-randomness rule across the whole tree.
+
+Determinism is a load-bearing property here: golden simulated-time
+numbers, the differential oracle's replayable corpus and the benchmark
+tables all assume that every random draw flows from an explicit seed.  An
+audit of ``src/``, ``tests/`` and ``benchmarks/`` found the rule already
+held everywhere; this test keeps it that way mechanically by failing on:
+
+* ``np.random.default_rng()`` with no seed argument;
+* legacy global-state numpy draws (``np.random.seed``, ``np.random.rand``,
+  ``np.random.uniform`` and friends called on the module singleton);
+* the stdlib ``random`` module (its global Mersenne state is per-process).
+
+``np.random.default_rng(seed)`` and ``np.random.Generator`` type hints are
+of course fine.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SCAN_DIRS = ("src", "tests", "benchmarks")
+
+# Legacy numpy global-state entry points (module-level np.random.<fn>).
+_LEGACY = (
+    "seed|rand|randn|randint|random_sample|random|uniform|normal|choice|"
+    "shuffle|permutation|standard_normal|RandomState"
+)
+
+FORBIDDEN = [
+    (re.compile(r"default_rng\(\s*\)"),
+     "np.random.default_rng() without an explicit seed"),
+    (re.compile(rf"np\.random\.(?:{_LEGACY})\s*\("),
+     "legacy numpy global-state RNG (np.random.<fn>(...))"),
+    (re.compile(r"^\s*import random\b|^\s*from random import\b",
+                re.MULTILINE),
+     "stdlib random module (unseeded global state)"),
+]
+
+
+def _python_files():
+    for d in SCAN_DIRS:
+        yield from sorted((REPO / d).rglob("*.py"))
+
+
+@pytest.mark.parametrize("pattern,label", FORBIDDEN,
+                         ids=[lbl for _, lbl in FORBIDDEN])
+def test_no_unseeded_randomness(pattern, label):
+    this_file = pathlib.Path(__file__)
+    offenders = []
+    for path in _python_files():
+        if path == this_file:
+            continue
+        text = path.read_text()
+        for m in pattern.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            offenders.append(f"{path.relative_to(REPO)}:{line}")
+    assert not offenders, (
+        f"{label} found (thread a seeded np.random.Generator instead):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_scan_actually_scans():
+    files = list(_python_files())
+    assert len(files) > 100, "hygiene scan is not seeing the tree"

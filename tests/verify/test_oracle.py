@@ -1,0 +1,100 @@
+"""Tests for the differential oracle (tier-1 slice + gated fuzz campaign).
+
+Tier-1 runs a thin deterministic slice — a few seeds of the cheap
+algorithms — to keep the suite fast; the full 50-instance-per-algorithm
+campaign (the acceptance bar) runs via ``python -m repro.verify`` or
+``REPRO_FUZZ=1 pytest -m fuzz``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.verify.compare import outputs_match
+from repro.verify.oracle import (
+    ALGORITHMS,
+    campaign,
+    replay,
+    run_instance,
+    save_failure,
+)
+
+pytestmark = pytest.mark.verify
+
+# Cheap representatives of each output shape: piecewise function, array,
+# interval list, scalar tuple, index, polynomial coefficients.
+_TIER1_ALGOS = ("envelope", "collision", "containment", "steady_nearest",
+                "steady_diameter")
+
+
+class TestRunInstance:
+    @pytest.mark.parametrize("name", _TIER1_ALGOS)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_backends_agree(self, name, seed):
+        report = run_instance(name, seed)
+        assert report.ok, [
+            (d.backend, d.fast_combine, d.mismatches)
+            for d in report.divergences
+        ]
+
+    def test_registry_covers_every_family(self):
+        # Envelope, transient (Section 4) and steady-state (Section 5).
+        assert {"envelope", "hull_membership", "closest_point",
+                "closest_pair", "collision", "containment",
+                "steady_hull", "steady_closest_pair"} <= set(ALGORITHMS)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            run_instance("nope", 0)
+
+
+class TestCorpusRoundTrip:
+    def test_save_and_replay(self, tmp_path):
+        # Serialize a (healthy) instance the way a divergence would be,
+        # then replay it from coefficients alone: same verdict, no RNG.
+        report = run_instance("collision", 1)
+        from repro.verify.oracle import _serialize_instance
+        report.instance_json = _serialize_instance(
+            ALGORITHMS["collision"].build(1)
+        )
+        path = save_failure(report, tmp_path)
+        record = json.loads(open(path).read())
+        assert record["algorithm"] == "collision"
+        assert record["instance"]["type"] == "system"
+        replayed = replay(path)
+        assert replayed.ok == report.ok
+        assert replayed.seed == report.seed
+
+    def test_campaign_counts_and_summary(self, tmp_path):
+        result = campaign(algorithms=["steady_nearest"], instances=3,
+                          corpus_dir=tmp_path)
+        assert len(result.reports) == 3
+        assert result.ok and not result.failures
+        assert result.summary() == {
+            "steady_nearest": {"instances": 3, "failed": 0}
+        }
+
+
+class TestComparatorSensitivity:
+    """The oracle must actually be able to see a divergence."""
+
+    def test_interval_shift_detected(self):
+        assert outputs_match([(0.0, 1.0)], [(0.0, 1.5)])
+        assert not outputs_match([(0.0, 1.0)], [(0.0, 1.0 + 1e-9)])
+
+    def test_abutting_intervals_merge(self):
+        assert not outputs_match([(0.0, 1.0), (1.0, 2.0)], [(0.0, 2.0)])
+
+    def test_scalar_tolerance(self):
+        assert not outputs_match(1.0, 1.0 + 1e-9)
+        assert outputs_match(1.0, 1.01)
+
+
+@pytest.mark.fuzz
+@pytest.mark.skipif(not os.environ.get("REPRO_FUZZ"),
+                    reason="full fuzz campaign; set REPRO_FUZZ=1 "
+                           "(or run python -m repro.verify)")
+def test_full_campaign_green(tmp_path):
+    result = campaign(instances=50, corpus_dir=tmp_path)
+    assert result.ok, result.summary()

@@ -1,0 +1,80 @@
+"""Tests for the Theta-conformance engine and its golden file."""
+
+import json
+
+import pytest
+
+from repro.verify.scaling import (
+    DEFAULT_GOLDEN_PATH,
+    SCALING_TARGETS,
+    check_scaling,
+    fit_scaling,
+    update_golden,
+)
+
+pytestmark = pytest.mark.verify
+
+# The cheapest target: collision is pure root-finding over n curves.
+_CHEAP = ["collision"]
+
+
+class TestFit:
+    def test_fit_is_deterministic(self):
+        a = fit_scaling(_CHEAP)
+        b = fit_scaling(_CHEAP)
+        assert a == b
+
+    def test_fit_reports_expected_fields(self):
+        fit = fit_scaling(_CHEAP)["collision"]
+        assert set(fit) >= {"sizes", "mesh_times", "hypercube_times",
+                            "mesh_exponent", "hypercube_exponent",
+                            "crossover_n", "claim"}
+        # Theta(sqrt) mesh behaviour: exponent near 1/2 in lambda.
+        assert 0.3 < fit["mesh_exponent"] < 0.8
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            fit_scaling(["nope"])
+
+
+class TestGoldenFile:
+    def test_committed_golden_matches_measurement(self):
+        """The checked-in golden tracks the current cost model exactly."""
+        assert DEFAULT_GOLDEN_PATH.exists()
+        ok, rows, rendered = check_scaling(targets=_CHEAP)
+        assert ok, rendered
+
+    def test_committed_golden_covers_all_targets(self):
+        doc = json.loads(DEFAULT_GOLDEN_PATH.read_text())
+        assert set(doc["targets"]) == set(SCALING_TARGETS)
+        assert set(doc["bands"]) == {"mesh_exponent", "hypercube_exponent",
+                                     "crossover_n"}
+
+    def test_drift_detected_and_rendered(self, tmp_path):
+        path = tmp_path / "golden.json"
+        update_golden(path, _CHEAP)
+        doc = json.loads(path.read_text())
+        doc["targets"]["collision"]["mesh_exponent"] += 1.0
+        doc["targets"]["collision"]["crossover_n"] = 999
+        path.write_text(json.dumps(doc))
+        ok, rows, rendered = check_scaling(path, _CHEAP)
+        assert not ok
+        fields = {r["context"]["field"] for r in rows}
+        assert fields == {"mesh_exponent", "crossover_n"}
+        assert "target=collision" in rendered
+        assert "expected" in rendered
+
+    def test_missing_golden_raises_with_instructions(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--update-golden"):
+            check_scaling(tmp_path / "absent.json", _CHEAP)
+
+    def test_update_preserves_other_targets(self, tmp_path):
+        path = tmp_path / "golden.json"
+        update_golden(path, _CHEAP)
+        doc = json.loads(path.read_text())
+        doc["targets"]["sentinel"] = {"mesh_exponent": 1.0}
+        path.write_text(json.dumps(doc))
+        update_golden(path, _CHEAP)
+        doc = json.loads(path.read_text())
+        assert "sentinel" in doc["targets"]
+        assert "collision" in doc["targets"]
