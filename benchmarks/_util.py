@@ -8,12 +8,15 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 
 from repro.analysis import render_table
 from repro.core.family import global_cache_stats
 from repro.machines.metrics import global_wall_phases
+from repro.ops.plans import plan_cache_stats
+from repro.parallel import parallel_map
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -21,6 +24,28 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def verbose() -> bool:
     """True when the run asked for verbose output (pytest/CLI ``-v``)."""
     return any(a in ("-v", "-vv", "--verbose") for a in sys.argv)
+
+
+def bench_jobs() -> int:
+    """Worker processes for row sweeps: the ``REPRO_JOBS`` env var.
+
+    Defaults to serial (1).  ``REPRO_JOBS=0`` means one worker per host
+    core.  Parallel sweeps produce byte-identical tables — rows are merged
+    in submission order (``repro.parallel``) and record only simulated
+    time — so this is purely a wall-clock lever for big sweeps.
+    """
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def parallel_rows(fn, items):
+    """Map a module-level row builder over ``items``, honouring REPRO_JOBS.
+
+    Row order follows item order regardless of jobs, so results files stay
+    byte-identical.  Note: with jobs > 1 the per-process cache/wall-clock
+    diagnostics of the workers are not folded back into this process —
+    simulated-time rows are unaffected.
+    """
+    return parallel_map(fn, items, jobs=bench_jobs())
 
 
 def report(bench_name: str, title: str, headers, rows) -> None:
@@ -43,11 +68,15 @@ def report(bench_name: str, title: str, headers, rows) -> None:
 
 
 def diagnostics(label: str = "") -> None:
-    """Print process-wide host-side counters: cache hit rate, wall phases."""
+    """Print process-wide host-side counters: cache hit rates, wall phases."""
     stats = global_cache_stats()
     prefix = f"[{label}] " if label else ""
     print(f"{prefix}crossing cache: {stats['hits']} hits / "
           f"{stats['misses']} misses (hit rate {stats['hit_rate']:.1%})")
+    plans = plan_cache_stats()
+    print(f"{prefix}movement plans: {plans['hits']} hits / "
+          f"{plans['misses']} misses (hit rate {plans['hit_rate']:.1%}, "
+          f"compile {plans['compile_seconds']:.3f}s)")
     phases = global_wall_phases()
     if phases:
         ranked = sorted(phases.items(), key=lambda kv: -kv[1])

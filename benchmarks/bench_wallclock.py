@@ -9,6 +9,13 @@ itself takes to run, in seconds, for three representative workloads
 revision's numbers (``SEED_SECONDS``, measured with this same harness on
 the pre-optimisation tree, min of 3 runs).
 
+Each workload is timed twice — compiled movement plans on (the default)
+and off (the interpreted per-round executors) — and the simulated time
+charged by the two modes is asserted bit-identical, the PR 3 contract.
+A campaign-scaling section times ``repro.verify`` campaigns at
+``--jobs`` 1/2/4 and records ``host_cores`` alongside, since jobs beyond
+the physical core count cannot speed anything up.
+
 Run directly (``python benchmarks/bench_wallclock.py [--smoke]``) or via
 pytest, where ``test_wallclock_report`` runs the full mode.  Smoke mode
 shrinks every workload so the whole sweep finishes in a few seconds; the
@@ -19,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import pathlib
 import time
 
@@ -31,6 +39,8 @@ from repro.core.steady import steady_hull
 from repro.kinetics.motion import divergent_system, random_system
 from repro.kinetics.polynomial import Polynomial
 from repro.machines.machine import mesh_machine
+from repro.ops import set_compiled_plans
+from repro.verify.oracle import campaign
 
 JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_wallclock.json"
 
@@ -58,6 +68,17 @@ PARAMS = {
         "steady_hull": {"n": 48, "n_pe": 64},
     },
 }
+
+#: Campaign-scaling parameters: a small oracle campaign timed at each jobs
+#: value.  Results are identical for every jobs value (the engine merges
+#: by item index); only wall-clock moves, and only when the host has the
+#: cores to back it — hence ``host_cores`` in the recorded section.
+CAMPAIGN_PARAMS = {
+    "full": {"algorithms": ["closest_pair", "envelope"], "instances": 12},
+    "smoke": {"algorithms": ["closest_pair"], "instances": 4},
+}
+
+CAMPAIGN_JOBS = (1, 2, 4)
 
 
 # ----------------------------------------------------------------------
@@ -118,23 +139,71 @@ def _measure(run, repeats: int):
     return min(seconds), sum(seconds) / len(seconds), machine
 
 
+def _measure_plan_modes(run, repeats: int):
+    """Time ``run`` with compiled plans on and off; check sim-time parity."""
+    out = {}
+    for label, enabled in (("plan_on", True), ("plan_off", False)):
+        prev = set_compiled_plans(enabled)
+        try:
+            out[label] = _measure(run, repeats)
+        finally:
+            set_compiled_plans(prev)
+    on_sim = out["plan_on"][2].metrics.time
+    off_sim = out["plan_off"][2].metrics.time
+    assert on_sim == off_sim, (
+        f"simulated time moved with plan mode: on={on_sim!r} off={off_sim!r}"
+    )
+    return out
+
+
+def run_campaign_scaling(mode: str = "full") -> dict:
+    """Time the oracle campaign at each jobs value; results are identical."""
+    params = CAMPAIGN_PARAMS[mode]
+    section: dict = {
+        "params": params,
+        "host_cores": os.cpu_count(),
+        "jobs": {},
+    }
+    base = None
+    for jobs in CAMPAIGN_JOBS:
+        t0 = time.perf_counter()
+        result = campaign(jobs=jobs, **params)
+        dt = time.perf_counter() - t0
+        if base is None:
+            base = dt
+        section["jobs"][str(jobs)] = {
+            "seconds": round(dt, 4),
+            "speedup_vs_serial": round(base / dt, 2) if dt > 0 else math.inf,
+            "ok": result.ok,
+        }
+    return section
+
+
 def run_wallclock(mode: str = "full", repeats: int = 3,
-                  json_path: pathlib.Path | None = JSON_PATH) -> dict:
+                  json_path: pathlib.Path | None = JSON_PATH,
+                  campaign_scaling: bool = True) -> dict:
     """Measure every workload; return (and optionally write) the results.
 
     Each workload entry records measured seconds (min and mean of
-    ``repeats``), the seed baseline, the speedup, the *simulated* time the
-    run charged (the number that must never move), and — when the current
-    tree provides them — per-phase wall-clock and crossing-cache counters.
+    ``repeats``) for the compiled-plan and interpreted executors, the seed
+    baseline, the speedups, the *simulated* time the run charged (asserted
+    identical between the two executors — the number that must never
+    move), and — when the current tree provides them — per-phase
+    wall-clock and crossing-cache counters.
     """
     results: dict = {"mode": mode, "repeats": repeats, "workloads": {}}
     for name, params in PARAMS[mode].items():
-        best, mean, machine = _measure(_BUILDERS[name](**params), repeats)
+        modes = _measure_plan_modes(_BUILDERS[name](**params), repeats)
+        best, mean, machine = modes["plan_on"]
+        off_best, off_mean, _ = modes["plan_off"]
         seed = SEED_SECONDS[mode][name]
         entry = {
             "params": params,
             "seconds": round(best, 4),
             "mean_seconds": round(mean, 4),
+            "plan_off_seconds": round(off_best, 4),
+            "plan_off_mean_seconds": round(off_mean, 4),
+            "plan_speedup": round(off_best / best, 2) if best > 0 else math.inf,
             "seed_seconds": seed,
             "speedup": round(seed / best, 2) if best > 0 else math.inf,
             "sim_time": machine.metrics.time,
@@ -145,6 +214,8 @@ def run_wallclock(mode: str = "full", repeats: int = 3,
                 k: round(v, 4) for k, v in sorted(wall_phases.items())
             }
         results["workloads"][name] = entry
+    if campaign_scaling:
+        results["campaign_scaling"] = run_campaign_scaling(mode)
     if json_path is not None:
         json_path.write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -155,9 +226,17 @@ def _print_results(results: dict) -> None:
           f"min of {results['repeats']}):")
     for name, entry in results["workloads"].items():
         print(f"  {name:16s} {entry['seconds']:8.4f}s   "
-              f"seed {entry['seed_seconds']:.4f}s   "
-              f"speedup {entry['speedup']:5.2f}x   "
+              f"interpreted {entry['plan_off_seconds']:.4f}s "
+              f"({entry['plan_speedup']:.2f}x)   "
+              f"seed {entry['seed_seconds']:.4f}s "
+              f"({entry['speedup']:.2f}x)   "
               f"sim_time {entry['sim_time']:g}")
+    scaling = results.get("campaign_scaling")
+    if scaling:
+        print(f"  campaign scaling (host cores: {scaling['host_cores']}):")
+        for jobs, entry in scaling["jobs"].items():
+            print(f"    jobs={jobs:3s} {entry['seconds']:8.4f}s   "
+                  f"{entry['speedup_vs_serial']:.2f}x vs serial")
 
 
 def test_wallclock_report():
@@ -165,6 +244,11 @@ def test_wallclock_report():
     _print_results(results)
     for name, entry in results["workloads"].items():
         assert entry["seconds"] < 10.0, f"{name} runaway: {entry}"
+        # Compiled plans must never be a pessimisation (noise margin).
+        assert entry["seconds"] <= 1.25 * entry["plan_off_seconds"], (
+            f"{name}: compiled {entry['seconds']:.4f}s slower than "
+            f"interpreted {entry['plan_off_seconds']:.4f}s"
+        )
     # The acceptance workload: host-side batching + caching must keep the
     # envelope sweep well clear of the seed's wall-clock (3x required;
     # assert with a margin for machine noise).
@@ -186,8 +270,11 @@ if __name__ == "__main__":
     ap.add_argument("--repeats", type=_positive, default=3)
     ap.add_argument("--no-json", action="store_true",
                     help="measure and print without rewriting the JSON")
+    ap.add_argument("--no-campaign", action="store_true",
+                    help="skip the campaign jobs-scaling section")
     args = ap.parse_args()
     _print_results(run_wallclock(
         "smoke" if args.smoke else "full", repeats=args.repeats,
         json_path=None if args.no_json else JSON_PATH,
+        campaign_scaling=not args.no_campaign,
     ))

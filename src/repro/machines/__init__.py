@@ -22,7 +22,24 @@ from .machine import (
     serial_machine,
     shuffle_exchange_machine,
 )
+from .machine import clear_machine_caches
 from .metrics import Metrics
+
+
+def clear_caches() -> None:
+    """Empty every cross-instance memo in the simulator.
+
+    Clears the charge-parameter and doubling-bit memos of
+    :mod:`repro.machines.machine` and the compiled movement-plan cache of
+    :mod:`repro.ops.plans` (imported lazily: ``ops`` depends on
+    ``machines``, not the other way round).  The test suite calls this
+    between tests so a stale or mis-keyed cache entry surfaces as a
+    failure in the test that created it instead of leaking silently.
+    """
+    clear_machine_caches()
+    from ..ops.plans import clear_plan_cache
+
+    clear_plan_cache()
 from .topology import (
     CCCTopology,
     HypercubeTopology,
@@ -40,6 +57,7 @@ __all__ = [
     "shuffled_row_major", "snake_like",
     "Machine", "ccc_machine", "hypercube_machine", "mesh_machine",
     "pram_machine", "serial_machine", "shuffle_exchange_machine", "Metrics",
+    "clear_caches", "clear_machine_caches",
     "CCCTopology", "HypercubeTopology", "MeshTopology", "PRAMTopology",
     "SerialTopology", "ShuffleExchangeTopology", "Topology",
 ]

@@ -40,8 +40,29 @@ __all__ = ["Machine", "mesh_machine", "hypercube_machine", "ccc_machine",
 #: defeat per-instance caches.  Values are small tuples of floats/ints.
 _CHARGE_CACHE: dict = {}
 
+#: Bound on cached charge signatures.  A run touches a few hundred
+#: (topology, length, bits) combinations; adversarial sweeps over many
+#: machine sizes could otherwise grow the memo without limit, so on
+#: overflow the whole memo is dropped (recomputation is cheap and exact).
+_CHARGE_CACHE_CAP = 4096
+
 #: Memoised bit tuples for doubling sweeps, keyed by operation length.
 _DOUBLING_BITS: dict = {}
+
+_DOUBLING_BITS_CAP = 512
+
+
+def _charge_cache_put(key, value):
+    if len(_CHARGE_CACHE) >= _CHARGE_CACHE_CAP:
+        _CHARGE_CACHE.clear()
+    _CHARGE_CACHE[key] = value
+    return value
+
+
+def clear_machine_caches() -> None:
+    """Drop the cross-instance charge memos (see ``repro.machines.clear_caches``)."""
+    _CHARGE_CACHE.clear()
+    _DOUBLING_BITS.clear()
 
 
 class Machine:
@@ -110,7 +131,7 @@ class Machine:
         if cached is None:
             c = self._slots_per_pe(length)
             dist = self.topology.slot_exchange_distance(bit, length)
-            cached = _CHARGE_CACHE[("x", self._sig, bit, length)] = (c, dist)
+            cached = _charge_cache_put(("x", self._sig, bit, length), (c, dist))
         c, dist = cached
         if dist <= 0:
             # Intra-PE data motion: a local round.
@@ -136,7 +157,7 @@ class Machine:
                 max(self.topology.slot_exchange_distance(b, length), 1.0) * c
                 for b in range(bits)
             )
-            cached = _CHARGE_CACHE[("r", self._sig, length)] = (cost, bits)
+            cached = _charge_cache_put(("r", self._sig, length), (cost, bits))
         cost, bits = cached
         self.metrics.charge_comm_total(cost, bits)
 
@@ -161,7 +182,7 @@ class Machine:
                 else:
                     cost += dist * c
                     rounds += 1
-            cached = _CHARGE_CACHE[key] = (loc, cost, rounds)
+            cached = _charge_cache_put(key, (loc, cost, rounds))
         loc, cost, rounds = cached
         if loc:
             self.metrics.charge_local(loc)
@@ -173,6 +194,8 @@ class Machine:
         one exchange round at each bit ``0 .. log2(length) - 1``."""
         bits = _DOUBLING_BITS.get(length)
         if bits is None:
+            if len(_DOUBLING_BITS) >= _DOUBLING_BITS_CAP:
+                _DOUBLING_BITS.clear()
             bits = _DOUBLING_BITS[length] = tuple(
                 range(max(0, length.bit_length() - 1))
             )

@@ -56,6 +56,9 @@ class Metrics:
     comm_rounds: int = 0
     local_rounds: int = 0
     wall_time: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_compile_seconds: float = 0.0
     phases: dict = field(default_factory=lambda: defaultdict(float))
     wall_phases: dict = field(default_factory=lambda: defaultdict(float))
     _phase_stack: list = field(default_factory=list)
@@ -86,6 +89,19 @@ class Metrics:
         self.comm_rounds += rounds
         if self._phase_stack:
             self.phases[self._phase_stack[-1][0]] += cost
+
+    def note_plan(self, hit: bool, compile_seconds: float = 0.0) -> None:
+        """Record one movement-plan cache lookup (host-side diagnostics).
+
+        Plan counters are execution bookkeeping like ``wall_time``, not
+        simulated charges: they are excluded from the bit-identity
+        comparison (``repro.verify.compare.sim_snapshot``).
+        """
+        if hit:
+            self.plan_hits += 1
+        else:
+            self.plan_misses += 1
+            self.plan_compile_seconds += compile_seconds
 
     @contextmanager
     def phase(self, label: str):
@@ -131,6 +147,9 @@ class Metrics:
         non-dominant siblings contribute wall-clock without simulated time.
         """
         self.wall_time += other.wall_time
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_compile_seconds += other.plan_compile_seconds
         for k, v in other.wall_phases.items():
             self.wall_phases[k] += v
 
@@ -141,6 +160,9 @@ class Metrics:
         self.comm_rounds = 0
         self.local_rounds = 0
         self.wall_time = 0.0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_compile_seconds = 0.0
         self.phases.clear()
         self.wall_phases.clear()
         self._phase_stack.clear()
@@ -154,6 +176,11 @@ class Metrics:
             "comm_rounds": self.comm_rounds,
             "local_rounds": self.local_rounds,
             "wall_time": self.wall_time,
+            "plan_cache": {
+                "hits": self.plan_hits,
+                "misses": self.plan_misses,
+                "compile_seconds": self.plan_compile_seconds,
+            },
             "phases": dict(self.phases),
             "wall_phases": dict(self.wall_phases),
         }

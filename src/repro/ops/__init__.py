@@ -7,6 +7,13 @@ emerge from the topology's per-round costs.
 
 from .bitonic import bitonic_merge, bitonic_sort, compare_exchange_round
 from .concurrent import concurrent_read, concurrent_write, interval_locate
+from .plans import (
+    MovementPlan,
+    clear_plan_cache,
+    compiled_plans_enabled,
+    plan_cache_stats,
+    set_compiled_plans,
+)
 from .route import pack, permute, unpack_lists
 from .scan import (
     broadcast,
@@ -23,4 +30,6 @@ __all__ = [
     "pack", "permute", "unpack_lists",
     "broadcast", "fill_backward", "fill_forward",
     "parallel_prefix", "parallel_suffix", "semigroup",
+    "MovementPlan", "clear_plan_cache", "compiled_plans_enabled",
+    "plan_cache_stats", "set_compiled_plans",
 ]

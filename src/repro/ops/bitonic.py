@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
+from . import plans as _plans
 from ._common import as_key_list, check_segment_size, lex_gt
 
 __all__ = ["bitonic_sort", "bitonic_merge", "compare_exchange_round"]
@@ -87,6 +88,10 @@ def bitonic_sort(
     if any(len(p) != length for p in payloads):
         raise OperationContractError("payload arrays must match key length")
     seg = check_segment_size(length, segment_size)
+    if _plans.compiled_plans_enabled():
+        plan = _plans.get_sort_plan(machine, length, seg, bool(ascending))
+        _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
+        return keys, payloads
     idx = np.arange(length)
     k = 2
     while k <= seg:
@@ -171,6 +176,10 @@ def bitonic_merge(
     if seg < 2:
         return keys, payloads
     half = seg // 2
+    if _plans.compiled_plans_enabled():
+        plan = _plans.get_merge_plan(machine, length, seg, bool(ascending))
+        _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
+        return keys, payloads
     # Reverse the second half of every segment (one lockstep route).
     rev = np.arange(length)
     inseg = rev % seg

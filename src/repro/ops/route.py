@@ -99,7 +99,8 @@ def permute(machine: Machine, dest: np.ndarray, payloads):
     dest = np.asarray(dest, dtype=np.int64)
     length = len(dest)
     check_power_of_two(length)
-    if sorted(dest.tolist()) != list(range(length)):
+    if (dest.min(initial=0) < 0 or dest.max(initial=-1) >= length
+            or len(np.unique(dest)) != length):
         raise OperationContractError("dest must be a permutation of the slots")
     _, routed = bitonic_sort(machine, dest, payloads)
     return routed

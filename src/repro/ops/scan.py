@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
+from . import plans as _plans
 from ._common import check_power_of_two
 
 __all__ = ["parallel_prefix", "parallel_suffix", "semigroup", "broadcast",
@@ -47,6 +48,7 @@ def parallel_prefix(
     """
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
+    fused = _plans.compiled_plans_enabled()
     d, bit = 1, 0
     while d < length:
         combined = op(vals[:-d], vals[d:])
@@ -55,9 +57,12 @@ def parallel_prefix(
             vals[d:] = np.where(same, combined, vals[d:])
         else:
             vals[d:] = combined
-        machine.exchange(length, bit)
+        if not fused:
+            machine.exchange(length, bit)
         d <<= 1
         bit += 1
+    if fused:
+        machine.doubling_sweep(length)
     return vals
 
 
@@ -71,6 +76,7 @@ def parallel_suffix(
     """Inclusive suffix scan (prefix from the right)."""
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
+    fused = _plans.compiled_plans_enabled()
     d, bit = 1, 0
     while d < length:
         combined = op(vals[:-d], vals[d:])
@@ -79,9 +85,12 @@ def parallel_suffix(
             vals[:-d] = np.where(same, combined, vals[:-d])
         else:
             vals[:-d] = combined
-        machine.exchange(length, bit)
+        if not fused:
+            machine.exchange(length, bit)
         d <<= 1
         bit += 1
+    if fused:
+        machine.doubling_sweep(length)
     return vals
 
 
@@ -102,6 +111,11 @@ def semigroup(
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
     if segments is None:
+        if _plans.compiled_plans_enabled():
+            for partner in _plans.get_butterfly_partners(machine, length):
+                vals = op(vals, vals[partner])
+            machine.doubling_sweep(length)
+            return vals
         d, bit = 1, 0
         while d < length:
             partner = np.arange(length) ^ d
@@ -133,6 +147,7 @@ def fill_backward(
     vals = np.array(values, copy=True)
     has = np.array(defined, dtype=bool, copy=True)
     length = _check(machine, vals, segments)
+    fused = _plans.compiled_plans_enabled()
     d, bit = 1, 0
     while d < length:
         ok = ~has[:-d] & has[d:]
@@ -140,9 +155,12 @@ def fill_backward(
             ok &= segments[:-d] == segments[d:]
         vals[:-d] = np.where(ok, vals[d:], vals[:-d])
         has[:-d] |= ok
-        machine.exchange(length, bit)
+        if not fused:
+            machine.exchange(length, bit)
         d <<= 1
         bit += 1
+    if fused:
+        machine.doubling_sweep(length)
     return vals
 
 
@@ -157,6 +175,7 @@ def fill_forward(
     vals = np.array(values, copy=True)
     has = np.array(defined, dtype=bool, copy=True)
     length = _check(machine, vals, segments)
+    fused = _plans.compiled_plans_enabled()
     d, bit = 1, 0
     while d < length:
         ok = ~has[d:] & has[:-d]
@@ -164,9 +183,12 @@ def fill_forward(
             ok &= segments[:-d] == segments[d:]
         vals[d:] = np.where(ok, vals[:-d], vals[d:])
         has[d:] |= ok
-        machine.exchange(length, bit)
+        if not fused:
+            machine.exchange(length, bit)
         d <<= 1
         bit += 1
+    if fused:
+        machine.doubling_sweep(length)
     return vals
 
 

@@ -28,7 +28,7 @@ from . import (
     table4,
 )
 
-__all__ = ["EXPERIMENTS", "run", "run_all"]
+__all__ = ["EXPERIMENTS", "run", "run_all", "run_captured"]
 
 #: Registry of experiment name -> module.
 EXPERIMENTS = {
@@ -59,3 +59,16 @@ def run(name: str, out: Callable[[str], None] = print) -> list[tuple]:
 def run_all(out: Callable[[str], None] = print) -> dict[str, list[tuple]]:
     """Generate and print every experiment; returns them keyed by name."""
     return {name: run(name, out=out) for name in EXPERIMENTS}
+
+
+def run_captured(name: str) -> str:
+    """Generate one experiment, returning its rendered tables as a string.
+
+    The worker entry point of ``python -m repro.report --jobs N``:
+    experiments run in separate processes, and the parent prints the
+    captured output in the requested order, so the rendered text is
+    byte-identical to a serial run.
+    """
+    lines: list[str] = []
+    run(name, out=lines.append)
+    return "\n".join(lines)

@@ -5,21 +5,26 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import EXPERIMENTS, run
+from . import EXPERIMENTS, run_captured
 
 
 def _diagnostics() -> None:
-    """Host-side counters: crossing-cache hit rate, per-phase wall-clock.
+    """Host-side counters: crossing/plan cache hit rates, wall-clock.
 
     Diagnostics only — these describe how fast the *simulator* ran, not the
     simulated-time numbers in the tables, which are independent of caching.
     """
     from ..core.family import global_cache_stats
     from ..machines.metrics import global_wall_phases
+    from ..ops.plans import plan_cache_stats
 
     stats = global_cache_stats()
     print(f"\ncrossing cache: {stats['hits']} hits / {stats['misses']} "
           f"misses (hit rate {stats['hit_rate']:.1%})")
+    plans = plan_cache_stats()
+    print(f"movement plans: {plans['hits']} hits / {plans['misses']} "
+          f"misses (hit rate {plans['hit_rate']:.1%}, "
+          f"compile {plans['compile_seconds']:.3f}s)")
     phases = sorted(global_wall_phases().items(), key=lambda kv: -kv[1])
     if phases:
         print("wall-clock by phase: "
@@ -36,24 +41,31 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("-v", "--verbose", action="store_true",
-                        help="also print host-side diagnostics (crossing-"
-                             "cache hit rate, per-phase wall-clock)")
+                        help="also print host-side diagnostics (crossing/"
+                             "plan cache hit rates, per-phase wall-clock)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="generate experiments in N worker processes "
+                             "(0 or negative: one per host core); output "
+                             "order and content are unchanged")
     args = parser.parse_args(argv)
     if args.list:
         for name, mod in EXPERIMENTS.items():
             print(f"{name:10s} {mod.TITLE}")
         return 0
-    status = 0
-    for name in args.experiments or list(EXPERIMENTS):
-        try:
-            run(name)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            status = 2
-            break
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    from ..parallel import parallel_map
+
+    for text in parallel_map(run_captured, names, jobs=args.jobs,
+                             chunk_size=1):
+        print(text)
     if args.verbose:
         _diagnostics()
-    return status
+    return 0
 
 
 if __name__ == "__main__":

@@ -59,24 +59,33 @@ def measure(machine_factory, op: str, sizes=None) -> list[float]:
     return times
 
 
-def rows() -> list[list]:
-    out = []
-    for op in OPS:
-        mesh_t = measure(mesh_machine, op)
-        cube_t = measure(hypercube_machine, op)
-        expected = (
-            f"{randomized_sort_rounds(SIZES[-1], seed=1):.0f} rounds"
-            if op in ("sort", "grouping") else "= deterministic"
-        )
-        out.append([
-            op,
-            f"{mesh_t[-1]:.0f}",
-            power_fit(SIZES, mesh_t).describe(),
-            f"{cube_t[-1]:.0f}",
-            f"(log n)^{polylog_fit(SIZES, cube_t):.2f}",
-            expected,
-        ])
-    return out
+def row(op: str) -> list:
+    """One rendered table row — a pure function of the operation name.
+
+    Module-level (picklable) so the size sweep can fan out over worker
+    processes; each call reseeds its own RNG, so the row is identical no
+    matter which process builds it.
+    """
+    mesh_t = measure(mesh_machine, op)
+    cube_t = measure(hypercube_machine, op)
+    expected = (
+        f"{randomized_sort_rounds(SIZES[-1], seed=1):.0f} rounds"
+        if op in ("sort", "grouping") else "= deterministic"
+    )
+    return [
+        op,
+        f"{mesh_t[-1]:.0f}",
+        power_fit(SIZES, mesh_t).describe(),
+        f"{cube_t[-1]:.0f}",
+        f"(log n)^{polylog_fit(SIZES, cube_t):.2f}",
+        expected,
+    ]
+
+
+def rows(jobs: int = 1) -> list[list]:
+    from ..parallel import parallel_map
+
+    return parallel_map(row, OPS, jobs=jobs)
 
 
 def tables() -> list[tuple]:

@@ -36,6 +36,10 @@ def _parser() -> argparse.ArgumentParser:
                    help="re-measure and rewrite the golden scaling file")
     p.add_argument("--instances", type=int, default=50,
                    help="seeded instances per algorithm (default: 50)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="campaign worker processes (0 or negative: one per "
+                        "host core; default: 1 = serial). Results are "
+                        "identical for every value — only wall-clock moves")
     p.add_argument("--seed0", type=int, default=0,
                    help="first seed of the campaign (default: 0)")
     p.add_argument("--algorithms", nargs="+", metavar="NAME",
@@ -84,6 +88,7 @@ def _run_oracle(args) -> int:
         seed0=args.seed0,
         corpus_dir=None if args.no_corpus else args.corpus_dir,
         progress=lambda line: print(f"  {line}"),
+        jobs=args.jobs,
         **kwargs,
     )
     total = len(result.reports)

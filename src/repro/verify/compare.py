@@ -41,10 +41,16 @@ def _close(a: float, b: float, tol: float) -> bool:
 
 
 def sim_snapshot(metrics) -> dict:
-    """Simulated-charge snapshot with host-only (wall-clock) keys removed."""
+    """Simulated-charge snapshot with host-only keys removed.
+
+    Wall-clock and plan-cache counters describe how the host *executed*
+    the run, not the simulated charges, so they are excluded from the
+    bit-identity comparison.
+    """
     snap = metrics.snapshot()
     snap.pop("wall_time", None)
     snap.pop("wall_phases", None)
+    snap.pop("plan_cache", None)
     return snap
 
 

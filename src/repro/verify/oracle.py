@@ -359,25 +359,47 @@ def replay(path, tol: float = TOL) -> InstanceReport:
     return run_instance(record["algorithm"], record["seed"], tol, inst=inst)
 
 
+def _campaign_item(item: tuple) -> InstanceReport:
+    """Worker entry point: one ``(algorithm, seed, tol)`` differential run.
+
+    Module-level so the process-parallel engine can pickle it; the
+    instance is rebuilt inside the worker from its seed, so the result is
+    a pure function of the item — independent of which worker runs it.
+    """
+    name, seed, tol = item
+    return run_instance(name, seed, tol)
+
+
 def campaign(algorithms=None, instances: int = 50, seed0: int = 0,
              tol: float = TOL, corpus_dir=None,
-             progress: Callable[[str], None] | None = None) -> CampaignResult:
+             progress: Callable[[str], None] | None = None,
+             jobs: int = 1) -> CampaignResult:
     """Run the differential oracle over seeded instances of each algorithm.
 
     ``instances`` seeded cases per algorithm, seeds ``seed0 .. seed0+i-1``
     (each algorithm cycles its adversarial families over those seeds).
     Divergent instances are serialized to ``corpus_dir`` when given.
+
+    ``jobs`` fans the seeded instances of each algorithm out over that
+    many worker processes (``repro.parallel``).  Every instance is a pure
+    function of its ``(algorithm, seed)`` coordinates and results are
+    merged in seed order, so the returned reports — and any corpus files —
+    are identical for every ``jobs`` value.
     """
+    from ..parallel import parallel_map
+
     names = list(algorithms) if algorithms else list(ALGORITHMS)
-    reports = []
-    corpus_files = []
     for name in names:
         if name not in ALGORITHMS:
             raise KeyError(f"unknown algorithm {name!r}; "
                            f"have {sorted(ALGORITHMS)}")
+    reports = []
+    corpus_files = []
+    for name in names:
+        items = [(name, seed0 + i, tol) for i in range(instances)]
+        alg_reports = parallel_map(_campaign_item, items, jobs=jobs)
         failed = 0
-        for i in range(instances):
-            report = run_instance(name, seed0 + i, tol)
+        for report in alg_reports:
             reports.append(report)
             if not report.ok:
                 failed += 1

@@ -36,6 +36,7 @@ def _sim_snapshot(metrics):
     snap = metrics.snapshot()
     snap.pop("wall_time")
     snap.pop("wall_phases")
+    snap.pop("plan_cache")  # host-side, like wall-clock
     return snap
 
 

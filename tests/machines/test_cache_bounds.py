@@ -1,0 +1,110 @@
+"""Bounds and lifecycle of the cross-instance simulator memos.
+
+The charge memo, doubling-bits memo and compiled-plan cache are process
+globals by design; these tests pin that they (a) stay bounded under
+adversarial sweeps, (b) empty completely through ``clear_caches``, and
+(c) report hits/misses faithfully — both process-wide and per machine.
+"""
+
+import numpy as np
+
+from repro.machines import clear_caches, hypercube_machine, mesh_machine
+from repro.machines import machine as machine_mod
+from repro.ops import bitonic_sort, plan_cache_stats
+from repro.ops import plans as plans_mod
+
+
+class TestChargeCacheBounds:
+    def test_charge_cache_capped(self):
+        for i, key in enumerate(range(machine_mod._CHARGE_CACHE_CAP + 10)):
+            machine_mod._charge_cache_put(("probe", key), i)
+            assert len(machine_mod._CHARGE_CACHE) <= machine_mod._CHARGE_CACHE_CAP
+
+    def test_overflow_drops_then_refills(self):
+        machine_mod._CHARGE_CACHE.clear()
+        for key in range(machine_mod._CHARGE_CACHE_CAP):
+            machine_mod._charge_cache_put(("probe", key), key)
+        assert len(machine_mod._CHARGE_CACHE) == machine_mod._CHARGE_CACHE_CAP
+        machine_mod._charge_cache_put(("probe", "overflow"), 0)
+        assert len(machine_mod._CHARGE_CACHE) == 1
+
+    def test_doubling_bits_capped(self):
+        machine_mod._DOUBLING_BITS.clear()
+        for k in range(machine_mod._DOUBLING_BITS_CAP + 16):
+            mesh_machine(4).doubling_sweep(1 << (k % 20 + 1))
+        assert len(machine_mod._DOUBLING_BITS) <= machine_mod._DOUBLING_BITS_CAP
+
+
+class TestPlanCacheBounds:
+    def test_plan_cache_capped(self):
+        plans_mod.clear_plan_cache()
+        m = hypercube_machine(4)
+        for seg in (1, 2, 4):
+            for asc in (True, False):
+                plans_mod.get_sort_plan(m, 4, seg, asc)
+        assert len(plans_mod._PLAN_CACHE) <= plans_mod._PLAN_CACHE_CAP
+
+    def test_overflow_drops_whole_cache(self):
+        plans_mod.clear_plan_cache()
+        prev_cap = plans_mod._PLAN_CACHE_CAP
+        plans_mod._PLAN_CACHE_CAP = 2
+        try:
+            m = hypercube_machine(8)
+            plans_mod.get_sort_plan(m, 8, 8, True)
+            plans_mod.get_sort_plan(m, 8, 8, False)
+            assert len(plans_mod._PLAN_CACHE) == 2
+            plans_mod.get_sort_plan(m, 8, 4, True)
+            assert len(plans_mod._PLAN_CACHE) == 1
+        finally:
+            plans_mod._PLAN_CACHE_CAP = prev_cap
+            plans_mod.clear_plan_cache()
+
+
+class TestClearCaches:
+    def test_empties_every_memo(self):
+        bitonic_sort(mesh_machine(16), np.arange(16.0)[::-1])
+        assert machine_mod._CHARGE_CACHE or machine_mod._DOUBLING_BITS
+        clear_caches()
+        assert not machine_mod._CHARGE_CACHE
+        assert not machine_mod._DOUBLING_BITS
+        assert not plans_mod._PLAN_CACHE
+        stats = plan_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["size"] == 0
+
+
+class TestPlanStats:
+    def test_hit_miss_accounting(self):
+        plans_mod.clear_plan_cache()
+        data = np.random.default_rng(0).uniform(size=16)
+        m1 = hypercube_machine(16)
+        bitonic_sort(m1, data)
+        first = plan_cache_stats()
+        assert first["misses"] >= 1 and first["hits"] == 0
+        m2 = hypercube_machine(16)
+        bitonic_sort(m2, data)
+        second = plan_cache_stats()
+        assert second["misses"] == first["misses"]
+        assert second["hits"] >= 1
+        assert second["compile_seconds"] == first["compile_seconds"]
+
+    def test_per_machine_metrics_mirror_globals(self):
+        plans_mod.clear_plan_cache()
+        data = np.random.default_rng(1).uniform(size=16)
+        m1 = hypercube_machine(16)
+        bitonic_sort(m1, data)
+        assert m1.metrics.plan_misses >= 1
+        assert m1.metrics.plan_hits == 0
+        assert m1.metrics.plan_compile_seconds > 0.0
+        m2 = hypercube_machine(16)
+        bitonic_sort(m2, data)
+        assert m2.metrics.plan_hits >= 1
+        assert m2.metrics.plan_misses == 0
+
+    def test_snapshot_carries_plan_counters(self):
+        plans_mod.clear_plan_cache()
+        m = hypercube_machine(16)
+        bitonic_sort(m, np.random.default_rng(2).uniform(size=16))
+        snap = m.metrics.snapshot()
+        assert snap["plan_cache"]["misses"] == m.metrics.plan_misses
+        assert snap["plan_cache"]["hits"] == m.metrics.plan_hits

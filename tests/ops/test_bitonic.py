@@ -14,6 +14,7 @@ def machines(n):
     return [mesh_machine(n), hypercube_machine(n), pram_machine(n)]
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestSortCorrectness:
     @pytest.mark.parametrize("n", [1, 2, 4, 16, 64, 256])
     def test_matches_numpy(self, n):
@@ -73,6 +74,7 @@ class TestSortCorrectness:
         assert list(out) == sorted(data.tolist())
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestMergeCorrectness:
     @pytest.mark.parametrize("n", [2, 4, 16, 64])
     def test_two_sorted_halves(self, n):
@@ -100,6 +102,7 @@ class TestMergeCorrectness:
         assert list(out) == [5.0]
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestSortCosts:
     """Table 1: sort is Theta(sqrt(n)) mesh, Theta(log^2 n) hypercube."""
 

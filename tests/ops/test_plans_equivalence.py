@@ -1,0 +1,188 @@
+"""Compiled movement plans vs the interpreted per-round executors.
+
+The plan compiler (:mod:`repro.ops.plans`) is a pure host-side rewrite of
+the bitonic and doubling loops: same pairs, same comparator outcomes, same
+charges.  These tests pin that contract bit-exactly — keys, payloads, and
+the full simulated-charge snapshot must match between the two executors on
+every topology, segmented and unsegmented, for sort, merge, scan, and the
+route operations that ride on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    ccc_machine,
+    hypercube_machine,
+    mesh_machine,
+    shuffle_exchange_machine,
+)
+from repro.ops import (
+    bitonic_merge,
+    bitonic_sort,
+    fill_backward,
+    pack,
+    parallel_prefix,
+    parallel_suffix,
+    permute,
+    semigroup,
+    set_compiled_plans,
+)
+from repro.verify.compare import sim_snapshot
+
+FACTORIES = {
+    "mesh": mesh_machine,
+    "hypercube": hypercube_machine,
+    "ccc": ccc_machine,
+    "shuffle-exchange": shuffle_exchange_machine,
+}
+
+N = 16
+
+
+def both_modes(run):
+    """Run ``run(machine)`` compiled and interpreted; return both results.
+
+    ``run`` receives a fresh machine and returns ``(arrays, metrics)``
+    where ``arrays`` is a sequence of numpy arrays.
+    """
+    out = {}
+    for mode in (True, False):
+        prev = set_compiled_plans(mode)
+        try:
+            out[mode] = run()
+        finally:
+            set_compiled_plans(prev)
+    return out[True], out[False]
+
+
+def assert_identical(compiled, interpreted):
+    (c_arrays, c_metrics), (i_arrays, i_metrics) = compiled, interpreted
+    assert len(c_arrays) == len(i_arrays)
+    for c, i in zip(c_arrays, i_arrays):
+        c, i = np.asarray(c), np.asarray(i)
+        assert c.dtype == i.dtype
+        assert c.tolist() == i.tolist()
+    assert sim_snapshot(c_metrics) == sim_snapshot(i_metrics)
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+@pytest.mark.parametrize("segment_size", [None, 4])
+@pytest.mark.parametrize("ascending", [True, False])
+class TestSortEquivalence:
+    def test_sort(self, kind, segment_size, ascending):
+        rng = np.random.default_rng(7)
+        keys = rng.uniform(-5, 5, N)
+        tags = np.arange(N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            (k,), (t,) = bitonic_sort(
+                m, keys, [tags], segment_size=segment_size,
+                ascending=ascending,
+            )
+            return (k, t), m.metrics
+
+        assert_identical(*both_modes(run))
+
+    def test_merge(self, kind, segment_size, ascending):
+        rng = np.random.default_rng(11)
+        seg = segment_size or N
+        keys = np.concatenate([
+            np.sort(rng.uniform(size=seg // 2))[:: 1 if ascending else -1]
+            for _ in range(2 * (N // seg))
+        ])
+
+        def run():
+            m = FACTORIES[kind](N)
+            (k,), _ = bitonic_merge(
+                m, keys, segment_size=segment_size, ascending=ascending
+            )
+            return (k,), m.metrics
+
+        assert_identical(*both_modes(run))
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+class TestScanRouteEquivalence:
+    def test_segmented_prefix_suffix(self, kind):
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 9, N).astype(np.int64)
+        segments = np.zeros(N, dtype=bool)
+        segments[[0, 5, 11]] = True
+
+        def run():
+            m = FACTORIES[kind](N)
+            pre = parallel_prefix(m, vals, np.add, segments=segments)
+            suf = parallel_suffix(m, vals, np.add, segments=segments)
+            return (pre, suf), m.metrics
+
+        assert_identical(*both_modes(run))
+
+    def test_semigroup_butterfly(self, kind):
+        vals = np.random.default_rng(5).uniform(size=N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            total = semigroup(m, vals, np.minimum)
+            return (np.asarray([total]),), m.metrics
+
+        assert_identical(*both_modes(run))
+
+    def test_fill_backward(self, kind):
+        vals = np.arange(N, dtype=float)
+        known = np.zeros(N, dtype=bool)
+        known[[2, 9, 14]] = True
+
+        def run():
+            m = FACTORIES[kind](N)
+            out = fill_backward(m, vals, known)
+            return (out,), m.metrics
+
+        assert_identical(*both_modes(run))
+
+    def test_pack_and_permute(self, kind):
+        rng = np.random.default_rng(13)
+        vals = rng.uniform(size=N)
+        keep = rng.uniform(size=N) < 0.5
+        dest = rng.permutation(N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            (packed,), count = pack(m, keep, [vals])
+            (routed,) = permute(m, dest, [vals])
+            return (packed, np.asarray([count]), routed), m.metrics
+
+        assert_identical(*both_modes(run))
+
+
+class TestObjectKeys:
+    def test_object_dtype_sort(self):
+        """The pre-oriented comparator must agree on object (Polynomial) keys."""
+        from numpy.polynomial import Polynomial
+
+        rng = np.random.default_rng(17)
+        keys = np.empty(N, dtype=object)
+        coeffs = rng.integers(-3, 4, N)
+        for i in range(N):
+            keys[i] = float(coeffs[i])
+        tags = np.array([Polynomial([c]) for c in coeffs], dtype=object)
+
+        def run():
+            m = hypercube_machine(N)
+            (k,), (t,) = bitonic_sort(m, keys, [tags])
+            return (k,), m.metrics
+
+        assert_identical(*both_modes(run))
+
+    def test_multi_key_sort(self):
+        rng = np.random.default_rng(19)
+        k1 = rng.integers(0, 3, N)
+        k2 = rng.uniform(size=N)
+
+        def run():
+            m = mesh_machine(N)
+            (s1, s2), _ = bitonic_sort(m, [k1, k2])
+            return (s1, s2), m.metrics
+
+        assert_identical(*both_modes(run))

@@ -17,6 +17,7 @@ from repro.ops import (
 )
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestPack:
     def test_basic(self):
         mask = np.array([0, 1, 0, 1], dtype=bool)
@@ -99,6 +100,7 @@ class TestPermute:
             permute(mesh_machine(4), np.array([0, 0, 1, 2]), [np.zeros(4)])
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestConcurrentRead:
     def test_exact_matches(self):
         mkeys = np.array([10, 20, 30])
@@ -153,6 +155,7 @@ class TestConcurrentWrite:
         assert list(out) == [3, 7]
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestIntervalLocate:
     def test_basic(self):
         bounds = np.array([0.0, 10.0, 20.0])

@@ -17,6 +17,7 @@ from repro.ops import (
 )
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestPrefix:
     @pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
     def test_matches_cumsum(self, n):
@@ -72,6 +73,7 @@ class TestPrefix:
         np.testing.assert_array_equal(out, np.cumsum(data))
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestSemigroup:
     def test_unsegmented_total_everywhere(self):
         data = np.arange(8, dtype=np.int64)
@@ -106,6 +108,7 @@ class TestSemigroup:
         assert m1.metrics.time * 3 < m2.metrics.time
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestFills:
     def test_fill_forward(self):
         vals = np.array([9.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0])
@@ -139,6 +142,7 @@ class TestFills:
         np.testing.assert_allclose(out, [1, 2, 3, 9])
 
 
+@pytest.mark.usefixtures("plan_mode")
 class TestBroadcast:
     def test_single_source(self):
         vals = np.array([0.0, 0.0, 42.0, 0.0])

@@ -97,8 +97,15 @@ class TestSteadyConsistency:
     def test_steady_hull_matches_far_future(self, seed):
         system = divergent_system(7, d=2, seed=seed)
         got = sorted(steady_hull(None, system))
-        t = system.horizon() * 60
         from repro.geometry import convex_hull
+
+        # How far out "far future" is depends on the instance:
+        # near-parallel leading directions join or leave the hull late
+        # (divergent_system seed 155 joins after 60x the horizon, seed
+        # 1414 leaves only after 10000x), so evaluate well past any of
+        # that — hull membership at 1e6x matches the steady hull on a
+        # full 0..10000 seed sweep.
+        t = system.horizon() * 1e6
         want = sorted(convex_hull([tuple(p) for p in system.positions(t)]))
         assert got == want
 

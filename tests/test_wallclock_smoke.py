@@ -36,3 +36,10 @@ def test_wallclock_smoke():
     # The envelope sweep specifically must retain a clear win over seed:
     # losing the batched/cached fast path drops this to ~1x.
     assert results["workloads"]["envelope"]["speedup"] >= 1.5
+    # Compiled movement plans must not be a pessimisation on the
+    # acceptance workload (generous noise margin: smoke sizes are tiny).
+    env = results["workloads"]["envelope"]
+    assert env["seconds"] <= 1.25 * env["plan_off_seconds"], (
+        f"envelope: compiled {env['seconds']:.4f}s slower than "
+        f"interpreted {env['plan_off_seconds']:.4f}s"
+    )

