@@ -40,6 +40,8 @@ from repro.kinetics.motion import divergent_system, random_system
 from repro.kinetics.polynomial import Polynomial
 from repro.machines.machine import mesh_machine
 from repro.ops import set_compiled_plans
+from repro.trace import Tracer, provenance_manifest, write_chrome_trace
+from repro.trace.registry import registry_snapshot
 from repro.verify.oracle import campaign
 
 JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_wallclock.json"
@@ -179,19 +181,50 @@ def run_campaign_scaling(mode: str = "full") -> dict:
     return section
 
 
+def run_traced_pass(mode: str, expected_sim: dict) -> list[dict]:
+    """One extra traced run per workload, after all timing is done.
+
+    Returns the span forest (one ``workload`` span per workload).  The
+    traced run's simulated time is asserted equal to the timed runs' —
+    tracing reads the accumulators, it never charges them.
+    """
+    forests: list[dict] = []
+    for name, params in PARAMS[mode].items():
+        run = _BUILDERS[name](**params)
+        tracer = Tracer(name)
+        with tracer:
+            with tracer.span(name, category="workload", **params):
+                machine = run()
+        assert machine.metrics.time == expected_sim[name], (
+            f"{name}: traced sim time {machine.metrics.time!r} differs "
+            f"from untraced {expected_sim[name]!r}"
+        )
+        forests.extend(tracer.to_dicts())
+    return forests
+
+
 def run_wallclock(mode: str = "full", repeats: int = 3,
                   json_path: pathlib.Path | None = JSON_PATH,
-                  campaign_scaling: bool = True) -> dict:
+                  campaign_scaling: bool = True,
+                  trace_path=None) -> dict:
     """Measure every workload; return (and optionally write) the results.
 
     Each workload entry records measured seconds (min and mean of
     ``repeats``) for the compiled-plan and interpreted executors, the seed
     baseline, the speedups, the *simulated* time the run charged (asserted
     identical between the two executors — the number that must never
-    move), and — when the current tree provides them — per-phase
-    wall-clock and crossing-cache counters.
+    move), per-phase wall-clock, and the run's provenance manifest
+    (git revision, seed inputs, host info, package versions).
+
+    ``trace_path`` additionally runs one traced pass per workload (after
+    the timed runs, so tracing overhead never contaminates the numbers)
+    and writes a Chrome ``trace_event`` JSON.
     """
-    results: dict = {"mode": mode, "repeats": repeats, "workloads": {}}
+    provenance = provenance_manifest(config={
+        "harness": "bench_wallclock", "mode": mode, "repeats": repeats,
+    })
+    results: dict = {"mode": mode, "repeats": repeats,
+                     "provenance": provenance, "workloads": {}}
     for name, params in PARAMS[mode].items():
         modes = _measure_plan_modes(_BUILDERS[name](**params), repeats)
         best, mean, machine = modes["plan_on"]
@@ -207,6 +240,7 @@ def run_wallclock(mode: str = "full", repeats: int = 3,
             "seed_seconds": seed,
             "speedup": round(seed / best, 2) if best > 0 else math.inf,
             "sim_time": machine.metrics.time,
+            "provenance": provenance,
         }
         wall_phases = getattr(machine.metrics, "wall_phases", None)
         if wall_phases:
@@ -216,6 +250,17 @@ def run_wallclock(mode: str = "full", repeats: int = 3,
         results["workloads"][name] = entry
     if campaign_scaling:
         results["campaign_scaling"] = run_campaign_scaling(mode)
+    if trace_path is not None:
+        spans = run_traced_pass(mode, {
+            name: entry["sim_time"]
+            for name, entry in results["workloads"].items()
+        })
+        totals = {
+            s["name"]: (s.get("sim") or {}).get("time") for s in spans
+        }
+        write_chrome_trace(trace_path, spans, provenance=provenance,
+                           totals=totals, counters=registry_snapshot())
+        results["trace_path"] = str(trace_path)
     if json_path is not None:
         json_path.write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -272,9 +317,13 @@ if __name__ == "__main__":
                     help="measure and print without rewriting the JSON")
     ap.add_argument("--no-campaign", action="store_true",
                     help="skip the campaign jobs-scaling section")
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="also run one traced pass per workload (after the "
+                         "timed runs) and write a Chrome trace_event JSON")
     args = ap.parse_args()
     _print_results(run_wallclock(
         "smoke" if args.smoke else "full", repeats=args.repeats,
         json_path=None if args.no_json else JSON_PATH,
         campaign_scaling=not args.no_campaign,
+        trace_path=args.trace,
     ))

@@ -55,6 +55,7 @@ from ..ops import (
     unpack_lists,
 )
 from ..ops._common import next_pow2
+from ..trace.tracer import trace_span
 from .family import CurveFamily
 
 __all__ = [
@@ -565,22 +566,24 @@ def envelope(machine: Machine, fns: Sequence, family: CurveFamily, *,
     level = normalize_inputs(fns, labels)
     if not level:
         return PiecewiseFunction.empty()
-    # Step 1 of Theorem 3.2: distribute the function descriptions (a route).
-    machine.monotone_route(next_pow2(len(level)))
-    while len(level) > 1:
-        nxt = []
-        branch_metrics = []
-        for i in range(0, len(level) - 1, 2):
-            F, G = level[i], level[i + 1]
-            sub = _substring_machine(
-                machine, 4 * max(1, len(F.pieces), len(G.pieces))
-            )
-            nxt.append(combine_pairwise(sub, F, G, family, op))
-            branch_metrics.append(sub.metrics)
-        if len(level) % 2:
-            nxt.append(level[-1])
-        _absorb_parallel(machine, branch_metrics)
-        level = nxt
+    with trace_span("envelope", machine.metrics, category="driver",
+                    n=len(level), op=op):
+        # Step 1 of Theorem 3.2: distribute the descriptions (a route).
+        machine.monotone_route(next_pow2(len(level)))
+        while len(level) > 1:
+            nxt = []
+            branch_metrics = []
+            for i in range(0, len(level) - 1, 2):
+                F, G = level[i], level[i + 1]
+                sub = _substring_machine(
+                    machine, 4 * max(1, len(F.pieces), len(G.pieces))
+                )
+                nxt.append(combine_pairwise(sub, F, G, family, op))
+                branch_metrics.append(sub.metrics)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            _absorb_parallel(machine, branch_metrics)
+            level = nxt
     return level[0]
 
 

@@ -33,27 +33,32 @@ from typing import Iterable, Sequence
 
 from ..kinetics.batch import warm_root_candidates
 from ..kinetics.polynomial import Polynomial
+from ..trace.registry import get_counter
 
 __all__ = ["CurveFamily", "PolynomialFamily", "global_cache_stats",
            "reset_global_cache_stats"]
 
 #: Process-wide crossing-cache counters, summed over every family instance
 #: (families are created per envelope/membership call, so per-instance
-#: counters alone cannot describe a whole benchmark run).
-_GLOBAL_CACHE = {"hits": 0, "misses": 0}
+#: counters alone cannot describe a whole benchmark run).  The cells live
+#: in the shared :data:`repro.trace.registry.REGISTRY`, so the crossing
+#: cache appears in the same ``--verbose`` table and trace exports as the
+#: movement-plan and charge-memo counters.
+_HITS = get_counter("crossing_cache.hits")
+_MISSES = get_counter("crossing_cache.misses")
 
 
 def global_cache_stats() -> dict:
     """Process-wide crossing-cache hit/miss counters and hit rate."""
-    hits, misses = _GLOBAL_CACHE["hits"], _GLOBAL_CACHE["misses"]
+    hits, misses = _HITS.value, _MISSES.value
     total = hits + misses
     return {"hits": hits, "misses": misses,
             "hit_rate": hits / total if total else 0.0}
 
 
 def reset_global_cache_stats() -> None:
-    _GLOBAL_CACHE["hits"] = 0
-    _GLOBAL_CACHE["misses"] = 0
+    _HITS.reset()
+    _MISSES.reset()
 
 
 class CurveFamily:
@@ -125,18 +130,18 @@ class CurveFamily:
         """
         if not self.cache_enabled:
             self.cache_misses += 1
-            _GLOBAL_CACHE["misses"] += 1
+            _MISSES.value += 1
             return self._compute_pair(f, g)
         key = (f, g)
         cache = self._cache()
         entry = cache.get(key)
         if entry is None:
             self.cache_misses += 1
-            _GLOBAL_CACHE["misses"] += 1
+            _MISSES.value += 1
             entry = cache[key] = self._compute_pair(f, g)
         else:
             self.cache_hits += 1
-            _GLOBAL_CACHE["hits"] += 1
+            _HITS.value += 1
         return entry
 
     def _compute_pair(self, f, g):
@@ -160,7 +165,7 @@ class CurveFamily:
             key = (f, g)
             if key not in cache:
                 self.cache_misses += 1
-                _GLOBAL_CACHE["misses"] += 1
+                _MISSES.value += 1
                 entry = cache[key] = self._compute_pair(f, g)
                 fresh.append(entry)
         if fresh:

@@ -36,6 +36,7 @@ from ..kinetics.piecewise import INF, Piece, PiecewiseFunction
 from ..kinetics.polynomial import Polynomial
 from ..machines.machine import Machine
 from ..ops._common import next_pow2
+from ..trace.tracer import trace_span
 from .containment import indicator_intervals
 from .envelope import (
     combine_pairwise,
@@ -282,6 +283,14 @@ def hull_membership_intervals(machine: Machine | None, system: PointSystem,
     and combines run on the machine, totalling
     ``Theta(lambda^{1/2}(n, 4k))`` mesh / ``Theta(log^2 n)`` hypercube time.
     """
+    with trace_span("hull_membership",
+                    None if machine is None else machine.metrics,
+                    category="driver", n=len(system), query=query):
+        return _membership_body(machine, system, query)
+
+
+def _membership_body(machine: Machine | None, system: PointSystem,
+                     query: int) -> list[tuple[float, float]]:
     fam = AngleFamily(max(1, system.k))
     const_fam = PolynomialFamily(0)
     gs, bs = angle_restrictions(system, query)
@@ -330,6 +339,14 @@ def all_hull_membership_intervals(machine: Machine | None,
     at any time ``t`` the set ``{q : t in intervals[q]}`` is exactly the
     vertex set of ``hull(S(t))``.
     """
+    with trace_span("all_hull_membership",
+                    None if machine is None else machine.metrics,
+                    category="driver", n=len(system)):
+        return _all_membership_body(machine, system)
+
+
+def _all_membership_body(machine: Machine | None,
+                         system: PointSystem) -> list[list[tuple[float, float]]]:
     out = []
     branch_metrics = []
     for q in range(len(system)):

@@ -24,6 +24,7 @@ from ...machines.machine import Machine
 from ...ops import bitonic_sort, semigroup
 from ...ops._common import next_pow2
 from ...geometry.convex_hull import convex_hull, convex_hull_parallel
+from ...trace.tracer import trace_span
 from .reduction import SteadyValue, steady_points
 
 __all__ = ["steady_hull", "steady_is_extreme", "steady_is_extreme_angular"]
@@ -32,10 +33,13 @@ __all__ = ["steady_hull", "steady_is_extreme", "steady_is_extreme_angular"]
 def steady_hull(machine: Machine | None, system: PointSystem) -> list[int]:
     """Indices of the extreme points of ``hull(S)`` as ``t -> inf``,
     in counter-clockwise order of the steady configuration."""
-    pts = steady_points(system)
-    if machine is None:
-        return convex_hull(pts)
-    return convex_hull_parallel(machine, pts)
+    with trace_span("steady_hull",
+                    None if machine is None else machine.metrics,
+                    category="driver", n=len(system)):
+        pts = steady_points(system)
+        if machine is None:
+            return convex_hull(pts)
+        return convex_hull_parallel(machine, pts)
 
 
 def steady_is_extreme(machine: Machine | None, system: PointSystem,

@@ -19,6 +19,7 @@ The asymptotics of every Table 1 operation emerge from these four charges.
 
 from __future__ import annotations
 
+from ..trace.registry import register_gauge
 from .metrics import Metrics
 from .topology import (
     CCCTopology,
@@ -50,6 +51,11 @@ _CHARGE_CACHE_CAP = 4096
 _DOUBLING_BITS: dict = {}
 
 _DOUBLING_BITS_CAP = 512
+
+# Live cache sizes, sampled by the shared registry at snapshot time so the
+# --verbose table and trace exports show every memo in one place.
+register_gauge("charge_cache.size", lambda: len(_CHARGE_CACHE))
+register_gauge("charge_cache.doubling_bits", lambda: len(_DOUBLING_BITS))
 
 
 def _charge_cache_put(key, value):

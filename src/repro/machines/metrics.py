@@ -27,7 +27,27 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 
-__all__ = ["Metrics", "global_wall_phases", "reset_global_wall_phases"]
+__all__ = ["Metrics", "global_wall_phases", "reset_global_wall_phases",
+           "set_trace_hook"]
+
+#: The installed span-trace hook (``repro.trace.tracer.Tracer`` — or any
+#: object with ``begin_phase(label, metrics) -> token`` and
+#: ``end_phase(token)``).  ``None`` means tracing is disabled, and the
+#: only cost :meth:`Metrics.phase` pays is this one ``None`` check.  The
+#: hook *observes* the accumulator (reading charge deltas at entry/exit);
+#: it must never mutate it — the sim-parity contract tested by
+#: ``tests/trace/test_overhead_smoke.py``.
+_TRACE_HOOK = None
+
+
+def set_trace_hook(hook) -> None:
+    """Install (or with ``None`` remove) the process-wide phase-span hook.
+
+    Called by :func:`repro.trace.tracer.install`; the dependency points
+    from the tracing layer into the machines layer, never back.
+    """
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
 
 #: Process-wide per-phase wall-clock, summed over every Metrics instance.
 #: Each phase exit is counted exactly once (absorbing a sub-machine's
@@ -112,6 +132,8 @@ class Metrics:
         attributed to the inner label, as with simulated charges) and, for
         outermost phases, to ``wall_time``.
         """
+        hook = _TRACE_HOOK
+        span = hook.begin_phase(label, self) if hook is not None else None
         frame = [label, 0.0]  # label, accumulated child wall time
         self._phase_stack.append(frame)
         start = perf_counter()
@@ -127,9 +149,28 @@ class Metrics:
                 self._phase_stack[-1][1] += elapsed
             else:
                 self.wall_time += elapsed
+            if span is not None:
+                hook.end_phase(span)
 
-    def absorb(self, other: "Metrics") -> None:
-        """Add another accumulator's simulated charges and wall-clock."""
+    # ------------------------------------------------------------------
+    # Absorbing sub-machine accumulators
+    # ------------------------------------------------------------------
+    # Every field of this dataclass belongs to exactly one of two groups,
+    # and each group has exactly one absorption path:
+    #
+    # * **simulated charges** (time, rounds, comm/local splits, phases) —
+    #   carried only by :meth:`absorb_sim`;
+    # * **host-side bookkeeping** (wall_time, wall_phases, plan counters) —
+    #   carried only by :meth:`absorb_wall`.
+    #
+    # :meth:`absorb` is exactly ``absorb_sim + absorb_wall`` — it adds
+    # nothing of its own, so no field can ever be carried twice (or be
+    # carried by one path and silently dropped by the other).  The
+    # partition is enforced by ``tests/machines/test_metrics_contract.py``,
+    # which introspects the dataclass fields: adding a field without
+    # assigning it to one of the two paths fails that test.
+    def absorb_sim(self, other: "Metrics") -> None:
+        """Add only the simulated charges of another accumulator."""
         self.time += other.time
         self.rounds += other.rounds
         self.comm_time += other.comm_time
@@ -137,14 +178,21 @@ class Metrics:
         self.local_rounds += other.local_rounds
         for k, v in other.phases.items():
             self.phases[k] += v
+
+    def absorb(self, other: "Metrics") -> None:
+        """Add another accumulator's simulated charges *and* host-side
+        bookkeeping (``absorb_sim`` followed by ``absorb_wall``)."""
+        self.absorb_sim(other)
         self.absorb_wall(other)
 
     def absorb_wall(self, other: "Metrics") -> None:
-        """Add only the wall-clock component of another accumulator.
+        """Add only the host-side bookkeeping of another accumulator:
+        wall-clock, per-phase wall-clock, and plan-cache counters.
 
         Parallel composition takes the *maximum* simulated time over
         siblings but the host executed every sibling serially, so the
-        non-dominant siblings contribute wall-clock without simulated time.
+        non-dominant siblings contribute wall-clock (and plan lookups)
+        without simulated time.
         """
         self.wall_time += other.wall_time
         self.plan_hits += other.plan_hits
@@ -184,3 +232,27 @@ class Metrics:
             "phases": dict(self.phases),
             "wall_phases": dict(self.wall_phases),
         }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Metrics":
+        """Rebuild an accumulator from :meth:`snapshot` output.
+
+        The inverse used by trace/benchmark consumers that aggregate
+        serialized snapshots; ``m.from_snapshot(m.snapshot())`` round-trips
+        every field exactly (``tests/machines/test_metrics_contract.py``).
+        """
+        plan = snap.get("plan_cache", {})
+        m = cls(
+            time=snap["time"],
+            rounds=snap["rounds"],
+            comm_time=snap["comm_time"],
+            comm_rounds=snap["comm_rounds"],
+            local_rounds=snap["local_rounds"],
+            wall_time=snap.get("wall_time", 0.0),
+            plan_hits=plan.get("hits", 0),
+            plan_misses=plan.get("misses", 0),
+            plan_compile_seconds=plan.get("compile_seconds", 0.0),
+        )
+        m.phases.update(snap.get("phases", {}))
+        m.wall_phases.update(snap.get("wall_phases", {}))
+        return m

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
+from ..trace.tracer import trace_span
 from . import plans as _plans
 from ._common import as_key_list, check_segment_size, lex_gt
 
@@ -81,29 +82,31 @@ def bitonic_sort(
     of Table 1) — results are identical, only the cost model changes.
     """
     if getattr(machine, "randomized", False) and segment_size is None:
-        return _randomized_sort(machine, keys, payloads, ascending)
+        with trace_span("randomized_sort", machine.metrics):
+            return _randomized_sort(machine, keys, payloads, ascending)
     keys = _copy_arrays(as_key_list(keys))
     payloads = _copy_arrays([np.asarray(p) for p in payloads])
     length = len(keys[0])
     if any(len(p) != length for p in payloads):
         raise OperationContractError("payload arrays must match key length")
     seg = check_segment_size(length, segment_size)
-    if _plans.compiled_plans_enabled():
-        plan = _plans.get_sort_plan(machine, length, seg, bool(ascending))
-        _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
-        return keys, payloads
-    idx = np.arange(length)
-    k = 2
-    while k <= seg:
-        if k == seg:
-            up = np.full(length, ascending)
-        else:
-            up = ((idx & k) == 0) == ascending
-        j = k >> 1
-        while j >= 1:
-            compare_exchange_round(machine, keys, payloads, j, up)
-            j >>= 1
-        k <<= 1
+    with trace_span("bitonic_sort", machine.metrics, n=length, segment=seg):
+        if _plans.compiled_plans_enabled():
+            plan = _plans.get_sort_plan(machine, length, seg, bool(ascending))
+            _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
+            return keys, payloads
+        idx = np.arange(length)
+        k = 2
+        while k <= seg:
+            if k == seg:
+                up = np.full(length, ascending)
+            else:
+                up = ((idx & k) == 0) == ascending
+            j = k >> 1
+            while j >= 1:
+                compare_exchange_round(machine, keys, payloads, j, up)
+                j >>= 1
+            k <<= 1
     return keys, payloads
 
 
@@ -176,21 +179,23 @@ def bitonic_merge(
     if seg < 2:
         return keys, payloads
     half = seg // 2
-    if _plans.compiled_plans_enabled():
-        plan = _plans.get_merge_plan(machine, length, seg, bool(ascending))
-        _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
-        return keys, payloads
-    # Reverse the second half of every segment (one lockstep route).
-    rev = np.arange(length)
-    inseg = rev % seg
-    rev = np.where(inseg >= half, rev - inseg + seg - 1 - (inseg - half), rev)
-    for arr in (*keys, *payloads):
-        arr[:] = arr[rev]
-    machine.long_shift(length, half)
-    # One bitonic merge stage, all comparisons in the requested direction.
-    up = np.full(length, ascending)
-    j = half
-    while j >= 1:
-        compare_exchange_round(machine, keys, payloads, j, up)
-        j >>= 1
+    with trace_span("bitonic_merge", machine.metrics, n=length, segment=seg):
+        if _plans.compiled_plans_enabled():
+            plan = _plans.get_merge_plan(machine, length, seg, bool(ascending))
+            _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
+            return keys, payloads
+        # Reverse the second half of every segment (one lockstep route).
+        rev = np.arange(length)
+        inseg = rev % seg
+        rev = np.where(inseg >= half, rev - inseg + seg - 1 - (inseg - half),
+                       rev)
+        for arr in (*keys, *payloads):
+            arr[:] = arr[rev]
+        machine.long_shift(length, half)
+        # One bitonic merge stage, comparisons in the requested direction.
+        up = np.full(length, ascending)
+        j = half
+        while j >= 1:
+            compare_exchange_round(machine, keys, payloads, j, up)
+            j >>= 1
     return keys, payloads

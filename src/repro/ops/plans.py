@@ -41,6 +41,8 @@ from time import perf_counter
 
 import numpy as np
 
+from ..trace.registry import get_counter, register_gauge
+
 __all__ = [
     "MovementPlan", "PlanRound",
     "compiled_plans_enabled", "set_compiled_plans",
@@ -64,7 +66,13 @@ _PLAN_CACHE: dict = {}
 #: than tracking recency per call.
 _PLAN_CACHE_CAP = 256
 
-_STATS = {"hits": 0, "misses": 0, "compile_seconds": 0.0}
+#: Process-wide plan-cache counters, unified into the shared
+#: :data:`repro.trace.registry.REGISTRY` so they appear in the same
+#: ``--verbose`` table and trace exports as the crossing-cache numbers.
+_STAT_HITS = get_counter("movement_plans.hits")
+_STAT_MISSES = get_counter("movement_plans.misses")
+_STAT_COMPILE = get_counter("movement_plans.compile_seconds", 0.0)
+register_gauge("movement_plans.cache_size", lambda: len(_PLAN_CACHE))
 
 
 def compiled_plans_enabled() -> bool:
@@ -82,20 +90,20 @@ def set_compiled_plans(enabled: bool) -> bool:
 
 def plan_cache_stats() -> dict:
     """Process-wide plan-cache counters: hits, misses, compile seconds."""
-    total = _STATS["hits"] + _STATS["misses"]
+    total = _STAT_HITS.value + _STAT_MISSES.value
     return {
-        "hits": _STATS["hits"],
-        "misses": _STATS["misses"],
-        "compile_seconds": _STATS["compile_seconds"],
-        "hit_rate": (_STATS["hits"] / total) if total else 0.0,
+        "hits": _STAT_HITS.value,
+        "misses": _STAT_MISSES.value,
+        "compile_seconds": _STAT_COMPILE.value,
+        "hit_rate": (_STAT_HITS.value / total) if total else 0.0,
         "size": len(_PLAN_CACHE),
     }
 
 
 def reset_plan_stats() -> None:
-    _STATS["hits"] = 0
-    _STATS["misses"] = 0
-    _STATS["compile_seconds"] = 0.0
+    _STAT_HITS.reset()
+    _STAT_MISSES.reset()
+    _STAT_COMPILE.reset()
 
 
 def clear_plan_cache() -> None:
@@ -151,14 +159,14 @@ def _lookup(machine, key, compile_fn):
     """Fetch a cached plan, compiling (and counting) on a miss."""
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
-        _STATS["hits"] += 1
+        _STAT_HITS.value += 1
         _machine_note(machine, True, 0.0)
         return plan
     t0 = perf_counter()
     plan = compile_fn()
     dt = perf_counter() - t0
-    _STATS["misses"] += 1
-    _STATS["compile_seconds"] += dt
+    _STAT_MISSES.value += 1
+    _STAT_COMPILE.value += dt
     _machine_note(machine, False, dt)
     if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
         _PLAN_CACHE.clear()

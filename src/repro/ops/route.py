@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
+from ..trace.tracer import trace_span
 from ._common import check_power_of_two, next_pow2
 from .bitonic import bitonic_sort
 from .scan import parallel_prefix
@@ -40,6 +41,11 @@ def pack(machine: Machine, mask: np.ndarray, payloads, *, fill=None):
     payloads = [np.asarray(p) for p in payloads]
     if any(len(p) != length for p in payloads):
         raise OperationContractError("payload arrays must match mask length")
+    with trace_span("pack", machine.metrics, n=length):
+        return _pack_body(machine, mask, payloads, length, fill)
+
+
+def _pack_body(machine: Machine, mask, payloads, length: int, fill):
     ranks = parallel_prefix(machine, mask.astype(np.int64), np.add)
     machine.local(length)  # each marked slot computes its destination
     dest = ranks - 1
@@ -70,6 +76,12 @@ def unpack_lists(machine: Machine, lists: np.ndarray, *, fill=None,
     """
     length = len(lists)
     check_power_of_two(length)
+    with trace_span("unpack_lists", machine.metrics, n=length):
+        return _unpack_body(machine, lists, length, fill, out_length)
+
+
+def _unpack_body(machine: Machine, lists, length: int, fill,
+                 out_length: int | None):
     counts = np.array([len(x) for x in lists], dtype=np.int64)
     machine.local(length)
     max_per = int(counts.max()) if length else 0

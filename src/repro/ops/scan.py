@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
+from ..trace.tracer import trace_span
 from . import plans as _plans
 from ._common import check_power_of_two
 
@@ -49,20 +50,21 @@ def parallel_prefix(
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
     fused = _plans.compiled_plans_enabled()
-    d, bit = 1, 0
-    while d < length:
-        combined = op(vals[:-d], vals[d:])
-        if segments is not None:
-            same = segments[d:] == segments[:-d]
-            vals[d:] = np.where(same, combined, vals[d:])
-        else:
-            vals[d:] = combined
-        if not fused:
-            machine.exchange(length, bit)
-        d <<= 1
-        bit += 1
-    if fused:
-        machine.doubling_sweep(length)
+    with trace_span("parallel_prefix", machine.metrics, n=length):
+        d, bit = 1, 0
+        while d < length:
+            combined = op(vals[:-d], vals[d:])
+            if segments is not None:
+                same = segments[d:] == segments[:-d]
+                vals[d:] = np.where(same, combined, vals[d:])
+            else:
+                vals[d:] = combined
+            if not fused:
+                machine.exchange(length, bit)
+            d <<= 1
+            bit += 1
+        if fused:
+            machine.doubling_sweep(length)
     return vals
 
 
@@ -77,20 +79,21 @@ def parallel_suffix(
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
     fused = _plans.compiled_plans_enabled()
-    d, bit = 1, 0
-    while d < length:
-        combined = op(vals[:-d], vals[d:])
-        if segments is not None:
-            same = segments[d:] == segments[:-d]
-            vals[:-d] = np.where(same, combined, vals[:-d])
-        else:
-            vals[:-d] = combined
-        if not fused:
-            machine.exchange(length, bit)
-        d <<= 1
-        bit += 1
-    if fused:
-        machine.doubling_sweep(length)
+    with trace_span("parallel_suffix", machine.metrics, n=length):
+        d, bit = 1, 0
+        while d < length:
+            combined = op(vals[:-d], vals[d:])
+            if segments is not None:
+                same = segments[d:] == segments[:-d]
+                vals[:-d] = np.where(same, combined, vals[:-d])
+            else:
+                vals[:-d] = combined
+            if not fused:
+                machine.exchange(length, bit)
+            d <<= 1
+            bit += 1
+        if fused:
+            machine.doubling_sweep(length)
     return vals
 
 
@@ -111,19 +114,20 @@ def semigroup(
     vals = np.array(values, copy=True)
     length = _check(machine, vals, segments)
     if segments is None:
-        if _plans.compiled_plans_enabled():
-            for partner in _plans.get_butterfly_partners(machine, length):
+        with trace_span("semigroup", machine.metrics, n=length):
+            if _plans.compiled_plans_enabled():
+                for partner in _plans.get_butterfly_partners(machine, length):
+                    vals = op(vals, vals[partner])
+                machine.doubling_sweep(length)
+                return vals
+            d, bit = 1, 0
+            while d < length:
+                partner = np.arange(length) ^ d
                 vals = op(vals, vals[partner])
-            machine.doubling_sweep(length)
+                machine.exchange(length, bit)
+                d <<= 1
+                bit += 1
             return vals
-        d, bit = 1, 0
-        while d < length:
-            partner = np.arange(length) ^ d
-            vals = op(vals, vals[partner])
-            machine.exchange(length, bit)
-            d <<= 1
-            bit += 1
-        return vals
     prefix = parallel_prefix(machine, vals, op, segments=segments)
     is_last = np.ones(length, dtype=bool)
     is_last[:-1] = segments[:-1] != segments[1:]
@@ -205,6 +209,7 @@ def broadcast(
     with zero marked slots a segment keeps its original values.
     """
     marked = np.asarray(marked, dtype=bool)
-    out = fill_forward(machine, values, marked, segments=segments)
-    # Slots left of the marked one still need it: fill backward.
-    return fill_backward(machine, out, marked, segments=segments)
+    with trace_span("broadcast", machine.metrics, n=len(marked)):
+        out = fill_forward(machine, values, marked, segments=segments)
+        # Slots left of the marked one still need it: fill backward.
+        return fill_backward(machine, out, marked, segments=segments)

@@ -28,7 +28,8 @@ from . import (
     table4,
 )
 
-__all__ = ["EXPERIMENTS", "run", "run_all", "run_captured"]
+__all__ = ["EXPERIMENTS", "run", "run_all", "run_captured",
+           "run_captured_traced"]
 
 #: Registry of experiment name -> module.
 EXPERIMENTS = {
@@ -72,3 +73,21 @@ def run_captured(name: str) -> str:
     lines: list[str] = []
     run(name, out=lines.append)
     return "\n".join(lines)
+
+
+def run_captured_traced(name: str) -> tuple[str, list[dict]]:
+    """Like :func:`run_captured`, recording the run as a span forest.
+
+    The worker entry point of ``python -m repro.report --trace PATH``: a
+    local tracer wraps the experiment in one ``experiment`` span (simulated
+    totals derived from the driver spans beneath it), and the serialized
+    forest rides back to the parent alongside the rendered text.
+    """
+    from ..trace.tracer import Tracer
+
+    lines: list[str] = []
+    tracer = Tracer(name)
+    with tracer:
+        with tracer.span(name, category="experiment"):
+            run(name, out=lines.append)
+    return "\n".join(lines), tracer.to_dicts()

@@ -5,26 +5,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import EXPERIMENTS, run_captured
+from . import EXPERIMENTS, run_captured, run_captured_traced
 
 
 def _diagnostics() -> None:
-    """Host-side counters: crossing/plan cache hit rates, wall-clock.
+    """Host-side counters: the unified registry table plus wall-clock.
 
     Diagnostics only — these describe how fast the *simulator* ran, not the
     simulated-time numbers in the tables, which are independent of caching.
+    Every cache (crossing, movement plans, charge memos) reports through
+    the one shared :data:`repro.trace.registry.REGISTRY`.
     """
-    from ..core.family import global_cache_stats
     from ..machines.metrics import global_wall_phases
-    from ..ops.plans import plan_cache_stats
+    from ..trace.registry import REGISTRY
 
-    stats = global_cache_stats()
-    print(f"\ncrossing cache: {stats['hits']} hits / {stats['misses']} "
-          f"misses (hit rate {stats['hit_rate']:.1%})")
-    plans = plan_cache_stats()
-    print(f"movement plans: {plans['hits']} hits / {plans['misses']} "
-          f"misses (hit rate {plans['hit_rate']:.1%}, "
-          f"compile {plans['compile_seconds']:.3f}s)")
+    print()
+    print(REGISTRY.render_table())
     phases = sorted(global_wall_phases().items(), key=lambda kv: -kv[1])
     if phases:
         print("wall-clock by phase: "
@@ -47,6 +43,10 @@ def main(argv=None) -> int:
                         help="generate experiments in N worker processes "
                              "(0 or negative: one per host core); output "
                              "order and content are unchanged")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans while generating and write a "
+                             "Chrome trace_event JSON (one experiment span "
+                             "per experiment, merged in request order)")
     args = parser.parse_args(argv)
     if args.list:
         for name, mod in EXPERIMENTS.items():
@@ -60,12 +60,37 @@ def main(argv=None) -> int:
         return 2
     from ..parallel import parallel_map
 
-    for text in parallel_map(run_captured, names, jobs=args.jobs,
-                             chunk_size=1):
-        print(text)
+    if args.trace:
+        spans: list[dict] = []
+        for text, forest in parallel_map(run_captured_traced, names,
+                                         jobs=args.jobs, chunk_size=1):
+            print(text)
+            spans.extend(forest)
+        _export_report_trace(args, names, spans)
+    else:
+        for text in parallel_map(run_captured, names, jobs=args.jobs,
+                                 chunk_size=1):
+            print(text)
     if args.verbose:
         _diagnostics()
     return 0
+
+
+def _export_report_trace(args, names: list[str], spans: list[dict]) -> None:
+    from ..trace.export import write_chrome_trace
+    from ..trace.provenance import provenance_manifest
+    from ..trace.registry import registry_snapshot
+
+    totals = {
+        s["name"]: (s.get("sim") or {}).get("time") for s in spans
+    }
+    provenance = provenance_manifest(config={
+        "mode": "report", "experiments": names, "jobs": args.jobs,
+    })
+    path = write_chrome_trace(args.trace, spans, provenance=provenance,
+                              totals=totals, counters=registry_snapshot())
+    print(f"trace written: {path} ({len(spans)} experiment spans); "
+          f"summarize with: python -m repro.trace summarize {path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+"""Structured tracing and telemetry for the simulated machines.
+
+The observability layer of the reproduction (``docs/observability.md``):
+
+* :mod:`repro.trace.tracer` — nested spans capturing simulated-charge
+  deltas *and* host wall-clock; a single ``None`` check when disabled, and
+  never a source of simulated charges (traced runs are bit-identical to
+  untraced runs).
+* :mod:`repro.trace.registry` — the process-wide
+  :class:`~repro.trace.registry.MetricsRegistry` unifying every host-side
+  counter (crossing cache, movement plans, charge memos, campaign
+  bookkeeping) behind one snapshot API.
+* :mod:`repro.trace.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``), plain-text span trees, JSONL event streams.
+* :mod:`repro.trace.provenance` — run manifests (git SHA, seed, host,
+  package versions) attached to benchmark entries and campaign outputs.
+
+CLI: ``python -m repro.trace summarize TRACE.json`` renders the span tree
+and top-k tables for any trace written by the ``--trace PATH`` flags on
+``python -m repro.verify``, ``python -m repro.report`` and
+``benchmarks/bench_wallclock.py``.
+"""
+
+from .export import (
+    chrome_trace_document,
+    flatten_spans,
+    load_trace_spans,
+    render_span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .provenance import git_revision, provenance_manifest
+from .registry import (
+    REGISTRY,
+    Counter,
+    MetricsRegistry,
+    get_counter,
+    register_gauge,
+    registry_snapshot,
+    reset_counters,
+)
+from .tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    install,
+    trace_span,
+    tracing_enabled,
+    uninstall,
+)
+
+__all__ = [
+    "Span", "Tracer", "current_tracer", "install", "uninstall",
+    "trace_span", "tracing_enabled",
+    "Counter", "MetricsRegistry", "REGISTRY", "get_counter",
+    "register_gauge", "registry_snapshot", "reset_counters",
+    "chrome_trace_document", "write_chrome_trace", "write_jsonl",
+    "render_span_tree", "load_trace_spans", "flatten_spans",
+    "git_revision", "provenance_manifest",
+]

@@ -1,0 +1,110 @@
+"""``python -m repro.trace`` — inspect and maintain trace artifacts.
+
+Subcommands:
+
+* ``summarize PATH`` — render a trace file (Chrome JSON or JSONL written
+  by any ``--trace`` flag): provenance header, the hierarchical span tree
+  with per-span simulated/comm/local breakdown, and top-k tables by
+  simulated time, wall time, and communication fraction.
+* ``update-golden [PATH]`` — re-run the exemplar workload and re-pin the
+  structural golden trace (default: ``tests/corpus/golden_trace.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import flatten_spans, load_trace_spans, render_span_tree
+from .golden import DEFAULT_GOLDEN_TRACE_PATH, write_golden_trace
+
+
+def _top_k(spans: list[dict], key, k: int) -> list[tuple]:
+    scored = []
+    for span in spans:
+        value = key(span)
+        if value is not None:
+            scored.append((value, span))
+    scored.sort(key=lambda pair: -pair[0])
+    return scored[:k]
+
+
+def _sim_time(span: dict):
+    sim = span.get("sim") or {}
+    return sim.get("time")
+
+
+def _wall(span: dict):
+    return span.get("wall")
+
+
+def _comm_fraction(span: dict):
+    sim = span.get("sim") or {}
+    t, comm = sim.get("time"), sim.get("comm_time")
+    if not t or comm is None:
+        return None
+    return comm / t
+
+
+def _render_top(title: str, rows: list[tuple], fmt) -> None:
+    print(f"\ntop spans by {title}:")
+    if not rows:
+        print("  (none)")
+        return
+    for value, span in rows:
+        print(f"  {fmt(value):>12s}  {span['name']} [{span.get('cat', '?')}]")
+
+
+def summarize(path: str, k: int = 10, max_depth: int | None = None) -> int:
+    spans, doc = load_trace_spans(path)
+    prov = (doc.get("metadata") or {}).get("provenance") or {}
+    if prov:
+        sha = prov.get("git_sha")
+        print(f"provenance: git={str(sha)[:12]}"
+              f"{'+dirty' if prov.get('git_dirty') else ''} "
+              f"seed={prov.get('seed')} python={prov.get('python')} "
+              f"numpy={prov.get('numpy')} "
+              f"host_cores={(prov.get('host') or {}).get('host_cores')}")
+    totals = doc.get("reproTotals") or {}
+    if totals:
+        print("simulated time totals:")
+        for name, value in sorted(totals.items()):
+            print(f"  {name:24s} {value:g}")
+    print("\nspan tree (sim/comm/local per span):")
+    print(render_span_tree(spans, max_depth=max_depth))
+    flat = flatten_spans(spans)
+    _render_top("simulated time", _top_k(flat, _sim_time, k),
+                lambda v: f"{v:g}")
+    _render_top("wall time", _top_k(flat, _wall, k),
+                lambda v: f"{v:.4f}s")
+    _render_top("comm fraction", _top_k(flat, _comm_fraction, k),
+                lambda v: f"{v:.1%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect and maintain trace artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="render a trace file")
+    p_sum.add_argument("path", help="trace file (--trace output or JSONL)")
+    p_sum.add_argument("--top", type=int, default=10, metavar="K",
+                       help="rows in each top-k table (default: 10)")
+    p_sum.add_argument("--max-depth", type=int, default=None, metavar="D",
+                       help="limit the span tree depth")
+    p_gold = sub.add_parser("update-golden",
+                            help="re-pin tests/corpus/golden_trace.json")
+    p_gold.add_argument("path", nargs="?",
+                        default=str(DEFAULT_GOLDEN_TRACE_PATH))
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        return summarize(args.path, k=args.top, max_depth=args.max_depth)
+    path = write_golden_trace(args.path)
+    print(f"golden trace re-pinned: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, span-tree text, JSONL.
+
+The Chrome format (loadable in Perfetto / ``chrome://tracing``) maps the
+**simulated** clock to the timeline: one simulated time unit renders as one
+microsecond, so a mesh run visibly spends its width in ``Θ(√n)`` sweeps.
+Host wall-clock rides along as a counter track (cumulative seconds sampled
+at each span boundary) rather than a second timeline — the two clocks are
+deliberately not comparable.
+
+Exact totals: each event's ``args`` carries the span's raw simulated
+deltas (``sim_time``, ``comm_time``, rounds and the comm/local split) and
+the document embeds the original span forest under ``"reproSpans"`` plus
+per-algorithm totals under ``"reproTotals"``.  Chrome-format consumers
+ignore the extra keys; ``python -m repro.trace summarize`` reads them back
+losslessly (timeline layout involves clamping — see `_layout` — but the
+embedded spans and totals are exact).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["chrome_trace_document", "write_chrome_trace", "write_jsonl",
+           "render_span_tree", "load_trace_spans", "flatten_spans",
+           "merged_spans"]
+
+from .tracer import SIM_FIELDS, Span, span_from_dict
+
+
+def _as_dicts(spans) -> list[dict]:
+    return [s.to_dict() if isinstance(s, Span) else s for s in spans]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def _layout(span: dict, ts: float, events: list, wall_cursor: list,
+            pid: int, tid: int) -> float:
+    """Emit one complete ("X") event per span, children laid sequentially.
+
+    Returns the duration allotted to ``span`` on the simulated timeline.
+    A span whose children's simulated totals exceed its own delta (parallel
+    composition absorbs only the slowest sibling) is widened so children
+    stay visually contained; the exact per-span delta always lives in
+    ``args.sim_time``.
+    """
+    sim = span.get("sim") or {}
+    own = float(sim.get("time", 0.0) or 0.0)
+    cursor = ts
+    child_events_start = len(events)
+    children_total = 0.0
+    # Reserve our slot now so parents precede children in the event list.
+    event = {
+        "name": span["name"],
+        "cat": span.get("cat", "span"),
+        "ph": "X",
+        "ts": ts,
+        "dur": 0.0,  # patched below
+        "pid": pid,
+        "tid": tid,
+        "args": {
+            **{f: sim.get(f) for f in SIM_FIELDS},
+            "sim_time": sim.get("time"),
+            "wall_seconds": span.get("wall"),
+            **(span.get("attrs") or {}),
+        },
+    }
+    events.append(event)
+    del child_events_start  # children append after us; order is DFS
+    for child in span.get("children", ()):
+        children_total += _layout(child, cursor + children_total, events,
+                                  wall_cursor, pid, tid)
+    dur = max(own, children_total)
+    event["dur"] = dur
+    # Wall-clock counter track: cumulative seconds at span completion.
+    wall_cursor[0] += float(span.get("wall") or 0.0)
+    events.append({
+        "name": "wall_time",
+        "ph": "C",
+        "ts": ts + dur,
+        "pid": pid,
+        "args": {"cumulative_seconds": round(wall_cursor[0], 9)},
+    })
+    return dur
+
+
+def chrome_trace_document(spans, provenance: dict | None = None,
+                          totals: dict | None = None,
+                          counters: dict | None = None) -> dict:
+    """Build the Chrome ``trace_event`` JSON object for a span forest.
+
+    ``spans`` may be :class:`~repro.trace.tracer.Span` objects or their
+    ``to_dict`` forms.  ``totals`` (e.g. per-algorithm simulated time) and
+    ``counters`` (a registry snapshot) are embedded verbatim.
+    """
+    spans = _as_dicts(spans)
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "repro simulated time (1 unit = 1 us)"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "simulated machine"}},
+    ]
+    wall_cursor = [0.0]
+    cursor = 0.0
+    for span in spans:
+        cursor += _layout(span, cursor, events, wall_cursor, pid=1, tid=1)
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"provenance": provenance or {}},
+        "reproSpans": spans,
+        "reproTotals": totals or {},
+        "reproCounters": counters or {},
+    }
+    return doc
+
+
+def write_chrome_trace(path, spans, provenance: dict | None = None,
+                       totals: dict | None = None,
+                       counters: dict | None = None) -> pathlib.Path:
+    """Write the Chrome trace JSON for ``spans`` to ``path``."""
+    path = pathlib.Path(path)
+    doc = chrome_trace_document(spans, provenance, totals, counters)
+    path.write_text(json.dumps(doc, indent=1, default=str) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+# ----------------------------------------------------------------------
+def _jsonl_events(span: dict, depth: int, path: str):
+    sim = span.get("sim") or {}
+    yield {
+        "event": "span",
+        "path": path,
+        "name": span["name"],
+        "cat": span.get("cat", "span"),
+        "depth": depth,
+        **{f: sim.get(f) for f in SIM_FIELDS},
+        "wall_seconds": span.get("wall"),
+        "attrs": span.get("attrs") or {},
+    }
+    for i, child in enumerate(span.get("children", ())):
+        yield from _jsonl_events(child, depth + 1, f"{path}/{i}")
+
+
+def write_jsonl(path, spans, provenance: dict | None = None) -> pathlib.Path:
+    """Write spans as a JSONL event stream (one header + one line per span)."""
+    path = pathlib.Path(path)
+    spans = _as_dicts(spans)
+    with path.open("w") as fh:
+        fh.write(json.dumps(
+            {"event": "header", "schema": "repro.trace/1",
+             "provenance": provenance or {}}, default=str) + "\n")
+        for i, span in enumerate(spans):
+            for rec in _jsonl_events(span, 0, str(i)):
+                fh.write(json.dumps(rec, default=str) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Plain-text hierarchical span tree (the --verbose renderer)
+# ----------------------------------------------------------------------
+def _fmt_num(x) -> str:
+    if x is None:
+        return "-"
+    if isinstance(x, float) and not x.is_integer():
+        return f"{x:.6g}"
+    return f"{int(x)}"
+
+
+def _tree_lines(span: dict, depth: int, lines: list, max_depth) -> None:
+    if max_depth is not None and depth > max_depth:
+        return
+    sim = span.get("sim") or {}
+    t = sim.get("time")
+    comm = sim.get("comm_time")
+    local = (t - comm) if (t is not None and comm is not None) else None
+    frac = (comm / t) if t else None
+    wall = span.get("wall")
+    lines.append(
+        f"{'  ' * depth}{span['name']:<{max(1, 36 - 2 * depth)}s} "
+        f"sim={_fmt_num(t):>10s}  comm={_fmt_num(comm):>10s}  "
+        f"local={_fmt_num(local):>10s}  "
+        f"comm%={f'{frac:.1%}' if frac is not None else '-':>6s}  "
+        f"wall={f'{wall:.4f}s' if wall is not None else '-'}"
+    )
+    for child in span.get("children", ()):
+        _tree_lines(child, depth + 1, lines, max_depth)
+
+
+def render_span_tree(spans, max_depth: int | None = None) -> str:
+    """The plain-text hierarchical view: sim/comm/local breakdown per span."""
+    spans = _as_dicts(spans)
+    lines: list[str] = []
+    for span in spans:
+        _tree_lines(span, 0, lines, max_depth)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Loading (the summarize side)
+# ----------------------------------------------------------------------
+def load_trace_spans(path) -> tuple[list[dict], dict]:
+    """Load a trace written by this module; returns ``(spans, document)``.
+
+    Accepts the Chrome JSON (reads the lossless ``reproSpans`` embedding)
+    and the JSONL stream (rebuilds the forest from ``path`` fields).
+    """
+    path = pathlib.Path(path)
+    text = path.read_text()
+    first = text.lstrip()[:1]
+    if first == "{" and '"traceEvents"' in text[:4096]:
+        doc = json.loads(text)
+        return list(doc.get("reproSpans", [])), doc
+    if first == "{" and text.lstrip().splitlines()[0].rstrip().endswith("}"):
+        # JSONL: one object per line.
+        spans_by_path: dict[str, dict] = {}
+        header: dict = {}
+        roots: list[dict] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            if rec.get("event") == "header":
+                header = rec
+                continue
+            span = {
+                "name": rec["name"], "cat": rec.get("cat", "span"),
+                "attrs": rec.get("attrs") or {},
+                "sim": {f: rec.get(f) for f in SIM_FIELDS}
+                if rec.get("time") is not None else None,
+                "wall": rec.get("wall_seconds"), "children": [],
+            }
+            spans_by_path[rec["path"]] = span
+            parent = rec["path"].rpartition("/")[0]
+            if parent:
+                spans_by_path[parent]["children"].append(span)
+            else:
+                roots.append(span)
+        return roots, {"metadata": {"provenance": header.get("provenance", {})}}
+    doc = json.loads(text)
+    if isinstance(doc, dict) and "spans" in doc:  # golden-trace documents
+        return list(doc["spans"]), doc
+    raise ValueError(f"unrecognized trace file format: {path}")
+
+
+def flatten_spans(spans) -> list[dict]:
+    """DFS-flatten a span forest (dict form) for top-k tables."""
+    out: list[dict] = []
+
+    def visit(span: dict) -> None:
+        out.append(span)
+        for child in span.get("children", ()):
+            visit(child)
+
+    for span in _as_dicts(spans):
+        visit(span)
+    return out
+
+
+def merged_spans(dict_forests: list[list[dict]]) -> list[Span]:
+    """Rebuild Span trees from per-worker dict forests, in item order."""
+    return [span_from_dict(d) for forest in dict_forests for d in forest]

@@ -1,0 +1,82 @@
+"""The traced exemplar run pinned as ``tests/corpus/golden_trace.json``.
+
+A small mesh envelope construction is traced and reduced to its
+*structural* skeleton: span names, categories, nesting, and the exact
+simulated-charge deltas.  Wall-clock and other host-side values are
+stripped — the golden is a statement about the operation sequence and its
+accounting, which are pure functions of the input, never about execution
+speed.  ``python -m repro.trace update-golden`` re-pins it after an
+intentional change to instrumentation or charge structure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = ["golden_trace_document", "structural_spans",
+           "DEFAULT_GOLDEN_TRACE_PATH", "GOLDEN_WORKLOAD"]
+
+DEFAULT_GOLDEN_TRACE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "tests" / "corpus" / "golden_trace.json"
+)
+
+#: The exemplar workload: small mesh envelope, deterministic in the seed.
+GOLDEN_WORKLOAD = {"algorithm": "envelope", "n": 12, "k": 2,
+                   "n_pe": 64, "seed": 7, "op": "min"}
+
+_STRUCTURAL_KEYS = ("name", "cat", "sim")
+
+
+def structural_spans(spans: list[dict]) -> list[dict]:
+    """Strip a span forest (dict form) to its structural skeleton.
+
+    Keeps names, categories, nesting, and simulated deltas; drops wall
+    seconds and free-form attrs (which may carry host-dependent values).
+    """
+    out = []
+    for span in spans:
+        kept = {k: span.get(k) for k in _STRUCTURAL_KEYS}
+        kept["children"] = structural_spans(span.get("children", ()))
+        out.append(kept)
+    return out
+
+
+def golden_trace_document() -> dict:
+    """Run the exemplar workload traced; return the structural document.
+
+    The run uses the library defaults (compiled plans, fast combine) — the
+    executors whose simulated charges are contract-identical to their
+    fallbacks, so the golden pins *both* paths at once.
+    """
+    from ..core.envelope import envelope
+    from ..core.family import PolynomialFamily
+    from ..kinetics.polynomial import Polynomial
+    from ..machines.machine import mesh_machine
+    from .tracer import Tracer
+
+    w = GOLDEN_WORKLOAD
+    rng = np.random.default_rng(w["seed"])
+    curves = [Polynomial(rng.normal(size=w["k"] + 1)) for _ in range(w["n"])]
+    machine = mesh_machine(w["n_pe"])
+    tracer = Tracer("golden")
+    with tracer:
+        # ``envelope`` emits its own driver-category root span.
+        envelope(machine, curves, PolynomialFamily(w["k"]), op=w["op"])
+    return {
+        "schema": "repro.golden_trace/1",
+        "workload": dict(w),
+        "sim_time": machine.metrics.time,
+        "spans": structural_spans(tracer.to_dicts()),
+    }
+
+
+def write_golden_trace(path=DEFAULT_GOLDEN_TRACE_PATH) -> pathlib.Path:
+    """Re-measure and re-pin the golden trace file."""
+    path = pathlib.Path(path)
+    doc = golden_trace_document()
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path

@@ -1,0 +1,77 @@
+"""Run provenance manifests: reproducible-by-construction results.
+
+Every exported trace, every ``BENCH_wallclock.json`` entry, and every
+verify-campaign corpus file carries a manifest answering *exactly which
+code, inputs, and host produced this number*: git SHA (and dirty flag),
+seed, host identity and core count, and the python/numpy/package versions
+the run loaded.  Two manifests that agree on ``git_sha``/``seed``/
+``config`` describe runs whose *simulated* results must be bit-identical —
+the invariant the verification harness enforces — while wall-clock fields
+are expected to move between hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["provenance_manifest", "git_revision"]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def git_revision(root: pathlib.Path | None = None) -> dict:
+    """The checked-out revision: ``{"sha": ..., "dirty": ...}``.
+
+    Returns ``{"sha": None, "dirty": None}`` when git (or the repository)
+    is unavailable — provenance must never fail a run.
+    """
+    cwd = str(root or _REPO_ROOT)
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return {"sha": sha, "dirty": bool(status)}
+    except Exception:
+        return {"sha": None, "dirty": None}
+
+
+def provenance_manifest(seed=None, config: dict | None = None) -> dict:
+    """The provenance manifest for the current process and ``seed``.
+
+    ``config`` is the caller's run configuration (CLI arguments, workload
+    parameters) and is recorded verbatim; it must be JSON-serializable.
+    The schema is documented in ``docs/observability.md``.
+    """
+    import numpy as np
+
+    import repro
+
+    rev = git_revision()
+    return {
+        "schema": "repro.provenance/1",
+        "git_sha": rev["sha"],
+        "git_dirty": rev["dirty"],
+        "seed": seed,
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "node": platform.node(),
+            "host_cores": os.cpu_count(),
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro_version": getattr(repro, "__version__", None),
+        "argv": list(sys.argv),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "config": dict(config or {}),
+    }

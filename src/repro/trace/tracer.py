@@ -1,0 +1,246 @@
+"""Span-based tracing for the simulated machines.
+
+A :class:`Tracer` records a tree of *spans*.  Each span captures two
+independent clocks:
+
+* **simulated charges** — deltas of the attached
+  :class:`~repro.machines.metrics.Metrics` accumulator (``time``,
+  ``comm_time``, ``rounds``, ``comm_rounds``, ``local_rounds``) between
+  span entry and exit.  Tracing only *reads* the accumulator; it never
+  charges anything, so traced runs are bit-identical in simulated time to
+  untraced runs (asserted by ``tests/trace/test_overhead_smoke.py``);
+* **host wall-clock** — real seconds spent inside the span
+  (``perf_counter`` deltas), the execution cost of the same region.
+
+Spans with no metrics attached (e.g. a campaign instance wrapping several
+machines) derive their simulated totals as the sum of their direct
+children's, in recording order — which keeps float summation order
+deterministic, so campaign-level totals match the independently
+accumulated per-report totals *exactly*.
+
+Disabled behaviour
+------------------
+When no tracer is installed, :func:`trace_span` returns one shared
+null context and :meth:`Metrics.phase` performs a single ``None`` check —
+bounded, allocation-free overhead.  Installation is explicit
+(``with Tracer() as t:`` or :func:`install`); the hook into
+``Metrics.phase`` is set lazily so ``repro.machines`` never imports this
+package.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+
+__all__ = ["Span", "Tracer", "current_tracer", "install", "uninstall",
+           "trace_span", "tracing_enabled"]
+
+#: Metrics fields snapshotted at span entry/exit (simulated charges only —
+#: never wall-clock or plan counters, which are host-side bookkeeping).
+SIM_FIELDS = ("time", "comm_time", "rounds", "comm_rounds", "local_rounds")
+
+#: The installed tracer (process-wide; the simulators are single-threaded).
+_ACTIVE: "Tracer | None" = None
+
+#: Shared do-nothing context for the disabled fast path.
+_NULL = nullcontext()
+
+
+class Span:
+    """One traced region: simulated-charge deltas plus host wall-clock."""
+
+    __slots__ = ("name", "category", "attrs", "children",
+                 "sim", "wall", "_metrics", "_sim0", "_wall0")
+
+    def __init__(self, name: str, category: str, metrics, attrs: dict):
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self._metrics = metrics
+        self._sim0 = (
+            None if metrics is None
+            else tuple(getattr(metrics, f) for f in SIM_FIELDS)
+        )
+        #: Simulated-charge deltas keyed by ``SIM_FIELDS``; filled at close.
+        self.sim: dict | None = None
+        self.wall: float = 0.0
+        self._wall0 = perf_counter()
+
+    def _close(self) -> None:
+        self.wall = perf_counter() - self._wall0
+        if self._metrics is not None:
+            self.sim = {
+                f: getattr(self._metrics, f) - s0
+                for f, s0 in zip(SIM_FIELDS, self._sim0)
+            }
+        else:
+            # Derive totals from direct children, in recording order, so
+            # float summation order is deterministic and reproducible.
+            acc = dict.fromkeys(SIM_FIELDS, 0.0)
+            any_sim = False
+            for child in self.children:
+                if child.sim is not None:
+                    any_sim = True
+                    for f in SIM_FIELDS:
+                        acc[f] = acc[f] + child.sim[f]
+            self.sim = acc if any_sim else None
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sim_time(self) -> float:
+        return 0.0 if self.sim is None else self.sim["time"]
+
+    @property
+    def comm_time(self) -> float:
+        return 0.0 if self.sim is None else self.sim["comm_time"]
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.sim_time
+        return (self.comm_time / t) if t else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable (and picklable) form; see ``span_from_dict``."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "attrs": self.attrs,
+            "sim": None if self.sim is None else dict(self.sim),
+            "wall": self.wall,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, sim_time={self.sim_time:g}, "
+                f"wall={self.wall:.6f}, children={len(self.children)})")
+
+
+def span_from_dict(doc: dict) -> Span:
+    """Rebuild a closed :class:`Span` tree from :meth:`Span.to_dict` output.
+
+    Used to merge per-worker campaign traces (serialized dicts cross the
+    process boundary) back into one tree, by item index.
+    """
+    span = Span(doc["name"], doc.get("cat", "span"), None,
+                dict(doc.get("attrs") or {}))
+    span.sim = None if doc.get("sim") is None else dict(doc["sim"])
+    span.wall = float(doc.get("wall") or 0.0)
+    span.children = [span_from_dict(c) for c in doc.get("children", ())]
+    span._metrics = None
+    return span
+
+
+class Tracer:
+    """Collects a forest of nested spans for one run.
+
+    Use as a context manager (installs itself process-wide) or via
+    :func:`install`/:func:`uninstall`.  While installed, every
+    ``Metrics.phase`` block and every instrumented operation opens a span;
+    explicit regions can be traced with :meth:`span`.
+    """
+
+    def __init__(self, name: str = "run"):
+        self.name = name
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+    def _open(self, name: str, category: str, metrics, attrs: dict) -> Span:
+        span = Span(name, category, metrics, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close_span(self, span: Span) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span nesting violated: closing {span.name!r} "
+                f"but {popped.name!r} is innermost"
+            )
+        span._close()
+
+    @contextmanager
+    def span(self, name: str, metrics=None, category: str = "span", **attrs):
+        """Record a span around the block; deltas read from ``metrics``."""
+        s = self._open(name, category, metrics, attrs)
+        try:
+            yield s
+        finally:
+            self._close_span(s)
+
+    # -- Metrics.phase hook protocol ------------------------------------
+    def begin_phase(self, label: str, metrics) -> Span:
+        return self._open(label, "phase", metrics, {})
+
+    def end_phase(self, span: Span) -> None:
+        self._close_span(span)
+
+    # -- installation ---------------------------------------------------
+    def __enter__(self) -> "Tracer":
+        install(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        uninstall(self)
+
+    # -- results --------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.roots]
+
+
+def current_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def install(tracer: Tracer) -> None:
+    """Install ``tracer`` process-wide and hook ``Metrics.phase``.
+
+    Nested installation is rejected: one tracer owns a run.  The hook is
+    set via :func:`repro.machines.metrics.set_trace_hook` (imported lazily
+    so the machines layer has no import-time dependency on tracing).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a tracer is already installed")
+    from ..machines import metrics as _metrics
+
+    _ACTIVE = tracer
+    _metrics.set_trace_hook(tracer)
+
+
+def uninstall(tracer: Tracer | None = None) -> None:
+    """Remove the installed tracer (idempotent; ``tracer`` must match)."""
+    global _ACTIVE
+    if tracer is not None and _ACTIVE is not tracer and _ACTIVE is not None:
+        raise RuntimeError("uninstalling a tracer that is not installed")
+    if _ACTIVE is None:
+        return
+    from ..machines import metrics as _metrics
+
+    _ACTIVE = None
+    _metrics.set_trace_hook(None)
+
+
+def trace_span(name: str, metrics=None, category: str = "op", **attrs):
+    """A span context when tracing is enabled; a shared no-op otherwise.
+
+    The instrumentation entry point for the ops and core layers: cost when
+    disabled is one global read and a ``None`` check (the returned null
+    context is a single shared instance — no allocation).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL
+    return tracer.span(name, metrics, category, **attrs)

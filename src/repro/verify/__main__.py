@@ -1,15 +1,22 @@
 """``python -m repro.verify`` — fuzz campaign, corpus replay, golden update.
 
-Modes:
+Modes (positional, or the equivalent legacy flags):
 
-* default             — differential-oracle campaign (50 seeded instances
-                        per algorithm) followed by the golden Theta-scaling
-                        check; nonzero exit on any divergence or drift.
-* ``--oracle``        — campaign only.
-* ``--scaling``       — scaling check only.
-* ``--replay FILE..`` — re-run serialized corpus instances (no RNG).
-* ``--update-golden`` — re-measure and re-pin ``golden_scaling.json``
-                        (combine with ``--targets`` for a subset).
+* default               — differential-oracle campaign (50 seeded instances
+                          per algorithm) followed by the golden Theta-scaling
+                          check; nonzero exit on any divergence or drift.
+* ``campaign``          — campaign only (legacy: ``--oracle``).
+* ``scaling``           — scaling check only (legacy: ``--scaling``).
+* ``replay FILE..``     — re-run serialized corpus instances, no RNG
+                          (legacy: ``--replay FILE..``).
+* ``--update-golden``   — re-measure and re-pin ``golden_scaling.json``
+                          (combine with ``--targets`` for a subset).
+
+``campaign --trace PATH`` additionally records a per-instance span forest
+(inside each worker) and exports one Chrome ``trace_event`` JSON whose
+per-algorithm simulated totals equal the campaign's reported totals
+exactly; inspect it with ``python -m repro.trace summarize PATH`` or load
+it in Perfetto.
 """
 
 from __future__ import annotations
@@ -26,12 +33,21 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro.verify",
         description="Differential oracle + Theta-scaling conformance harness.",
     )
+    p.add_argument("mode", nargs="?",
+                   choices=["campaign", "scaling", "replay"],
+                   help="what to run (default: campaign then scaling)")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="corpus files for the replay mode")
     p.add_argument("--oracle", action="store_true",
                    help="run only the differential-oracle campaign")
-    p.add_argument("--scaling", action="store_true",
+    p.add_argument("--scaling", dest="scaling_only", action="store_true",
                    help="run only the golden scaling check")
     p.add_argument("--replay", nargs="+", metavar="FILE",
                    help="re-run serialized corpus instance(s) and exit")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record spans during the campaign and write a "
+                        "Chrome trace_event JSON (Perfetto-loadable; "
+                        "summarize with python -m repro.trace summarize)")
     p.add_argument("--update-golden", action="store_true",
                    help="re-measure and rewrite the golden scaling file")
     p.add_argument("--instances", type=int, default=50,
@@ -89,6 +105,7 @@ def _run_oracle(args) -> int:
         corpus_dir=None if args.no_corpus else args.corpus_dir,
         progress=lambda line: print(f"  {line}"),
         jobs=args.jobs,
+        trace=bool(args.trace),
         **kwargs,
     )
     total = len(result.reports)
@@ -98,7 +115,33 @@ def _run_oracle(args) -> int:
     for path in result.corpus_files:
         print(f"  divergence serialized: {path}")
         print(f"  replay with: python -m repro.verify --replay {path}")
+    if args.trace:
+        _export_campaign_trace(args, result)
     return 0 if result.ok else 1
+
+
+def _export_campaign_trace(args, result) -> None:
+    from ..trace.export import write_chrome_trace
+    from ..trace.provenance import provenance_manifest
+    from ..trace.registry import registry_snapshot
+
+    totals = result.sim_totals()
+    provenance = provenance_manifest(seed=args.seed0, config={
+        "mode": "campaign",
+        "instances": args.instances,
+        "seed0": args.seed0,
+        "jobs": args.jobs,
+        "algorithms": args.algorithms or sorted(ALGORITHMS),
+        "tol": args.tol,
+    })
+    path = write_chrome_trace(args.trace, result.algorithm_spans or [],
+                              provenance=provenance, totals=totals,
+                              counters=registry_snapshot())
+    print(f"trace written: {path} "
+          f"({len(result.algorithm_spans or [])} algorithm spans)")
+    for name, t in totals.items():
+        print(f"  {name}: simulated time {t:g}")
+    print(f"  summarize with: python -m repro.trace summarize {path}")
 
 
 def _run_scaling(args) -> int:
@@ -116,11 +159,20 @@ def _run_scaling(args) -> int:
 
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
-    if args.replay:
+    if args.mode == "replay" or args.replay:
+        args.replay = list(args.replay or []) + list(args.files)
+        if not args.replay:
+            print("replay mode needs at least one corpus file",
+                  file=sys.stderr)
+            return 2
         return _run_replay(args)
-    if args.update_golden or args.scaling:
+    if args.files:
+        print(f"unexpected arguments: {' '.join(args.files)}",
+              file=sys.stderr)
+        return 2
+    if args.update_golden or args.scaling_only or args.mode == "scaling":
         return _run_scaling(args)
-    if args.oracle:
+    if args.oracle or args.mode == "campaign":
         return _run_oracle(args)
     rc = _run_oracle(args)
     return rc or _run_scaling(args)

@@ -43,6 +43,8 @@ from ..core.steady import (
     steady_nearest_neighbor,
 )
 from ..machines.machine import hypercube_machine, mesh_machine, pram_machine
+from ..trace.provenance import provenance_manifest
+from ..trace.tracer import SIM_FIELDS, Tracer, trace_span
 from .compare import TOL, outputs_match, sim_snapshot
 from .generators import (
     curves_from_json,
@@ -231,12 +233,19 @@ class InstanceReport:
     ok: bool
     divergences: list[Divergence] = field(default_factory=list)
     instance_json: dict | None = None
+    #: Total simulated time over every machine run of the differential
+    #: check, accumulated in run order (see ``_run_differential``) so it is
+    #: bit-identical to the traced instance span's derived total.
+    sim_time: float = 0.0
 
 
 @dataclass
 class CampaignResult:
     reports: list[InstanceReport]
     corpus_files: list[str] = field(default_factory=list)
+    #: One ``algorithm``-category span dict per algorithm (item spans as
+    #: children, merged by seed order) when the campaign ran traced.
+    algorithm_spans: list[dict] | None = None
 
     @property
     def ok(self) -> bool:
@@ -253,6 +262,18 @@ class CampaignResult:
             stat["instances"] += 1
             stat["failed"] += not r.ok
         return per
+
+    def sim_totals(self) -> dict:
+        """Per-algorithm simulated time, summed over reports in seed order.
+
+        The summation order matches the trace's per-algorithm span sums
+        exactly, so ``reproTotals`` in an exported campaign trace equals
+        these values bit-for-bit.
+        """
+        totals: dict[str, float] = {}
+        for r in self.reports:
+            totals[r.algorithm] = totals.get(r.algorithm, 0.0) + r.sim_time
+        return totals
 
 
 def _serialize_instance(inst: dict) -> dict:
@@ -278,10 +299,19 @@ def _deserialize_instance(payload: dict) -> dict:
     return inst
 
 
-def _run_differential(alg: Algorithm, inst: dict, tol: float) -> list[Divergence]:
-    """Serial reference vs every machine backend, fast combine on and off."""
-    reference = alg.run(None, inst)
+def _run_differential(alg: Algorithm, inst: dict,
+                      tol: float) -> tuple[list[Divergence], float]:
+    """Serial reference vs every machine backend, fast combine on and off.
+
+    Returns ``(divergences, sim_time)``; ``sim_time`` accumulates
+    ``machine.metrics.time`` over the machine runs *in run order*, the same
+    order a tracer records the backend spans in — so traced totals equal
+    the reported totals exactly (same float summation order).
+    """
+    with trace_span("serial", category="backend"):
+        reference = alg.run(None, inst)
     divergences = []
+    sim_time = 0.0
     prev = set_fast_combine(True)
     try:
         for backend, mk in BACKENDS.items():
@@ -290,8 +320,11 @@ def _run_differential(alg: Algorithm, inst: dict, tol: float) -> list[Divergence
             for fast in (True, False):
                 set_fast_combine(fast)
                 machine = mk()
-                outputs[fast] = alg.run(machine, inst)
+                with trace_span(backend, machine.metrics, category="backend",
+                                fast_combine=fast):
+                    outputs[fast] = alg.run(machine, inst)
                 snapshots[fast] = sim_snapshot(machine.metrics)
+                sim_time += machine.metrics.time
             for fast in (True, False):
                 mism = outputs_match(reference, outputs[fast], tol)
                 if mism:
@@ -310,7 +343,7 @@ def _run_differential(alg: Algorithm, inst: dict, tol: float) -> list[Divergence
                 ]))
     finally:
         set_fast_combine(prev)
-    return divergences
+    return divergences, sim_time
 
 
 def run_instance(algorithm: str, seed: int, tol: float = TOL,
@@ -319,7 +352,7 @@ def run_instance(algorithm: str, seed: int, tol: float = TOL,
     alg = ALGORITHMS[algorithm]
     if inst is None:
         inst = alg.build(seed)
-    divergences = _run_differential(alg, inst, tol)
+    divergences, sim_time = _run_differential(alg, inst, tol)
     return InstanceReport(
         algorithm=algorithm,
         kind=inst.get("kind", "?"),
@@ -327,6 +360,7 @@ def run_instance(algorithm: str, seed: int, tol: float = TOL,
         ok=not divergences,
         divergences=divergences,
         instance_json=_serialize_instance(inst) if divergences else None,
+        sim_time=sim_time,
     )
 
 
@@ -343,6 +377,7 @@ def save_failure(report: InstanceReport, corpus_dir=DEFAULT_CORPUS_DIR) -> str:
              "mismatches": d.mismatches}
             for d in report.divergences
         ],
+        "provenance": provenance_manifest(seed=report.seed),
         **(report.instance_json or {}),
     }
     path = corpus_dir / (
@@ -359,21 +394,53 @@ def replay(path, tol: float = TOL) -> InstanceReport:
     return run_instance(record["algorithm"], record["seed"], tol, inst=inst)
 
 
-def _campaign_item(item: tuple) -> InstanceReport:
-    """Worker entry point: one ``(algorithm, seed, tol)`` differential run.
+def _campaign_item(item: tuple):
+    """Worker entry point: one ``(algorithm, seed, tol[, traced])`` run.
 
     Module-level so the process-parallel engine can pickle it; the
     instance is rebuilt inside the worker from its seed, so the result is
     a pure function of the item — independent of which worker runs it.
+    With ``traced`` a local tracer wraps the run in one ``instance`` span
+    and the serialized span forest rides back with the report (dicts cross
+    the process boundary; the parent merges them by item index).
     """
-    name, seed, tol = item
-    return run_instance(name, seed, tol)
+    name, seed, tol, *rest = item
+    if not (rest and rest[0]):
+        return run_instance(name, seed, tol)
+    tracer = Tracer(f"{name}/seed{seed}")
+    with tracer:
+        with tracer.span(f"{name}[{seed}]", category="instance",
+                         algorithm=name, seed=seed):
+            report = run_instance(name, seed, tol)
+    return report, tracer.to_dicts()
+
+
+def _algorithm_span(name: str, children: list[dict]) -> dict:
+    """One parent span over an algorithm's traced instances, in seed order.
+
+    Simulated totals are the children's sums accumulated in list order —
+    the same order :meth:`CampaignResult.sim_totals` uses, so the two are
+    bit-identical.
+    """
+    sim = dict.fromkeys(SIM_FIELDS, 0.0)
+    any_sim = False
+    wall = 0.0
+    for child in children:
+        wall += float(child.get("wall") or 0.0)
+        csim = child.get("sim")
+        if csim is not None:
+            any_sim = True
+            for f in SIM_FIELDS:
+                sim[f] = sim[f] + csim[f]
+    return {"name": name, "cat": "algorithm", "attrs": {"instances": len(children)},
+            "sim": sim if any_sim else None, "wall": wall,
+            "children": children}
 
 
 def campaign(algorithms=None, instances: int = 50, seed0: int = 0,
              tol: float = TOL, corpus_dir=None,
              progress: Callable[[str], None] | None = None,
-             jobs: int = 1) -> CampaignResult:
+             jobs: int = 1, trace: bool = False) -> CampaignResult:
     """Run the differential oracle over seeded instances of each algorithm.
 
     ``instances`` seeded cases per algorithm, seeds ``seed0 .. seed0+i-1``
@@ -385,6 +452,13 @@ def campaign(algorithms=None, instances: int = 50, seed0: int = 0,
     function of its ``(algorithm, seed)`` coordinates and results are
     merged in seed order, so the returned reports — and any corpus files —
     are identical for every ``jobs`` value.
+
+    ``trace`` records a span forest per instance (inside the worker) and
+    merges them by item index into one ``algorithm`` span per algorithm
+    (:attr:`CampaignResult.algorithm_spans`).  Merging follows seed order,
+    never completion order, so the trace too is identical for every
+    ``jobs`` value — and the per-algorithm span totals equal
+    :meth:`CampaignResult.sim_totals` bit-for-bit.
     """
     from ..parallel import parallel_map
 
@@ -395,16 +469,26 @@ def campaign(algorithms=None, instances: int = 50, seed0: int = 0,
                            f"have {sorted(ALGORITHMS)}")
     reports = []
     corpus_files = []
+    algorithm_spans: list[dict] | None = [] if trace else None
     for name in names:
-        items = [(name, seed0 + i, tol) for i in range(instances)]
-        alg_reports = parallel_map(_campaign_item, items, jobs=jobs)
+        items = [(name, seed0 + i, tol, trace) for i in range(instances)]
+        results = parallel_map(_campaign_item, items, jobs=jobs)
         failed = 0
-        for report in alg_reports:
+        instance_spans: list[dict] = []
+        for res in results:
+            if trace:
+                report, spans = res
+                instance_spans.extend(spans)
+            else:
+                report = res
             reports.append(report)
             if not report.ok:
                 failed += 1
                 if corpus_dir is not None:
                     corpus_files.append(save_failure(report, corpus_dir))
+        if trace:
+            algorithm_spans.append(_algorithm_span(name, instance_spans))
         if progress:
             progress(f"{name}: {instances - failed}/{instances} ok")
-    return CampaignResult(reports=reports, corpus_files=corpus_files)
+    return CampaignResult(reports=reports, corpus_files=corpus_files,
+                          algorithm_spans=algorithm_spans)

@@ -1,0 +1,19 @@
+"""Fixtures for the tracing tests: never leak an installed tracer."""
+
+import pytest
+
+from repro.trace import tracer as tracer_mod
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Fail loudly if a test leaves a tracer installed, then clean up.
+
+    The tracer is process-global state; a leaked installation would make
+    every later test run traced (and `install` raise).
+    """
+    assert tracer_mod.current_tracer() is None, "tracer leaked into test"
+    yield
+    leaked = tracer_mod.current_tracer()
+    tracer_mod.uninstall(leaked)
+    assert leaked is None, f"test leaked installed tracer {leaked!r}"

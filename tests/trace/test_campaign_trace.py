@@ -1,0 +1,101 @@
+"""Traced verify-campaigns: exact totals, jobs-determinism, export."""
+
+import copy
+
+import pytest
+
+from repro.trace.export import chrome_trace_document, flatten_spans
+from repro.trace.tracer import SIM_FIELDS
+from repro.verify.oracle import campaign
+
+pytestmark = pytest.mark.verify
+
+ALGS = ["envelope", "steady_hull"]
+
+
+@pytest.fixture(scope="module")
+def traced_campaign():
+    return campaign(algorithms=ALGS, instances=2, trace=True)
+
+
+def test_algorithm_span_totals_equal_reported_totals_exactly(traced_campaign):
+    result = traced_campaign
+    totals = result.sim_totals()
+    assert set(totals) == set(ALGS)
+    spans = {s["name"]: s for s in result.algorithm_spans}
+    for name in ALGS:
+        assert totals[name] > 0.0
+        # Bit-for-bit, not approx: same float summation order by design.
+        assert spans[name]["sim"]["time"] == totals[name]
+
+
+def test_reports_carry_sim_time(traced_campaign):
+    result = traced_campaign
+    assert result.ok
+    for r in result.reports:
+        assert r.sim_time > 0.0
+
+
+def test_instance_spans_nest_backend_spans(traced_campaign):
+    (env_span,) = [s for s in traced_campaign.algorithm_spans
+                   if s["name"] == "envelope"]
+    assert env_span["cat"] == "algorithm"
+    assert env_span["attrs"] == {"instances": 2}
+    for inst_span in env_span["children"]:
+        assert inst_span["cat"] == "instance"
+        backends = [c["name"] for c in inst_span["children"]]
+        # serial reference first, then each backend with fast combine on/off.
+        assert backends[0] == "serial"
+        assert backends[1:] == ["mesh", "mesh", "hypercube", "hypercube",
+                                "pram", "pram"]
+        # Serial runs charge no machine metrics: excluded from sums.
+        assert inst_span["children"][0]["sim"] is None
+
+
+def test_instance_span_sum_matches_report(traced_campaign):
+    result = traced_campaign
+    (env_span,) = [s for s in result.algorithm_spans
+                   if s["name"] == "envelope"]
+    env_reports = [r for r in result.reports if r.algorithm == "envelope"]
+    for inst_span, report in zip(env_span["children"], env_reports):
+        assert inst_span["sim"]["time"] == report.sim_time
+
+
+def test_trace_identical_for_every_jobs_value():
+    a = campaign(algorithms=["envelope"], instances=2, trace=True, jobs=1)
+    b = campaign(algorithms=["envelope"], instances=2, trace=True, jobs=2)
+
+    def strip_wall(forest):
+        forest = copy.deepcopy(forest)
+        stack = list(forest)
+        while stack:
+            s = stack.pop()
+            s["wall"] = None
+            stack.extend(s["children"])
+        return forest
+
+    assert a.sim_totals() == b.sim_totals()
+    assert strip_wall(a.algorithm_spans) == strip_wall(b.algorithm_spans)
+
+
+def test_chrome_export_embeds_exact_totals(traced_campaign, tmp_path):
+    result = traced_campaign
+    doc = chrome_trace_document(result.algorithm_spans,
+                                totals=result.sim_totals())
+    assert doc["reproTotals"] == result.sim_totals()
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == len(flatten_spans(result.algorithm_spans))
+    by_name = {e["name"]: e for e in xs if e["cat"] == "algorithm"}
+    for name, total in result.sim_totals().items():
+        assert by_name[name]["args"]["sim_time"] == total
+
+
+def test_untraced_campaign_has_no_spans():
+    result = campaign(algorithms=["envelope"], instances=1, trace=False)
+    assert result.algorithm_spans is None
+    assert result.reports[0].sim_time > 0.0
+
+
+def test_sim_fields_cover_span_sums(traced_campaign):
+    for span in traced_campaign.algorithm_spans:
+        assert set(span["sim"]) == set(SIM_FIELDS)

@@ -1,0 +1,143 @@
+"""Exporter tests: Chrome trace_event validity, JSONL round-trip, tree."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.machines.machine import mesh_machine
+from repro.ops import bitonic_sort
+from repro.trace import (
+    Tracer,
+    chrome_trace_document,
+    load_trace_spans,
+    render_span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.export import flatten_spans
+
+
+@pytest.fixture()
+def traced_run():
+    machine = mesh_machine(16)
+    with Tracer() as tracer:
+        with tracer.span("run", machine.metrics, category="driver", n=16):
+            bitonic_sort(machine, np.arange(16)[::-1])
+    return machine, tracer.to_dicts()
+
+
+def test_chrome_document_shape(traced_run):
+    machine, spans = traced_run
+    doc = chrome_trace_document(spans, provenance={"x": 1},
+                                totals={"run": machine.metrics.time},
+                                counters={"c": 2})
+    assert doc["metadata"]["provenance"] == {"x": 1}
+    assert doc["reproTotals"] == {"run": machine.metrics.time}
+    assert doc["reproCounters"] == {"c": 2}
+    assert doc["reproSpans"] == spans  # lossless embedding
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(xs) == len(flatten_spans(spans))
+    assert len(counters) == len(xs)  # one wall sample per span close
+    assert len(metas) == 2
+    root_event = xs[0]
+    assert root_event["name"] == "run"
+    # Simulated time maps to the timeline: 1 unit = 1 us of `dur`.
+    assert root_event["args"]["sim_time"] == machine.metrics.time
+    assert root_event["dur"] >= machine.metrics.time
+    for e in xs:
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+
+def test_chrome_parent_spans_contain_children_on_timeline(traced_run):
+    _, spans = traced_run
+    doc = chrome_trace_document(spans)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    root = xs[0]
+    for e in xs[1:]:
+        assert e["ts"] >= root["ts"]
+        assert e["ts"] + e["dur"] <= root["ts"] + root["dur"] + 1e-9
+
+
+def test_chrome_widens_parent_when_children_exceed_delta():
+    # Parallel composition: a parent absorbing only the slowest sibling can
+    # have a smaller delta than its children's sum; layout must widen it.
+    spans = [{
+        "name": "parent", "cat": "driver", "attrs": {},
+        "sim": {"time": 5.0, "comm_time": 0.0, "rounds": 1,
+                "comm_rounds": 0, "local_rounds": 1},
+        "wall": 0.0,
+        "children": [
+            {"name": f"c{i}", "cat": "op", "attrs": {},
+             "sim": {"time": 5.0, "comm_time": 0.0, "rounds": 1,
+                     "comm_rounds": 0, "local_rounds": 1},
+             "wall": 0.0, "children": []}
+            for i in range(2)
+        ],
+    }]
+    doc = chrome_trace_document(spans)
+    root = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert root["dur"] == 10.0          # widened to contain both children
+    assert root["args"]["sim_time"] == 5.0  # exact delta preserved
+
+
+def test_write_chrome_trace_and_load_round_trip(tmp_path, traced_run):
+    _, spans = traced_run
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, spans, provenance={"seed": 7},
+                       totals={"run": 1.0})
+    loaded_spans, doc = load_trace_spans(path)
+    assert loaded_spans == spans
+    assert doc["metadata"]["provenance"] == {"seed": 7}
+    json.loads(path.read_text())  # stays plain JSON
+
+
+def test_jsonl_round_trip(tmp_path, traced_run):
+    _, spans = traced_run
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, spans, provenance={"seed": 3})
+    loaded, doc = load_trace_spans(path)
+    assert doc["metadata"]["provenance"] == {"seed": 3}
+
+    def skeleton(forest):
+        return [
+            (s["name"], s.get("cat"), s.get("sim"), skeleton(s["children"]))
+            for s in forest
+        ]
+
+    assert skeleton(loaded) == skeleton(spans)
+
+
+def test_render_span_tree_breakdown(traced_run):
+    machine, spans = traced_run
+    text = render_span_tree(spans)
+    lines = text.splitlines()
+    assert lines[0].startswith("run")
+    assert f"sim={machine.metrics.time:g}".replace("=", "=") in lines[0].replace(" ", "")
+    assert "comm=" in lines[0] and "local=" in lines[0] and "comm%=" in lines[0]
+    assert any(line.startswith("  bitonic_sort") for line in lines)
+    # max_depth prunes children.
+    assert render_span_tree(spans, max_depth=0).count("\n") == 0
+
+
+def test_load_rejects_unknown_format(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("[1, 2, 3]\n")
+    with pytest.raises(ValueError, match="unrecognized"):
+        load_trace_spans(path)
+
+
+def test_summarize_cli(tmp_path, traced_run, capsys):
+    from repro.trace.__main__ import main
+
+    machine, spans = traced_run
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, spans, provenance={"seed": 1},
+                       totals={"run": machine.metrics.time})
+    assert main(["summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "run" in out and "bitonic_sort" in out

@@ -1,0 +1,61 @@
+"""Structural golden test: the pinned exemplar trace must reproduce.
+
+The golden pins the *structure* of instrumentation — which spans exist,
+how they nest, and the exact simulated charges each records — for a fixed
+seeded envelope construction.  It fails when instrumentation is added,
+removed, or a charge moves; re-pin intentionally with
+``python -m repro.trace update-golden``.
+"""
+
+import json
+
+import pytest
+
+from repro.trace.golden import (
+    DEFAULT_GOLDEN_TRACE_PATH,
+    GOLDEN_WORKLOAD,
+    golden_trace_document,
+    structural_spans,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return golden_trace_document()
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    assert DEFAULT_GOLDEN_TRACE_PATH.exists(), (
+        "golden trace missing; run `python -m repro.trace update-golden`"
+    )
+    return json.loads(DEFAULT_GOLDEN_TRACE_PATH.read_text())
+
+
+def test_golden_trace_matches_pinned(fresh, pinned):
+    assert pinned["schema"] == "repro.golden_trace/1"
+    assert pinned["workload"] == GOLDEN_WORKLOAD
+    assert fresh["sim_time"] == pinned["sim_time"]
+    assert fresh["spans"] == pinned["spans"]
+
+
+def test_golden_trace_is_deterministic(fresh):
+    again = golden_trace_document()
+    assert again["spans"] == fresh["spans"]
+    assert again["sim_time"] == fresh["sim_time"]
+
+
+def test_golden_root_is_envelope_driver_span(fresh):
+    (root,) = fresh["spans"]
+    assert (root["name"], root["cat"]) == ("envelope", "driver")
+    assert root["sim"]["time"] == fresh["sim_time"]
+    assert root["children"], "driver span must record phase/op children"
+
+
+def test_structural_spans_strip_host_fields(fresh):
+    def walk(forest):
+        for s in forest:
+            assert set(s) == {"name", "cat", "sim", "children"}
+            walk(s["children"])
+
+    walk(fresh["spans"])

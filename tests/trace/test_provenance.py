@@ -1,0 +1,38 @@
+"""Provenance manifest tests."""
+
+import json
+
+from repro.trace.provenance import git_revision, provenance_manifest
+
+
+def test_manifest_schema_and_fields():
+    m = provenance_manifest(seed=42, config={"mode": "test", "n": 8})
+    assert m["schema"] == "repro.provenance/1"
+    assert m["seed"] == 42
+    assert m["config"] == {"mode": "test", "n": 8}
+    assert isinstance(m["python"], str)
+    assert isinstance(m["numpy"], str)
+    assert isinstance(m["host"]["host_cores"], int)
+    assert m["timestamp"].endswith("+00:00")  # UTC, absolute
+    json.dumps(m)  # must be JSON-serializable as-is
+
+
+def test_git_revision_in_this_repo():
+    rev = git_revision()
+    # This test tree IS a git repo; the sha must resolve.
+    assert rev["sha"] is None or (
+        len(rev["sha"]) == 40 and isinstance(rev["dirty"], bool)
+    )
+
+
+def test_git_revision_unavailable_is_nones(tmp_path):
+    rev = git_revision(root=tmp_path)
+    assert rev == {"sha": None, "dirty": None}
+
+
+def test_manifest_never_raises_without_git(tmp_path, monkeypatch):
+    import repro.trace.provenance as prov
+
+    monkeypatch.setattr(prov, "_REPO_ROOT", tmp_path)
+    m = provenance_manifest()
+    assert m["git_sha"] is None and m["git_dirty"] is None

@@ -1,0 +1,122 @@
+"""MetricsRegistry unit tests and subsystem-unification checks."""
+
+import numpy as np
+
+from repro.core.family import (
+    PolynomialFamily,
+    global_cache_stats,
+    reset_global_cache_stats,
+)
+from repro.kinetics.polynomial import Polynomial
+from repro.ops.plans import plan_cache_stats, reset_plan_stats
+from repro.trace.registry import (
+    REGISTRY,
+    Counter,
+    MetricsRegistry,
+    get_counter,
+    registry_snapshot,
+)
+
+
+def test_counter_cell_identity_and_reset():
+    reg = MetricsRegistry()
+    a = reg.counter("x.hits")
+    b = reg.counter("x.hits")
+    assert a is b
+    a.value += 3
+    a.inc(2)
+    assert reg.snapshot() == {"x.hits": 5}
+    reg.reset()
+    assert a.value == 0
+
+
+def test_float_counter_resets_to_float():
+    c = Counter("t.seconds", 0.0)
+    c.inc(0.25)
+    c.reset()
+    assert c.value == 0.0 and isinstance(c.value, float)
+
+
+def test_gauges_sampled_at_snapshot_time():
+    reg = MetricsRegistry()
+    live = {"a": 1}
+    reg.gauge("cache.size", lambda: len(live))
+    assert reg.snapshot()["cache.size"] == 1
+    live["b"] = 2
+    assert reg.snapshot()["cache.size"] == 2
+
+
+def test_dead_gauge_does_not_break_snapshot():
+    reg = MetricsRegistry()
+    reg.gauge("bad", lambda: 1 / 0)
+    assert reg.snapshot() == {"bad": None}
+
+
+def test_snapshot_is_sorted_flat_dict():
+    reg = MetricsRegistry()
+    reg.counter("b.x").inc()
+    reg.counter("a.y").inc()
+    reg.gauge("c.z", lambda: 7)
+    assert list(reg.snapshot()) == ["a.y", "b.x", "c.z"]
+
+
+def test_render_table_groups_and_derives_hit_rate():
+    reg = MetricsRegistry()
+    reg.counter("demo_cache.hits").inc(3)
+    reg.counter("demo_cache.misses").inc(1)
+    table = reg.render_table()
+    assert "demo_cache" in table
+    assert "hit_rate=75.0%" in table
+
+
+def test_crossing_cache_counts_through_shared_registry():
+    reset_global_cache_stats()
+    before = registry_snapshot()
+    fam = PolynomialFamily(2)
+    f = Polynomial([0.0, 1.0])
+    g = Polynomial([1.0, -1.0])
+    fam.crossings(f, g, 0.0, 10.0)   # miss
+    fam.crossings(f, g, 0.0, 10.0)   # hit
+    after = registry_snapshot()
+    assert after["crossing_cache.misses"] - before["crossing_cache.misses"] == 1
+    assert after["crossing_cache.hits"] - before["crossing_cache.hits"] == 1
+    # The legacy stats API reads the same cells.
+    stats = global_cache_stats()
+    assert stats["hits"] == after["crossing_cache.hits"]
+    assert stats["misses"] == after["crossing_cache.misses"]
+
+
+def test_plan_cache_counts_through_shared_registry():
+    from repro.machines.machine import mesh_machine
+    from repro.ops import bitonic_sort
+
+    reset_plan_stats()
+    machine = mesh_machine(16)
+    bitonic_sort(machine, np.arange(16)[::-1])
+    snap = registry_snapshot()
+    stats = plan_cache_stats()
+    assert stats["hits"] == snap["movement_plans.hits"]
+    assert stats["misses"] == snap["movement_plans.misses"]
+    assert stats["misses"] >= 1
+    assert snap["movement_plans.cache_size"] == stats["size"]
+
+
+def test_charge_cache_gauges_registered():
+    from repro.machines.machine import mesh_machine
+    from repro.ops import parallel_prefix
+
+    machine = mesh_machine(16)
+    parallel_prefix(machine, np.arange(16), np.add)
+    snap = registry_snapshot()
+    assert snap["charge_cache.size"] >= 1
+    assert "charge_cache.doubling_bits" in snap
+
+
+def test_module_conveniences_hit_the_shared_registry():
+    cell = get_counter("test_registry.probe")
+    cell.inc(2)
+    try:
+        assert registry_snapshot()["test_registry.probe"] == 2
+        assert REGISTRY.counter("test_registry.probe") is cell
+    finally:
+        cell.reset()

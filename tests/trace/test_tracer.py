@@ -1,0 +1,156 @@
+"""Tracer unit tests: span nesting, delta capture, disabled fast path."""
+
+import pytest
+
+from repro.machines.machine import hypercube_machine, mesh_machine
+from repro.machines import metrics as metrics_mod
+from repro.ops import parallel_prefix
+from repro.trace.tracer import (
+    SIM_FIELDS,
+    Span,
+    Tracer,
+    current_tracer,
+    install,
+    span_from_dict,
+    trace_span,
+    tracing_enabled,
+    uninstall,
+)
+
+import numpy as np
+
+
+def test_span_captures_metrics_deltas():
+    machine = mesh_machine(16)
+    tracer = Tracer()
+    with tracer:
+        machine.metrics.charge_local(3)  # charged before: excluded
+        with tracer.span("op", machine.metrics) as span:
+            machine.metrics.charge_local(5)
+            machine.metrics.charge_comm(4.0, rounds=2)  # cost 4.0 * 2
+    assert span.sim == {"time": 13.0, "comm_time": 8.0, "rounds": 7,
+                        "comm_rounds": 2, "local_rounds": 5}
+    assert span.sim_time == 13.0
+    assert span.comm_time == 8.0
+    assert span.comm_fraction == pytest.approx(8.0 / 13.0)
+    assert span.wall >= 0.0
+
+
+def test_nested_spans_form_a_tree():
+    machine = mesh_machine(16)
+    with Tracer() as tracer:
+        with tracer.span("outer", machine.metrics):
+            with tracer.span("inner-1", machine.metrics):
+                machine.metrics.charge_local(1)
+            with tracer.span("inner-2", machine.metrics):
+                machine.metrics.charge_local(2)
+    (outer,) = tracer.roots
+    assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+    assert outer.sim["time"] == 3.0
+    assert [c.sim["time"] for c in outer.children] == [1.0, 2.0]
+
+
+def test_metrics_less_span_sums_children_in_order():
+    m1, m2 = mesh_machine(16), hypercube_machine(16)
+    with Tracer() as tracer:
+        with tracer.span("group") as group:
+            with tracer.span("a", m1.metrics):
+                m1.metrics.charge_local(2)
+            with tracer.span("b", m2.metrics):
+                m2.metrics.charge_comm(3.0)
+    assert group.sim["time"] == 2.0 + 3.0
+    assert group.sim["comm_time"] == 3.0
+    assert group.sim["local_rounds"] == 2
+
+
+def test_metrics_less_span_without_sim_children_has_no_sim():
+    with Tracer() as tracer:
+        with tracer.span("empty") as span:
+            pass
+    assert span.sim is None
+    assert span.sim_time == 0.0
+
+
+def test_phase_hook_records_phase_spans():
+    machine = mesh_machine(16)
+    with Tracer() as tracer:
+        with machine.metrics.phase("sort"):
+            machine.metrics.charge_local(4)
+    (span,) = tracer.roots
+    assert (span.name, span.category) == ("sort", "phase")
+    assert span.sim["time"] == 4.0
+    # ...and the phase accounting itself is untouched by tracing.
+    assert machine.metrics.phases["sort"] == 4.0
+
+
+def test_trace_span_disabled_is_shared_null_context():
+    assert not tracing_enabled()
+    a = trace_span("x")
+    b = trace_span("y", None, category="driver", n=3)
+    assert a is b  # one shared nullcontext: no per-call allocation
+    with a:
+        pass
+
+
+def test_install_uninstall_lifecycle():
+    t = Tracer()
+    install(t)
+    try:
+        assert tracing_enabled()
+        assert current_tracer() is t
+        assert metrics_mod._TRACE_HOOK is t
+        with pytest.raises(RuntimeError):
+            install(Tracer())
+    finally:
+        uninstall(t)
+    assert not tracing_enabled()
+    assert metrics_mod._TRACE_HOOK is None
+    uninstall(None)  # idempotent
+
+
+def test_uninstall_wrong_tracer_raises():
+    t = Tracer()
+    install(t)
+    try:
+        with pytest.raises(RuntimeError):
+            uninstall(Tracer())
+    finally:
+        uninstall(t)
+
+
+def test_span_nesting_violation_raises():
+    tracer = Tracer()
+    with tracer:
+        outer = tracer._open("outer", "span", None, {})
+        tracer._open("inner", "span", None, {})
+        with pytest.raises(RuntimeError, match="nesting"):
+            tracer._close_span(outer)
+
+
+def test_to_dict_round_trip():
+    machine = mesh_machine(16)
+    with Tracer() as tracer:
+        with tracer.span("root", machine.metrics, category="driver", n=8):
+            with tracer.span("leaf", machine.metrics):
+                machine.metrics.charge_local(2)
+    doc = tracer.to_dicts()[0]
+    rebuilt = span_from_dict(doc)
+    assert isinstance(rebuilt, Span)
+    assert rebuilt.name == "root"
+    assert rebuilt.category == "driver"
+    assert rebuilt.attrs == {"n": 8}
+    assert rebuilt.sim == doc["sim"]
+    assert rebuilt.to_dict() == doc
+
+
+def test_traced_op_spans_match_charged_time():
+    """An instrumented op's span delta equals what the machine charged."""
+    machine = mesh_machine(16)
+    values = np.arange(16)
+    with Tracer() as tracer:
+        parallel_prefix(machine, values, np.add)
+    (span,) = tracer.roots
+    assert span.name == "parallel_prefix"
+    assert span.sim["time"] == machine.metrics.time
+    assert span.sim["comm_time"] == machine.metrics.comm_time
+    assert span.attrs == {"n": 16}
