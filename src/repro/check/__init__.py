@@ -1,0 +1,39 @@
+"""Static invariant checking for the reproduction (`python -m repro.check`).
+
+The runtime layers enforce the cost-model contracts *dynamically* (the
+differential oracle, golden scalings, sim-parity smokes); this package
+enforces the ones that can be read straight off the source, before any
+test runs:
+
+========  ==================  ===========================================
+RPR001    two-clock purity    wall-clock reads only in the wall-clock
+                              modules (metrics/trace/parallel/benchmarks)
+RPR002    determinism         no module-global RNG state, no env reads
+                              outside entry points, no set-order float
+                              accumulation in accounting paths
+RPR003    charge accounting   PE-data movement in ops/machines must call
+                              the Metrics/plan charge API
+RPR004    bounded caches      module-level memos are size-capped and
+                              clearable (test isolation)
+RPR005    fork-safety         process-pool workers are picklable, pure
+                              functions of their item
+========  ==================  ===========================================
+
+Findings are suppressible per line (``# repro: noqa RPR001 -- reason``)
+or per committed-baseline entry; both channels require a reason.  The
+tier-1 gate (``tests/check/test_tree_clean.py``) runs :func:`run_check`
+over ``src/repro`` and fails on any active finding — the same contract as
+``python -m repro.check`` exiting 0.
+"""
+
+from .baseline import BaselineError, load_baseline, write_baseline
+from .engine import CheckReport, check_file, run_check
+from .findings import Finding
+from .policy import DEFAULT_POLICY, CheckPolicy
+from .rules import RULES, FileContext, Rule, register
+
+__all__ = [
+    "BaselineError", "CheckPolicy", "CheckReport", "DEFAULT_POLICY",
+    "FileContext", "Finding", "RULES", "Rule", "check_file",
+    "load_baseline", "register", "run_check", "write_baseline",
+]

@@ -1,0 +1,133 @@
+"""``python -m repro.check`` — run the static invariant checker.
+
+Exit-code contract (shared with ``python -m repro.verify`` and consumed
+by the tier-1 gate and CI):
+
+* ``0`` — clean: no active finding (suppressed/baselined ones may exist),
+* ``1`` — findings: at least one active violation (or a stale baseline
+  entry under ``--strict-baseline``),
+* ``2`` — usage or input error (bad path, malformed baseline, bad flag).
+
+Examples::
+
+    python -m repro.check                      # check src/repro (text)
+    python -m repro.check --json               # machine-readable report
+    python -m repro.check --baseline tests/check/baseline.json
+    python -m repro.check --select RPR001,RPR004 src/repro/ops
+    python -m repro.check --write-baseline new-baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import BaselineError, load_baseline, write_baseline
+from .engine import run_check
+from .rules import RULES
+
+#: Default tree to check: the installed package source.
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default committed baseline, used when it exists and no flag overrides.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "tests" / "check" \
+    / "baseline.json"
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="AST-based invariant linter: two-clock purity, "
+                    "determinism, charge accounting, bounded caches, "
+                    "fork-safety.",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help=f"files or trees to check (default: {DEFAULT_ROOT})")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the full report as JSON on stdout")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="baseline of grandfathered findings (default: "
+                        "tests/check/baseline.json when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the default baseline file")
+    p.add_argument("--write-baseline", metavar="FILE", default=None,
+                   help="write the active findings as a new baseline and "
+                        "exit 0")
+    p.add_argument("--select", metavar="RPRxxx[,RPRyyy...]", default=None,
+                   help="run only these (comma-separated) rules")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="also list suppressed/baselined findings")
+    p.add_argument("--strict-baseline", action="store_true",
+                   help="fail (exit 1) on stale baseline entries")
+    p.add_argument("--list-rules", action="store_true",
+                   help="describe the registered rules and exit")
+    return p
+
+
+def _resolve_baseline(args) -> dict[str, str] | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return load_baseline(args.baseline)
+    if DEFAULT_BASELINE.is_file():
+        return load_baseline(DEFAULT_BASELINE)
+    return None
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rid, rule in sorted(RULES.items()):
+            print(f"{rid} {rule.name}: {rule.summary}")
+        return 0
+    try:
+        baseline = _resolve_baseline(args)
+    except (BaselineError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    roots = [Path(p) for p in args.paths] or [DEFAULT_ROOT]
+    missing = [str(r) for r in roots if not r.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    select = args.select.split(",") if args.select else None
+    unknown = sorted(set(select or ()) - set(RULES))
+    if unknown:
+        print(f"error: unknown rule(s): {', '.join(unknown)} "
+              f"(see --list-rules)", file=sys.stderr)
+        return 2
+
+    findings = []
+    reports = []
+    for root in roots:
+        rep = run_check(root, baseline=baseline, select=select)
+        reports.append(rep)
+        findings.extend(rep.active)
+
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, findings)
+        print(f"baseline written: {args.write_baseline} ({n} entries)")
+        return 0
+
+    stale = [fp for rep in reports for fp in rep.stale_baseline]
+    if args.as_json:
+        if len(reports) == 1:
+            doc = reports[0].to_dict()
+        else:
+            doc = {"version": 1, "ok": all(r.ok for r in reports),
+                   "reports": [r.to_dict() for r in reports]}
+        print(json.dumps(doc, indent=2))
+    else:
+        for rep in reports:
+            print(rep.render(show_suppressed=args.show_suppressed))
+    if any(not rep.ok for rep in reports):
+        return 1
+    if stale and args.strict_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Baseline files: grandfathered findings with mandatory reasons.
+
+A baseline is a committed JSON document listing findings that are known,
+explained, and temporarily tolerated — the escape hatch that lets the
+tier-1 gate turn on *today* while real fixes land incrementally.  Every
+entry carries a fingerprint (line-number independent, see
+:meth:`repro.check.findings.Finding.fingerprint`) and a non-empty reason;
+an entry without a reason invalidates the whole file (exit 2), because an
+unexplained exemption is indistinguishable from a blind spot.
+
+Stale entries (fingerprints matching nothing) are reported so baselines
+shrink monotonically instead of accreting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding, assign_fingerprints
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline document (bad schema or missing reasons)."""
+
+
+def load_baseline(path) -> dict[str, str]:
+    """Read ``{fingerprint: reason}`` from a baseline file."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"{path}: not a version-{BASELINE_VERSION} "
+                            f"baseline document")
+    entries = doc.get("entries", [])
+    out: dict[str, str] = {}
+    for e in entries:
+        fp = e.get("fingerprint")
+        reason = (e.get("reason") or "").strip()
+        if not fp or not reason:
+            raise BaselineError(f"{path}: baseline entry {fp!r} needs a "
+                                f"non-empty reason")
+        out[fp] = reason
+    return out
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: dict[str, str]) -> tuple[list[Finding], list[str]]:
+    """Mark baselined findings suppressed; return (findings, stale keys)."""
+    matched: set[str] = set()
+    out: list[Finding] = []
+    for f, fp in assign_fingerprints(findings):
+        if f.active and fp in baseline:
+            matched.add(fp)
+            f = Finding(path=f.path, line=f.line, col=f.col, rule=f.rule,
+                        message=f.message, source=f.source,
+                        suppressed_by="baseline",
+                        suppress_reason=baseline[fp])
+        out.append(f)
+    stale = sorted(set(baseline) - matched)
+    return out, stale
+
+
+def write_baseline(path, findings: list[Finding],
+                   reason: str = "grandfathered by --write-baseline") -> int:
+    """Serialize the active findings as a fresh baseline; returns count."""
+    entries = [
+        {"fingerprint": fp, "rule": f.rule, "path": f.path, "reason": reason}
+        for f, fp in assign_fingerprints(findings) if f.active
+    ]
+    doc = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return len(entries)

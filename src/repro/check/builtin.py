@@ -1,0 +1,12 @@
+"""Import-time registration of the built-in RPR rules.
+
+Importing this module populates :data:`repro.check.rules.RULES`.  A new
+rule is one module following the ``rules_*.py`` pattern plus one import
+line here — see ``docs/static_analysis.md`` for the authoring guide.
+"""
+
+from . import rules_clock    # noqa: F401  RPR001 two-clock purity
+from . import rules_rng      # noqa: F401  RPR002 determinism
+from . import rules_charge   # noqa: F401  RPR003 charge accounting
+from . import rules_caches   # noqa: F401  RPR004 bounded caches
+from . import rules_fork     # noqa: F401  RPR005 fork-safety

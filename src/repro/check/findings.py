@@ -1,0 +1,78 @@
+"""The finding data model and its text/JSON renderings.
+
+A :class:`Finding` is one rule violation anchored to a file position.  Its
+:meth:`Finding.fingerprint` deliberately excludes the line *number* (it
+hashes the rule, the path and the stripped source line text plus an
+occurrence index instead), so baselines survive unrelated edits that only
+shift code up or down a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``.
+
+    ``suppressed_by`` records why a finding does not count against the
+    exit code: ``"noqa"`` (an inline ``# repro: noqa`` with a reason) or
+    ``"baseline"`` (a grandfathered entry in the baseline file).  The
+    finding is still carried in reports so suppressions stay visible.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    source: str = field(default="", compare=False)
+    suppressed_by: str | None = field(default=None, compare=False)
+    suppress_reason: str | None = field(default=None, compare=False)
+
+    @property
+    def active(self) -> bool:
+        """Whether the finding counts against the exit code."""
+        return self.suppressed_by is None
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Line-number-independent identity used by baseline files."""
+        return f"{self.rule}:{self.path}:{self.source.strip()}:{occurrence}"
+
+    def render(self) -> str:
+        tail = ""
+        if self.suppressed_by:
+            reason = f": {self.suppress_reason}" if self.suppress_reason else ""
+            tail = f"  [suppressed by {self.suppressed_by}{reason}]"
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{tail}")
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "source": self.source,
+            "suppressed_by": self.suppressed_by,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+def assign_fingerprints(findings) -> list[tuple["Finding", str]]:
+    """Pair each finding with its occurrence-disambiguated fingerprint.
+
+    Two findings of the same rule on byte-identical source lines in one
+    file get occurrence indices 0, 1, ... in position order, so baseline
+    entries stay unambiguous.
+    """
+    seen: dict[str, int] = {}
+    out: list[tuple[Finding, str]] = []
+    for f in sorted(findings):
+        base = f"{f.rule}:{f.path}:{f.source.strip()}"
+        occ = seen.get(base, 0)
+        seen[base] = occ + 1
+        out.append((f, f.fingerprint(occ)))
+    return out

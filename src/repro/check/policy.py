@@ -1,0 +1,113 @@
+"""Path policy: which invariants bind where in the tree.
+
+Every rule scopes itself through a :class:`CheckPolicy` instead of
+hard-coding paths, so the fixture tests (and any future monorepo layout)
+can run the same rules against a different root.  Paths are POSIX-style
+and relative to the checked root (``src/repro`` in the tier-1 gate); an
+entry ending in ``/`` matches the whole subtree.
+
+The allowlists are the *reasons* half of each rule: a module listed here
+is exempt by design, with the rationale recorded next to it, which is the
+difference between an allowlist and a blind spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _match(rel: str, patterns: tuple[str, ...]) -> bool:
+    for pat in patterns:
+        if pat.endswith("/"):
+            if rel.startswith(pat) or f"/{pat}" in f"/{rel}":
+                return True
+        elif rel == pat or rel.endswith(f"/{pat}"):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """Scopes and exemptions for the built-in RPR rules."""
+
+    #: RPR001 — modules allowed to touch the host wall clock, and why:
+    #:   machines/metrics.py   wall_time / wall_phases accounting itself
+    #:   trace/tracer.py       span wall-clock capture (the other clock)
+    #:   trace/provenance.py   run manifests timestamp by design
+    #:   parallel.py           the process-pool engine (host execution)
+    wallclock_modules: tuple[str, ...] = (
+        "machines/metrics.py",
+        "trace/tracer.py",
+        "trace/provenance.py",
+        "parallel.py",
+        "benchmarks/",
+    )
+
+    #: RPR002 — modules allowed to read ``os.environ``: CLI entry points
+    #: and the benchmark harness (configuration enters a run exactly once,
+    #: at the edge, never inside an algorithm).
+    entrypoint_modules: tuple[str, ...] = (
+        "__main__.py",
+        "benchmarks/",
+    )
+
+    #: RPR002 — subtrees whose float accumulation must never be fed by
+    #: set iteration (simulated charges are order-sensitive float sums).
+    accounting_paths: tuple[str, ...] = (
+        "machines/",
+        "ops/",
+        "core/",
+    )
+
+    #: RPR003 — subtrees where PE-data movement must charge simulated
+    #: time.  metrics.py/topology.py/indexing.py are the charge API and
+    #: pure index math; routing modules estimate round counts without
+    #: holding PE data, so they are out of scope by design.
+    charge_scope: tuple[str, ...] = (
+        "ops/",
+        "machines/machine.py",
+        "machines/micro.py",
+        "machines/micro_cube.py",
+    )
+
+    #: RPR003 — callable names that count as "going through the charge
+    #: API".  Attribute or bare calls to any of these satisfy the rule.
+    charge_calls: tuple[str, ...] = (
+        "charge_local", "charge_comm", "charge_comm_total",
+        "local", "exchange", "exchange_sweep", "doubling_sweep",
+        "monotone_route", "long_shift", "execute_plan",
+    )
+
+    #: RPR005 — the parallel-engine module itself (its internal
+    #: ``pool.submit`` plumbing is the implementation, not a client).
+    parallel_engine_modules: tuple[str, ...] = (
+        "parallel.py",
+    )
+
+    #: Names whose call submits work to a process pool (clients of the
+    #: campaign engine) — the sites RPR005 audits.
+    parallel_submit_calls: tuple[str, ...] = (
+        "parallel_map",
+        "submit",
+    )
+
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def is_wallclock_module(self, rel: str) -> bool:
+        return _match(rel, self.wallclock_modules)
+
+    def is_entrypoint(self, rel: str) -> bool:
+        return _match(rel, self.entrypoint_modules)
+
+    def in_accounting_path(self, rel: str) -> bool:
+        return _match(rel, self.accounting_paths)
+
+    def in_charge_scope(self, rel: str) -> bool:
+        return _match(rel, self.charge_scope)
+
+    def is_parallel_engine(self, rel: str) -> bool:
+        return _match(rel, self.parallel_engine_modules)
+
+
+DEFAULT_POLICY = CheckPolicy()

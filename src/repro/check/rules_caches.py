@@ -1,0 +1,140 @@
+"""RPR004 — bounded, clearable caches.
+
+Cross-instance memos (`_CHARGE_CACHE`, `_PLAN_CACHE`, ...) are process
+globals by design; the price of that design is two obligations, enforced
+here for every module-level dict that functions mutate at runtime:
+
+* **bounded** — the module must guard insertions with a ``len(...)``
+  comparison against a cap (the drop-everything-on-overflow idiom of
+  ``machines/machine.py``), so adversarial sweeps cannot grow a memo
+  without limit;
+* **clearable** — some function in the module must call ``.clear()`` on
+  it, reachable from :func:`repro.machines.clear_caches`, so the test
+  suite can isolate tests (``tests/conftest.py``) and a stale entry
+  fails the test that created it.
+
+Unbounded ``functools.lru_cache(maxsize=None)`` / ``functools.cache``
+decorators are flagged unconditionally.  Import-time registries that
+never grow per-call are not caches — suppress them with a reasoned
+``# repro: noqa RPR004`` on the definition line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+_DICT_FACTORIES = ("dict", "collections.defaultdict", "defaultdict",
+                   "collections.OrderedDict", "OrderedDict")
+_MUTATORS = ("setdefault", "update", "__setitem__")
+
+
+@register
+class BoundedCaches(Rule):
+    id = "RPR004"
+    name = "bounded-caches"
+    summary = ("module-level dict mutated at runtime without a size cap "
+               "or without a .clear() path; unbounded lru_cache")
+    rationale = ("process-wide memos must be bounded (adversarial sweeps) "
+                 "and clearable (test isolation via "
+                 "repro.machines.clear_caches)")
+
+    def check(self, ctx: FileContext) -> None:
+        self._check_lru(ctx)
+        for name, node in _module_dicts(ctx):
+            if not _mutated_in_function(ctx, name):
+                continue
+            problems = []
+            if not _has_cap_guard(ctx, name):
+                problems.append("no len() cap guard bounds it")
+            if not _has_clear_call(ctx, name):
+                problems.append("no function clears it")
+            if problems:
+                ctx.report(node, f"module-level dict {name} is mutated at "
+                                 f"runtime but {' and '.join(problems)}")
+
+    def _check_lru(self, ctx: FileContext) -> None:
+        for fn in ctx.functions():
+            for dec in fn.decorator_list:
+                if ctx.dotted(dec) == "functools.cache":
+                    ctx.report(dec, "unbounded functools.cache; use a "
+                                    "bounded lru_cache with a clear path")
+                elif isinstance(dec, ast.Call) and \
+                        ctx.dotted(dec.func) == "functools.lru_cache" and \
+                        _lru_maxsize_none(dec):
+                    ctx.report(dec, "lru_cache(maxsize=None) is unbounded; "
+                                    "give it a size and a clear path")
+
+
+def _lru_maxsize_none(dec: ast.Call) -> bool:
+    if dec.args and isinstance(dec.args[0], ast.Constant):
+        return dec.args[0].value is None
+    return any(kw.arg == "maxsize" and isinstance(kw.value, ast.Constant)
+               and kw.value.value is None for kw in dec.keywords)
+
+
+def _module_dicts(ctx: FileContext):
+    """Yield ``(name, node)`` for module-level dict-valued assignments."""
+    for node in ctx.tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and node.value is not None:
+            target, value = node.target.id, node.value
+        if target is None:
+            continue
+        if isinstance(value, ast.Dict):
+            yield target, node
+        elif isinstance(value, ast.Call) and \
+                ctx.dotted(value.func) in _DICT_FACTORIES:
+            yield target, node
+
+
+def _mutated_in_function(ctx: FileContext, name: str) -> bool:
+    for node in ast.walk(ctx.tree):
+        if ctx.enclosing_function(node) is None:
+            continue
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Subscript) and \
+                        isinstance(t.value, ast.Name) and t.value.id == name:
+                    return True
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == name and \
+                node.func.attr in _MUTATORS:
+            return True
+    return False
+
+
+def _has_cap_guard(ctx: FileContext, name: str) -> bool:
+    """A ``len(NAME) <op> <cap>`` comparison anywhere in the module."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        for expr in [node.left, *node.comparators]:
+            if isinstance(expr, ast.Call) and \
+                    isinstance(expr.func, ast.Name) and \
+                    expr.func.id == "len" and expr.args and \
+                    isinstance(expr.args[0], ast.Name) and \
+                    expr.args[0].id == name:
+                return True
+    return False
+
+
+def _has_clear_call(ctx: FileContext, name: str) -> bool:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "clear" and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == name:
+            return True
+    return False

@@ -1,0 +1,82 @@
+"""RPR003 — charge accounting.
+
+In the data-movement layers (``ops/``, the machine simulators) every
+permutation of PE data must be paid for: a function that gathers or
+swaps array slots (``arr[dst] = arr[src]``, ``out[1:, :] = g[:-1, :]``)
+without calling into the charge API is moving data the cost model never
+sees — exactly the bug class that de-syncs outputs from the paper's
+Theta-bounds while every differential test still passes on *values*.
+
+The rule flags **movement writes** — assignments whose target is a
+subscript and whose right-hand side reads a subscript — inside functions
+of the charge scope that never call a charge API
+(:attr:`repro.check.policy.CheckPolicy.charge_calls`).  Pure index math
+on non-PE data belongs outside the charge scope (see the policy), or
+under a reasoned ``# repro: noqa RPR003``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+
+@register
+class ChargeAccounting(Rule):
+    id = "RPR003"
+    name = "charge-accounting"
+    summary = ("PE-data movement (subscript-to-subscript writes) in a "
+               "function that never calls the Metrics/plan charge API")
+    rationale = ("uncharged data movement silently decouples simulated "
+                 "time from the paper's cost model while value-based "
+                 "tests stay green (docs/cost_model.md)")
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.policy.in_charge_scope(ctx.rel):
+            return
+        charge_names = set(ctx.policy.charge_calls)
+        charging = {id(fn) for fn in ctx.functions()
+                    if _calls_charge_api(fn, charge_names)}
+
+        def covered(fn) -> bool:
+            # A nested helper is covered when any enclosing def charges.
+            cur = fn
+            while cur is not None:
+                if id(cur) in charging:
+                    return True
+                cur = ctx.enclosing_function(cur)
+            return False
+
+        for fn in ctx.functions():
+            if covered(fn):
+                continue
+            for node in ast.iter_child_nodes(fn):
+                for stmt in ast.walk(node):
+                    if _movement_write(stmt) and \
+                            ctx.enclosing_function(stmt) is fn:
+                        ctx.report(stmt, f"data movement in {fn.name}() "
+                                         f"without a charge-API call "
+                                         f"(charge_*, exchange*, *_sweep, "
+                                         f"execute_plan)")
+
+
+def _calls_charge_api(fn: ast.AST, charge_names: set[str]) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name in charge_names:
+                return True
+    return False
+
+
+def _movement_write(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.Assign, ast.AugAssign)):
+        return False
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    if not any(isinstance(t, ast.Subscript) for t in targets):
+        return False
+    return any(isinstance(sub, ast.Subscript)
+               for sub in ast.walk(node.value))

@@ -1,0 +1,83 @@
+"""RPR001 — two-clock purity.
+
+Simulated parallel time is a pure function of the operation sequence; the
+host wall clock may only be read by the modules whose *job* is wall-clock
+(``machines/metrics.py`` wall accounting, ``trace/tracer.py`` spans,
+``trace/provenance.py`` manifests, ``parallel.py``, ``benchmarks/``).  A
+stray ``perf_counter()`` anywhere else is how wall time leaks into
+simulated accounting and silently corrupts the Theta-conformance goldens.
+
+Flags calls resolving to a banned clock name, and ``from``-imports of
+banned names (the contraband entering the module).  Suppressing the
+import line with a reasoned ``# repro: noqa RPR001`` also covers calls of
+that imported name.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+#: Canonical dotted names that read the host clock.
+BANNED_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: ``from``-import suffixes that resolve to a banned clock, e.g.
+#: ``from time import perf_counter`` or ``from datetime import datetime``.
+_BANNED_FROM = {tuple(name.rsplit(".", 1)) for name in BANNED_CLOCKS}
+_BANNED_TYPES = {"datetime", "date"}  # the types carry .now()/.today()
+
+
+@register
+class TwoClockPurity(Rule):
+    id = "RPR001"
+    name = "two-clock-purity"
+    summary = ("wall-clock reads (time.*, datetime.now, perf_counter) "
+               "outside the allowlisted wall-clock modules")
+    rationale = ("simulated time must be a pure function of the operation "
+                 "sequence; wall-clock belongs only to the metrics/trace/"
+                 "parallel layers (docs/cost_model.md, two-clock contract)")
+
+    def check(self, ctx: FileContext) -> None:
+        if ctx.policy.is_wallclock_module(ctx.rel):
+            return
+        imported_clocks = self._flag_imports(ctx)
+        for node, name in ctx.calls():
+            if name in BANNED_CLOCKS:
+                # Calls through a from-imported name are covered by the
+                # finding (and any suppression) on the import line itself.
+                if _root_name(node.func) in imported_clocks:
+                    continue
+                ctx.report(node, f"wall-clock read {name}() outside the "
+                                 f"wall-clock allowlist")
+
+    def _flag_imports(self, ctx: FileContext) -> set[str]:
+        """Flag banned from-imports; return the local names they bind."""
+        bound: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            for alias in node.names:
+                full = (node.module, alias.name)
+                banned_type = (node.module == "datetime"
+                               and alias.name in _BANNED_TYPES)
+                if full in _BANNED_FROM or banned_type:
+                    bound.add(alias.asname or alias.name)
+                    ctx.report(node, f"import of wall-clock name "
+                                     f"{node.module}.{alias.name} outside "
+                                     f"the wall-clock allowlist")
+        return bound
+
+
+def _root_name(node: ast.AST) -> str | None:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None

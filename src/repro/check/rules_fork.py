@@ -1,0 +1,81 @@
+"""RPR005 — fork-safety of campaign workers.
+
+Everything submitted through :mod:`repro.parallel` (or directly to a
+process pool) crosses a pickle boundary and runs in a worker that shares
+nothing with the parent.  Two statically visible ways to break the
+determinism/mergability contract:
+
+* **closures** — a ``lambda`` or nested def passed as the worker either
+  fails to pickle (loudly, at best) or drags captured state across the
+  fork; workers must be module-level functions of their explicit item.
+* **module-global mutation** — a worker that writes module globals
+  (``global`` statement) produces side effects that exist only in the
+  worker process under ``--jobs N`` but leak into shared state under
+  ``--jobs 1``, so results depend on the jobs value.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+
+@register
+class ForkSafety(Rule):
+    id = "RPR005"
+    name = "fork-safety"
+    summary = ("lambda/nested-function workers, or workers mutating "
+               "module globals, submitted to the process-pool engine")
+    rationale = ("workers cross a pickle boundary; results must be a pure "
+                 "function of the submitted item for every --jobs value "
+                 "(docs/verification.md)")
+
+    def check(self, ctx: FileContext) -> None:
+        if ctx.policy.is_parallel_engine(ctx.rel):
+            return
+        module_fns = {fn.name: fn for fn in ctx.tree.body
+                      if isinstance(fn, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+        for node, name in ctx.calls():
+            short = name.split(".")[-1]
+            if short not in ctx.policy.parallel_submit_calls:
+                continue
+            if not node.args:
+                continue
+            worker = node.args[0]
+            if isinstance(worker, ast.Lambda):
+                ctx.report(worker, f"lambda submitted to {short}(); workers "
+                                   f"must be module-level (picklable) "
+                                   f"functions")
+            elif isinstance(worker, ast.Name):
+                fn = module_fns.get(worker.id)
+                if fn is None and ctx.enclosing_function(node) is not None:
+                    fn = _nested_def(ctx, node, worker.id)
+                    if fn is not None:
+                        ctx.report(worker, f"nested function "
+                                           f"{worker.id}() submitted to "
+                                           f"{short}(); closures do not "
+                                           f"pickle — hoist it to module "
+                                           f"level")
+                        continue
+                if fn is not None and _mutates_globals(fn):
+                    ctx.report(worker, f"worker {worker.id}() mutates "
+                                       f"module globals; workers must be "
+                                       f"pure functions of their item")
+
+
+def _nested_def(ctx: FileContext, call: ast.AST, name: str):
+    """The def named ``name`` nested in a function enclosing ``call``."""
+    scope = ctx.enclosing_function(call)
+    while scope is not None:
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == name and node is not scope:
+                return node
+        scope = ctx.enclosing_function(scope)
+    return None
+
+
+def _mutates_globals(fn: ast.AST) -> bool:
+    return any(isinstance(node, ast.Global) for node in ast.walk(fn))

@@ -1,0 +1,59 @@
+"""Inline suppression comments: ``# repro: noqa RPRxxx -- reason``.
+
+A suppression names the rule(s) it silences and *must* carry a reason
+after ``--`` — an unexplained suppression is itself a finding (RPR000),
+and the attempted suppression does not apply.  Examples::
+
+    t0 = perf_counter()  # repro: noqa RPR001 -- compile-time is wall-side
+    CACHE = {}  # repro: noqa RPR004 -- import-time registry, not a cache
+
+Suppressing the ``from``-import of a banned wall-clock name also covers
+the calls of that name in the same module (the contraband entered with a
+declared reason); everything else is strictly per-line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Rule id of the checker's own meta-finding for malformed suppressions.
+MALFORMED_RULE = "RPR000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?P<rules>[^#]*?)(?:--(?P<reason>.*))?$"
+)
+_RULE_ID_RE = re.compile(r"RPR\d{3}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+
+    def covers(self, rule: str) -> bool:
+        return not self.rules or rule in self.rules
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason and self.reason.strip())
+
+
+def parse_suppressions(source_lines: list[str]) -> dict[int, Suppression]:
+    """Map 1-based line numbers to the suppression declared on that line."""
+    out: dict[int, Suppression] = {}
+    for i, text in enumerate(source_lines, start=1):
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        rules = tuple(_RULE_ID_RE.findall(m.group("rules") or ""))
+        reason = m.group("reason")
+        out[i] = Suppression(
+            line=i,
+            rules=rules,
+            reason=reason.strip() if reason else None,
+        )
+    return out

@@ -15,6 +15,7 @@ import math
 from typing import Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import MachineConfigurationError
 
@@ -42,12 +43,13 @@ class IndexScheme:
     """
 
     def __init__(self, name: str, side: int,
-                 coords: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]):
+                 coords: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+                 ) -> None:
         self.name = name
         self.side = side
         self._coords = coords
 
-    def coords(self, rank) -> tuple[np.ndarray, np.ndarray]:
+    def coords(self, rank: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
         rank = np.asarray(rank, dtype=np.int64)
         return self._coords(rank)
 
@@ -77,7 +79,7 @@ def row_major(n: int) -> IndexScheme:
     """Figure 2a: rank = row * side + col."""
     side = _check_mesh_size(n)
 
-    def coords(rank):
+    def coords(rank: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return rank // side, rank % side
 
     return IndexScheme("row-major", side, coords)
@@ -87,7 +89,7 @@ def snake_like(n: int) -> IndexScheme:
     """Figure 2c: row-major with odd rows reversed."""
     side = _check_mesh_size(n)
 
-    def coords(rank):
+    def coords(rank: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         r = rank // side
         c = rank % side
         c = np.where(r % 2 == 1, side - 1 - c, c)
@@ -116,7 +118,7 @@ def shuffled_row_major(n: int) -> IndexScheme:
     side = _check_mesh_size(n)
     bits = side.bit_length() - 1
 
-    def coords(rank):
+    def coords(rank: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         col, row = _deinterleave(rank, bits)
         return row, col
 
@@ -131,7 +133,7 @@ def proximity(n: int) -> IndexScheme:
     """
     side = _check_mesh_size(n)
 
-    def coords(rank):
+    def coords(rank: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         rank = rank.copy()
         x = np.zeros_like(rank)
         y = np.zeros_like(rank)
@@ -167,7 +169,7 @@ SCHEMES: dict[str, Callable[[int], IndexScheme]] = {
 # ----------------------------------------------------------------------
 # Gray codes (Section 2.3)
 # ----------------------------------------------------------------------
-def gray_code(j):
+def gray_code(j: ArrayLike) -> np.ndarray:
     """Binary reflected Gray code ``G(j) = j XOR (j >> 1)``.
 
     Consecutive integers map to node labels differing in one bit, so
@@ -178,7 +180,7 @@ def gray_code(j):
     return j ^ (j >> 1)
 
 
-def gray_code_inverse(g):
+def gray_code_inverse(g: ArrayLike) -> np.ndarray:
     """Inverse of :func:`gray_code` (prefix-XOR of the bits)."""
     g = np.asarray(g).copy()
     shift = 1
@@ -190,7 +192,7 @@ def gray_code_inverse(g):
     return out
 
 
-def gray_rank_to_node(rank):
+def gray_rank_to_node(rank: ArrayLike) -> np.ndarray:
     """Alias making call sites read naturally: rank -> physical node id."""
     return gray_code(rank)
 

@@ -19,6 +19,9 @@ The asymptotics of every Table 1 operation emerge from these four charges.
 
 from __future__ import annotations
 
+from contextlib import AbstractContextManager
+from typing import TypeVar
+
 from ..trace.registry import register_gauge
 from .metrics import Metrics
 from .topology import (
@@ -58,7 +61,10 @@ register_gauge("charge_cache.size", lambda: len(_CHARGE_CACHE))
 register_gauge("charge_cache.doubling_bits", lambda: len(_DOUBLING_BITS))
 
 
-def _charge_cache_put(key, value):
+_T = TypeVar("_T")
+
+
+def _charge_cache_put(key: tuple, value: _T) -> _T:
     if len(_CHARGE_CACHE) >= _CHARGE_CACHE_CAP:
         _CHARGE_CACHE.clear()
     _CHARGE_CACHE[key] = value
@@ -82,7 +88,7 @@ class Machine:
     an asymptotic improvement.
     """
 
-    def __init__(self, topology: Topology, *, randomized: bool = False):
+    def __init__(self, topology: Topology, *, randomized: bool = False) -> None:
         self.topology = topology
         self.metrics = Metrics()
         self.randomized = randomized
@@ -103,7 +109,7 @@ class Machine:
     def name(self) -> str:
         return self.topology.name
 
-    def phase(self, label: str):
+    def phase(self, label: str) -> AbstractContextManager[Metrics]:
         """Context manager attributing charges to ``label``."""
         return self.metrics.phase(label)
 

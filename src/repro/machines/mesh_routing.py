@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import MachineConfigurationError, OperationContractError
 from .routing import RoutingResult
@@ -37,7 +38,9 @@ def mesh_transpose_permutation(n: int) -> np.ndarray:
     return c * side + r
 
 
-def _xy_phase(cur_r, cur_c, dst_r, dst_c, order, side, max_rounds):
+def _xy_phase(cur_r: np.ndarray, cur_c: np.ndarray, dst_r: np.ndarray,
+              dst_c: np.ndarray, order: np.ndarray, side: int,
+              max_rounds: int) -> tuple[int, int, int]:
     """Route all packets with XY (row-first) forwarding; FIFO arbitration."""
     n = len(cur_r)
     cur_r = cur_r.copy()
@@ -76,7 +79,8 @@ def _xy_phase(cur_r, cur_c, dst_r, dst_c, order, side, max_rounds):
         )
 
 
-def mesh_route_packets(destinations, *, strategy: str = "xy", seed=0,
+def mesh_route_packets(destinations: ArrayLike, *, strategy: str = "xy",
+                       seed: int = 0,
                        max_rounds: int | None = None) -> RoutingResult:
     """Route packet ``i`` (at PE ``i`` in row-major grid order) to
     ``destinations[i]`` on the smallest square mesh holding them.

@@ -26,9 +26,18 @@ from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Any, Iterator, Protocol
 
 __all__ = ["Metrics", "global_wall_phases", "reset_global_wall_phases",
            "set_trace_hook"]
+
+class PhaseHook(Protocol):
+    """Structural type of the span-trace hook (``repro.trace.tracer``)."""
+
+    def begin_phase(self, label: str, metrics: Metrics) -> object: ...
+
+    def end_phase(self, token: object) -> None: ...
+
 
 #: The installed span-trace hook (``repro.trace.tracer.Tracer`` — or any
 #: object with ``begin_phase(label, metrics) -> token`` and
@@ -37,10 +46,10 @@ __all__ = ["Metrics", "global_wall_phases", "reset_global_wall_phases",
 #: hook *observes* the accumulator (reading charge deltas at entry/exit);
 #: it must never mutate it — the sim-parity contract tested by
 #: ``tests/trace/test_overhead_smoke.py``.
-_TRACE_HOOK = None
+_TRACE_HOOK: PhaseHook | None = None
 
 
-def set_trace_hook(hook) -> None:
+def set_trace_hook(hook: PhaseHook | None) -> None:
     """Install (or with ``None`` remove) the process-wide phase-span hook.
 
     Called by :func:`repro.trace.tracer.install`; the dependency points
@@ -54,7 +63,7 @@ def set_trace_hook(hook) -> None:
 #: metrics into a parent does not re-count), so this is the true host cost
 #: of each phase across an entire run — the number the benchmark harness
 #: prints under --verbose.
-_GLOBAL_WALL_PHASES: dict = defaultdict(float)
+_GLOBAL_WALL_PHASES: defaultdict[str, float] = defaultdict(float)  # repro: noqa RPR004 -- keyed by phase labels (small fixed vocabulary), wall-side only; cleared by reset_global_wall_phases()
 
 
 def global_wall_phases() -> dict:
@@ -79,9 +88,10 @@ class Metrics:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_compile_seconds: float = 0.0
-    phases: dict = field(default_factory=lambda: defaultdict(float))
-    wall_phases: dict = field(default_factory=lambda: defaultdict(float))
-    _phase_stack: list = field(default_factory=list)
+    phases: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    wall_phases: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    _phase_stack: list[list[Any]] = field(default_factory=list)
 
     def charge_local(self, count: int = 1) -> None:
         """Charge ``count`` lockstep local-computation rounds."""
@@ -124,7 +134,7 @@ class Metrics:
             self.plan_compile_seconds += compile_seconds
 
     @contextmanager
-    def phase(self, label: str):
+    def phase(self, label: str) -> Iterator[Metrics]:
         """Attribute costs charged inside the block to ``label``.
 
         Simulated charges go to ``phases[label]``; real elapsed host time

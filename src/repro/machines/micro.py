@@ -24,9 +24,14 @@ import math
 from typing import Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import MachineConfigurationError, OperationContractError
 from .metrics import Metrics
+
+#: Elementwise combiner applied by the reduction/prefix programs.
+#: ``np.ufunc`` objects (``np.minimum``, ``np.add``, ...) satisfy it.
+BinaryOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 __all__ = ["MicroMesh", "broadcast_micro", "reduce_rows", "reduce_all",
            "prefix_rows", "sort_rows_odd_even", "shearsort"]
@@ -37,7 +42,7 @@ _DIRECTIONS = ("north", "south", "east", "west")
 class MicroMesh:
     """A ``side x side`` SIMD mesh with named grid registers."""
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         side = math.isqrt(n_pe)
         if side * side != n_pe or (side & (side - 1)):
             raise MachineConfigurationError(
@@ -49,7 +54,7 @@ class MicroMesh:
         self.metrics = Metrics()
 
     # ------------------------------------------------------------------
-    def load(self, name: str, values) -> None:
+    def load(self, name: str, values: ArrayLike) -> None:
         """Install a register from a flat (row-major) or grid array."""
         arr = np.asarray(values, dtype=float)
         if arr.shape == (self.n_pe,):
@@ -142,7 +147,7 @@ def _shift_by(mesh: MicroMesh, dst: str, src: str, direction: str,
         mesh.shift(dst, dst, direction, fill=fill)
 
 
-def reduce_rows(mesh: MicroMesh, reg: str, op=np.minimum,
+def reduce_rows(mesh: MicroMesh, reg: str, op: BinaryOp = np.minimum,
                 fill: float = np.inf) -> None:
     """Every PE ends with the ``op``-reduction of its whole row.
 
@@ -160,14 +165,16 @@ def reduce_rows(mesh: MicroMesh, reg: str, op=np.minimum,
         _shift_by(mesh, "_rd_e", reg, "east", d, fill)   # from column c + d
         take_west = (cols & d) != 0
 
-        def combine(g, w, e, tw=take_west, op=op):
+        def combine(g: np.ndarray, w: np.ndarray, e: np.ndarray,
+                    tw: np.ndarray = take_west,
+                    op: BinaryOp = op) -> np.ndarray:
             return op(g, np.where(tw, w, e))
 
         mesh.compute(reg, combine, reg, "_rd_w", "_rd_e")
         d <<= 1
 
 
-def reduce_cols(mesh: MicroMesh, reg: str, op=np.minimum,
+def reduce_cols(mesh: MicroMesh, reg: str, op: BinaryOp = np.minimum,
                 fill: float = np.inf) -> None:
     """Column analogue of :func:`reduce_rows`."""
     side = mesh.side
@@ -178,14 +185,16 @@ def reduce_cols(mesh: MicroMesh, reg: str, op=np.minimum,
         _shift_by(mesh, "_cd_s", reg, "south", d, fill)
         take_north = (rows & d) != 0
 
-        def combine(g, u, v, tn=take_north, op=op):
+        def combine(g: np.ndarray, u: np.ndarray, v: np.ndarray,
+                    tn: np.ndarray = take_north,
+                    op: BinaryOp = op) -> np.ndarray:
             return op(g, np.where(tn, u, v))
 
         mesh.compute(reg, combine, reg, "_cd_n", "_cd_s")
         d <<= 1
 
 
-def reduce_all(mesh: MicroMesh, reg: str, op=np.minimum,
+def reduce_all(mesh: MicroMesh, reg: str, op: BinaryOp = np.minimum,
                fill: float = np.inf) -> None:
     """Every PE ends with the global reduction: rows, then columns —
     ``4 (side - 1)`` shift rounds, the textbook semigroup computation."""
@@ -193,7 +202,8 @@ def reduce_all(mesh: MicroMesh, reg: str, op=np.minimum,
     reduce_cols(mesh, reg, op, fill)
 
 
-def prefix_rows(mesh: MicroMesh, reg: str, op=np.add, fill: float = 0.0) -> None:
+def prefix_rows(mesh: MicroMesh, reg: str, op: BinaryOp = np.add,
+                fill: float = 0.0) -> None:
     """Inclusive left-to-right prefix within every row.
 
     Hillis–Steele doubling: combine with the value ``d`` columns to the
@@ -225,7 +235,8 @@ def sort_rows_odd_even(mesh: MicroMesh, reg: str,
         mesh.shift("_oe_r", reg, "east", fill=np.nan)   # value to the right
         mesh.shift("_oe_l", reg, "west", fill=np.nan)   # value to the left
 
-        def step(g, right, left):
+        def step(g: np.ndarray, right: np.ndarray,
+                 left: np.ndarray) -> np.ndarray:
             lo = np.where(desc_col, np.fmax(g, right), np.fmin(g, right))
             hi = np.where(desc_col, np.fmin(g, left), np.fmax(g, left))
             out = np.where(left_mask, lo, g)

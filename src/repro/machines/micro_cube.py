@@ -20,9 +20,13 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import MachineConfigurationError, OperationContractError
 from .metrics import Metrics
+
+#: Elementwise combiner applied by the normal-algorithm programs.
+BinaryOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 __all__ = ["MicroHypercube", "cube_broadcast", "cube_reduce", "cube_prefix",
            "cube_bitonic_sort"]
@@ -31,7 +35,7 @@ __all__ = ["MicroHypercube", "cube_broadcast", "cube_reduce", "cube_prefix",
 class MicroHypercube:
     """A hypercube of ``2^q`` PEs with named per-node registers."""
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         if n_pe < 1 or (n_pe & (n_pe - 1)):
             raise MachineConfigurationError(
                 f"hypercube size {n_pe} must be a power of two"
@@ -41,7 +45,7 @@ class MicroHypercube:
         self.registers: dict[str, np.ndarray] = {}
         self.metrics = Metrics()
 
-    def load(self, name: str, values) -> None:
+    def load(self, name: str, values: ArrayLike) -> None:
         arr = np.asarray(values, dtype=float)
         if arr.shape != (self.n_pe,):
             raise OperationContractError(
@@ -74,7 +78,8 @@ class MicroHypercube:
 # ----------------------------------------------------------------------
 # Normal-algorithm programs
 # ----------------------------------------------------------------------
-def cube_reduce(cube: MicroHypercube, reg: str, op=np.minimum) -> None:
+def cube_reduce(cube: MicroHypercube, reg: str,
+                op: BinaryOp = np.minimum) -> None:
     """All-reduce: after ``q`` exchanges every PE holds the global ``op``."""
     for d in range(cube.dim):
         cube.exchange("_rd", reg, d)
@@ -101,7 +106,7 @@ def cube_broadcast(cube: MicroHypercube, reg: str, source: int) -> None:
         cube.compute("_bc_own", np.maximum, "_bc_own", "_bc_o")
 
 
-def cube_prefix(cube: MicroHypercube, reg: str, op=np.add) -> None:
+def cube_prefix(cube: MicroHypercube, reg: str, op: BinaryOp = np.add) -> None:
     """Inclusive prefix over PE rank order (the classic hypercube scan).
 
     Maintains a running subcube total alongside the prefix: at dimension
@@ -115,7 +120,9 @@ def cube_prefix(cube: MicroHypercube, reg: str, op=np.add) -> None:
         cube.exchange("_sc_in", "_sc_tot", d)
         has_bit = (ranks >> d) & 1 == 1
 
-        def fold(prefix, incoming, hb=has_bit, op=op):
+        def fold(prefix: np.ndarray, incoming: np.ndarray,
+                 hb: np.ndarray = has_bit,
+                 op: BinaryOp = op) -> np.ndarray:
             return np.where(hb, op(prefix, incoming), prefix)
 
         cube.compute(reg, fold, reg, "_sc_in")
@@ -139,7 +146,9 @@ def cube_bitonic_sort(cube: MicroHypercube, reg: str,
             else:
                 up = ((ranks & k) == 0) == ascending
 
-            def ce(g, other, lo=is_lower, up=up):
+            def ce(g: np.ndarray, other: np.ndarray,
+                   lo: np.ndarray = is_lower,
+                   up: np.ndarray = up) -> np.ndarray:
                 keep_min = lo == up  # lower slot of an ascending pair
                 return np.where(keep_min, np.fmin(g, other),
                                 np.fmax(g, other))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import MachineConfigurationError, OperationContractError
 
@@ -106,7 +107,8 @@ def _ecube_phase(cur: np.ndarray, dst: np.ndarray, order: np.ndarray,
         max_queue = max(max_queue, int(np.bincount(cur, minlength=n).max()))
 
 
-def route_packets(destinations, *, strategy: str = "ecube", seed=0,
+def route_packets(destinations: ArrayLike, *, strategy: str = "ecube",
+                  seed: int = 0,
                   max_rounds: int | None = None) -> RoutingResult:
     """Route packet ``i`` (starting at node ``i``) to ``destinations[i]``.
 
@@ -135,7 +137,8 @@ def route_packets(destinations, *, strategy: str = "ecube", seed=0,
     raise OperationContractError(f"unknown strategy {strategy!r}")
 
 
-def randomized_sort_rounds(n: int, *, seed=0, c_local: float = 3.0) -> float:
+def randomized_sort_rounds(n: int, *, seed: int = 0,
+                           c_local: float = 3.0) -> float:
     """Modelled round count of a flashsort-style randomized hypercube sort.
 
     A random permutation is routed in two Valiant phases (splitter-directed

@@ -37,7 +37,7 @@ class Topology:
 
     name: str = "abstract"
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         if n_pe < 1:
             raise MachineConfigurationError("a machine needs at least one PE")
         self.n_pe = n_pe
@@ -88,7 +88,8 @@ class MeshTopology(Topology):
 
     name = "mesh"
 
-    def __init__(self, n_pe: int, scheme: str = "shuffled-row-major"):
+    def __init__(self, n_pe: int,
+                 scheme: str = "shuffled-row-major") -> None:
         super().__init__(n_pe)
         side = math.isqrt(n_pe)
         if side * side != n_pe or (side & (side - 1)):
@@ -149,7 +150,7 @@ class HypercubeTopology(Topology):
 
     name = "hypercube"
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         super().__init__(n_pe)
         if n_pe & (n_pe - 1):
             raise MachineConfigurationError(
@@ -191,7 +192,7 @@ class CCCTopology(Topology):
     #: the cycle (1), traverse the cube edge (1), rotate back into place (1).
     EMULATION_FACTOR = 3.0
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         super().__init__(n_pe)
         if n_pe & (n_pe - 1):
             raise MachineConfigurationError(
@@ -226,7 +227,7 @@ class ShuffleExchangeTopology(Topology):
 
     EMULATION_FACTOR = 2.0
 
-    def __init__(self, n_pe: int):
+    def __init__(self, n_pe: int) -> None:
         super().__init__(n_pe)
         if n_pe & (n_pe - 1):
             raise MachineConfigurationError(
@@ -269,7 +270,7 @@ class SerialTopology(Topology):
 
     name = "serial"
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(1)
 
     def exchange_distance(self, pe_bit: int) -> float:  # pragma: no cover

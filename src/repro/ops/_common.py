@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+from typing import Sequence, Union
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import OperationContractError
+
+#: One key array, or several comparing lexicographically (most significant
+#: first) — the key spec every sort/merge entry point accepts.
+KeySpec = Union[ArrayLike, Sequence[ArrayLike]]
 
 __all__ = ["as_key_list", "lex_gt", "lex_eq", "check_power_of_two",
            "check_segment_size", "next_pow2"]
@@ -33,7 +40,7 @@ def check_segment_size(length: int, segment_size: int | None) -> int:
     return segment_size
 
 
-def as_key_list(keys) -> list[np.ndarray]:
+def as_key_list(keys: KeySpec) -> list[np.ndarray]:
     """Normalise a key spec (one array or a list of arrays) to a list.
 
     Multiple keys compare lexicographically, most significant first.
@@ -54,7 +61,7 @@ def as_key_list(keys) -> list[np.ndarray]:
     return keys
 
 
-def _bool(arr) -> np.ndarray:
+def _bool(arr: ArrayLike) -> np.ndarray:
     return np.asarray(arr, dtype=bool)
 
 

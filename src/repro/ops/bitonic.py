@@ -16,18 +16,21 @@ independently, which is how the paper runs operations "within strings".
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
 from ..trace.tracer import trace_span
 from . import plans as _plans
-from ._common import as_key_list, check_segment_size, lex_gt
+from ._common import KeySpec, as_key_list, check_segment_size, lex_gt
 
 __all__ = ["bitonic_sort", "bitonic_merge", "compare_exchange_round"]
 
 
-def _copy_arrays(arrays) -> list[np.ndarray]:
+def _copy_arrays(arrays: Iterable[ArrayLike]) -> list[np.ndarray]:
     return [np.array(a, copy=True) for a in arrays]
 
 
@@ -64,12 +67,12 @@ def compare_exchange_round(
 
 def bitonic_sort(
     machine: Machine,
-    keys,
-    payloads=(),
+    keys: KeySpec,
+    payloads: Sequence[ArrayLike] = (),
     *,
     ascending: bool = True,
     segment_size: int | None = None,
-):
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Sort ``keys`` (lexicographic across a key list) carrying ``payloads``.
 
     Returns ``(sorted_keys, sorted_payloads)`` as new arrays; inputs are not
@@ -110,7 +113,12 @@ def bitonic_sort(
     return keys, payloads
 
 
-def _randomized_sort(machine: Machine, keys, payloads, ascending: bool):
+def _randomized_sort(
+    machine: Machine,
+    keys: KeySpec,
+    payloads: Sequence[ArrayLike],
+    ascending: bool,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Expected-time sort: identical output, Valiant-routed cost model.
 
     The data is sorted host-side (a stable lexicographic sort), and the
@@ -127,7 +135,7 @@ def _randomized_sort(machine: Machine, keys, payloads, ascending: bool):
     if any(len(p) != length for p in payloads):
         raise OperationContractError("payload arrays must match key length")
     check_segment_size(length, None)
-    def _lexsortable(k):
+    def _lexsortable(k: np.ndarray) -> bool:
         if ascending:
             return np.issubdtype(k.dtype, np.number)
         # Descending negates the keys, so unsigned ints are out.
@@ -158,12 +166,12 @@ def _randomized_sort(machine: Machine, keys, payloads, ascending: bool):
 
 def bitonic_merge(
     machine: Machine,
-    keys,
-    payloads=(),
+    keys: KeySpec,
+    payloads: Sequence[ArrayLike] = (),
     *,
     ascending: bool = True,
     segment_size: int | None = None,
-):
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Merge two sorted halves of each aligned segment into one sorted run.
 
     Inside every ``segment_size`` block, slots ``[0, S/2)`` and ``[S/2, S)``

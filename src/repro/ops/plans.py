@@ -37,11 +37,15 @@ crossing-cache numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter  # repro: noqa RPR001 -- compile-time is host-side bookkeeping (plan_compile_seconds), never a simulated charge
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 import numpy as np
 
 from ..trace.registry import get_counter, register_gauge
+
+if TYPE_CHECKING:
+    from ..machines.machine import Machine
 
 __all__ = [
     "MovementPlan", "PlanRound",
@@ -139,23 +143,27 @@ class MovementPlan:
     """
 
     key: tuple
-    rounds: tuple
-    bits: tuple
+    rounds: tuple[PlanRound, ...]
+    bits: tuple[int, ...]
     pre_permutation: np.ndarray | None = None
     shift_span: int = 0
 
 
-def _index_dtype(length: int):
+_Compiled = TypeVar("_Compiled")
+
+
+def _index_dtype(length: int) -> type[np.signedinteger]:
     return np.int32 if length < (1 << 31) else np.int64
 
 
-def _machine_note(machine, hit: bool, seconds: float) -> None:
+def _machine_note(machine: Machine, hit: bool, seconds: float) -> None:
     note = getattr(machine.metrics, "note_plan", None)
     if note is not None:
         note(hit, seconds)
 
 
-def _lookup(machine, key, compile_fn):
+def _lookup(machine: Machine, key: tuple,
+            compile_fn: Callable[[], _Compiled]) -> _Compiled:
     """Fetch a cached plan, compiling (and counting) on a miss."""
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
@@ -174,7 +182,8 @@ def _lookup(machine, key, compile_fn):
     return plan
 
 
-def _compile_round(idx, j: int, up: np.ndarray, dtype) -> PlanRound:
+def _compile_round(idx: np.ndarray, j: int, up: np.ndarray,
+                   dtype: type[np.signedinteger]) -> PlanRound:
     lower = idx[(idx & j) == 0].astype(dtype, copy=False)
     upper = (lower | j).astype(dtype, copy=False)
     up_low = up[lower]
@@ -183,7 +192,7 @@ def _compile_round(idx, j: int, up: np.ndarray, dtype) -> PlanRound:
     return PlanRound(j.bit_length() - 1, lower, upper, src_lo, src_hi)
 
 
-def get_sort_plan(machine, length: int, segment_size: int,
+def get_sort_plan(machine: Machine, length: int, segment_size: int,
                   ascending: bool) -> MovementPlan:
     """The full bitonic-sort schedule for ``(length, segment, direction)``."""
     key = ("sort", length, segment_size, ascending)
@@ -191,7 +200,8 @@ def get_sort_plan(machine, length: int, segment_size: int,
                    lambda: _compile_sort(key, length, segment_size, ascending))
 
 
-def _compile_sort(key, length: int, seg: int, ascending: bool) -> MovementPlan:
+def _compile_sort(key: tuple, length: int, seg: int,
+                  ascending: bool) -> MovementPlan:
     dtype = _index_dtype(length)
     idx = np.arange(length)
     rounds: list[PlanRound] = []
@@ -212,7 +222,7 @@ def _compile_sort(key, length: int, seg: int, ascending: bool) -> MovementPlan:
     return MovementPlan(key, tuple(rounds), tuple(bits))
 
 
-def get_merge_plan(machine, length: int, segment_size: int,
+def get_merge_plan(machine: Machine, length: int, segment_size: int,
                    ascending: bool) -> MovementPlan:
     """The bitonic-merge schedule: segment-half reversal + one merge stage."""
     key = ("merge", length, segment_size, ascending)
@@ -220,7 +230,8 @@ def get_merge_plan(machine, length: int, segment_size: int,
                    lambda: _compile_merge(key, length, segment_size, ascending))
 
 
-def _compile_merge(key, length: int, seg: int, ascending: bool) -> MovementPlan:
+def _compile_merge(key: tuple, length: int, seg: int,
+                   ascending: bool) -> MovementPlan:
     dtype = _index_dtype(length)
     idx = np.arange(length)
     half = seg // 2
@@ -240,13 +251,14 @@ def _compile_merge(key, length: int, seg: int, ascending: bool) -> MovementPlan:
                         shift_span=half)
 
 
-def get_butterfly_partners(machine, length: int) -> tuple:
+def get_butterfly_partners(machine: Machine,
+                           length: int) -> tuple[np.ndarray, ...]:
     """Partner-index arrays (``i ^ 2^r`` per round) for butterfly reduction."""
     key = ("butterfly", length)
     return _lookup(machine, key, lambda: _compile_butterfly(length))
 
 
-def _compile_butterfly(length: int) -> tuple:
+def _compile_butterfly(length: int) -> tuple[np.ndarray, ...]:
     dtype = _index_dtype(length)
     idx = np.arange(length)
     partners = []
@@ -257,7 +269,13 @@ def _compile_butterfly(length: int) -> tuple:
     return tuple(partners)
 
 
-def execute_plan(machine, plan: MovementPlan, keys, payloads, lex_gt) -> None:
+def execute_plan(
+    machine: Machine,
+    plan: MovementPlan,
+    keys: list[np.ndarray],
+    payloads: list[np.ndarray],
+    lex_gt: Callable[[list[np.ndarray], list[np.ndarray]], np.ndarray],
+) -> None:
     """Replay a compiled plan over ``keys``/``payloads`` in place.
 
     Data movement is batched NumPy gathers/scatters over the precompiled

@@ -17,7 +17,10 @@ General permutation routes are performed by sorting on the destination rank.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..errors import OperationContractError
 from ..machines.machine import Machine
@@ -29,7 +32,8 @@ from .scan import parallel_prefix
 __all__ = ["pack", "unpack_lists", "permute"]
 
 
-def pack(machine: Machine, mask: np.ndarray, payloads, *, fill=None):
+def pack(machine: Machine, mask: np.ndarray, payloads: Sequence[ArrayLike],
+         *, fill: Any = None) -> tuple[list[np.ndarray], int]:
     """Move marked items to the front of the string, preserving order.
 
     Returns ``(packed_payloads, count)`` where each packed array has the
@@ -45,7 +49,9 @@ def pack(machine: Machine, mask: np.ndarray, payloads, *, fill=None):
         return _pack_body(machine, mask, payloads, length, fill)
 
 
-def _pack_body(machine: Machine, mask, payloads, length: int, fill):
+def _pack_body(machine: Machine, mask: np.ndarray,
+               payloads: Sequence[np.ndarray], length: int,
+               fill: Any) -> tuple[list[np.ndarray], int]:
     ranks = parallel_prefix(machine, mask.astype(np.int64), np.add)
     machine.local(length)  # each marked slot computes its destination
     dest = ranks - 1
@@ -64,8 +70,8 @@ def _pack_body(machine: Machine, mask, payloads, length: int, fill):
     return outs, count
 
 
-def unpack_lists(machine: Machine, lists: np.ndarray, *, fill=None,
-                 out_length: int | None = None):
+def unpack_lists(machine: Machine, lists: np.ndarray, *, fill: Any = None,
+                 out_length: int | None = None) -> tuple[np.ndarray, int]:
     """Flatten per-slot item lists into one item per slot, order preserved.
 
     ``lists`` is an object array whose elements are (possibly empty)
@@ -80,8 +86,8 @@ def unpack_lists(machine: Machine, lists: np.ndarray, *, fill=None,
         return _unpack_body(machine, lists, length, fill, out_length)
 
 
-def _unpack_body(machine: Machine, lists, length: int, fill,
-                 out_length: int | None):
+def _unpack_body(machine: Machine, lists: np.ndarray, length: int, fill: Any,
+                 out_length: int | None) -> tuple[np.ndarray, int]:
     counts = np.array([len(x) for x in lists], dtype=np.int64)
     machine.local(length)
     max_per = int(counts.max()) if length else 0
@@ -101,7 +107,8 @@ def _unpack_body(machine: Machine, lists, length: int, fill,
     return flat, total
 
 
-def permute(machine: Machine, dest: np.ndarray, payloads):
+def permute(machine: Machine, dest: np.ndarray,
+            payloads: Sequence[ArrayLike]) -> list[np.ndarray]:
     """Route item ``i`` to slot ``dest[i]`` (a permutation of the slots).
 
     Implemented as a sort on the destination rank — the standard

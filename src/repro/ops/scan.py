@@ -26,7 +26,8 @@ __all__ = ["parallel_prefix", "parallel_suffix", "semigroup", "broadcast",
            "fill_forward", "fill_backward"]
 
 
-def _check(machine: Machine, values: np.ndarray, segments) -> int:
+def _check(machine: Machine, values: np.ndarray,
+           segments: np.ndarray | None) -> int:
     length = len(values)
     check_power_of_two(length)
     if segments is not None and len(segments) != length:

@@ -128,7 +128,7 @@ def _containment_params(rng) -> dict:
     return {"box": [side, side]}
 
 
-ALGORITHMS: dict[str, Algorithm] = {}
+ALGORITHMS: dict[str, Algorithm] = {}  # repro: noqa RPR004 -- import-time registry of the fixed algorithm set, not a runtime cache
 
 
 def _register(name, build, run):

@@ -1,0 +1,18 @@
+"""RPR001 fixture: wall-clock reads outside the allowlist (all flagged)."""
+
+import time
+from time import perf_counter
+from datetime import datetime
+
+
+def stamp_start(metrics):
+    metrics.t0 = time.time()
+
+
+def stamp_elapsed(metrics):
+    # Covered by the finding on the import line (no second finding here).
+    return perf_counter() - metrics.t0
+
+
+def stamp_wall():
+    return datetime.now().isoformat()

@@ -1,0 +1,6 @@
+"""RPR001 fixture: simulated accounting only, no wall-clock reads (clean)."""
+
+
+def accumulate(metrics, charge):
+    metrics.time += charge
+    return metrics.time

@@ -1,0 +1,7 @@
+"""RPR002 fixture: env reads are legal at the CLI edge (clean)."""
+
+import os
+
+
+def main():
+    return int(os.environ.get("REPRO_JOBS", "1"))

@@ -1,0 +1,30 @@
+"""RPR002 fixture: global RNG, env reads, set-fed accumulation (flagged)."""
+
+import os
+import random
+
+import numpy as np
+
+
+def draw_noise(n):
+    random.seed(0)
+    return [random.random() for _ in range(n)]
+
+
+def draw_legacy(n):
+    return np.random.rand(n)
+
+
+def read_config():
+    return os.environ["REPRO_MODE"]
+
+
+def total_charge(charges):
+    total = 0.0
+    for c in set(charges):
+        total += c
+    return total
+
+
+def summed_charge(charges):
+    return sum(c for c in set(charges))

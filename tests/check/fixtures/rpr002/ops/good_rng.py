@@ -1,0 +1,15 @@
+"""RPR002 fixture: seeded generators, order-fixed iteration (clean)."""
+
+import numpy as np
+
+
+def draw_noise(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n)
+
+
+def total_charge(charges):
+    total = 0.0
+    for c in sorted(set(charges)):
+        total += c
+    return total

@@ -1,0 +1,15 @@
+"""RPR003 fixture: uncharged PE-data movement (flagged)."""
+
+import numpy as np
+
+
+def uncharged_shift(machine, values):
+    out = np.empty_like(values)
+    out[1:] = values[:-1]
+    return out
+
+
+def uncharged_swap(machine, arr, src, dst):
+    tmp = arr[src].copy()
+    arr[src] = arr[dst]
+    arr[dst] = tmp

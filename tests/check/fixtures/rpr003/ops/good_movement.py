@@ -1,0 +1,17 @@
+"""RPR003 fixture: movement paid through the charge API (clean)."""
+
+import numpy as np
+
+
+def charged_shift(machine, values):
+    out = np.empty_like(values)
+    out[1:] = values[:-1]
+    machine.metrics.charge_comm(1.0)
+    return out
+
+
+def charged_swap(machine, arr, src, dst):
+    tmp = arr[src].copy()
+    arr[src] = arr[dst]
+    arr[dst] = tmp
+    machine.exchange(len(arr), 0)

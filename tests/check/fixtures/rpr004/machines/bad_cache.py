@@ -1,0 +1,16 @@
+"""RPR004 fixture: unbounded/unclearable module caches (flagged)."""
+
+import functools
+
+_MEMO: dict = {}
+
+
+def lookup(key):
+    if key not in _MEMO:
+        _MEMO[key] = expensive(key)
+    return _MEMO[key]
+
+
+@functools.lru_cache(maxsize=None)
+def expensive(key):
+    return key * 2

@@ -1,0 +1,17 @@
+"""RPR004 fixture: bounded, clearable memo (clean)."""
+
+_MEMO: dict = {}
+
+_MEMO_CAP = 64
+
+
+def lookup(key):
+    if key not in _MEMO:
+        if len(_MEMO) >= _MEMO_CAP:
+            _MEMO.clear()
+        _MEMO[key] = key * 2
+    return _MEMO[key]
+
+
+def clear_memo():
+    _MEMO.clear()

@@ -1,0 +1,26 @@
+"""RPR005 fixture: unpicklable / impure campaign workers (flagged)."""
+
+from repro.parallel import parallel_map
+
+_RESULTS: list = []
+
+
+def _impure_worker(item):
+    global _RESULTS
+    _RESULTS = _RESULTS + [item]
+    return item
+
+
+def run_lambda(items):
+    return parallel_map(lambda x: x + 1, items, jobs=2)
+
+
+def run_nested(items):
+    def worker(x):
+        return x + 1
+
+    return parallel_map(worker, items, jobs=2)
+
+
+def run_impure(items):
+    return parallel_map(_impure_worker, items, jobs=2)

@@ -1,0 +1,11 @@
+"""RPR005 fixture: module-level pure workers (clean)."""
+
+from repro.parallel import parallel_map
+
+
+def _worker(item):
+    return item + 1
+
+
+def run(items):
+    return parallel_map(_worker, items, jobs=2)

@@ -1,0 +1,15 @@
+"""Suppression fixture: reasoned noqa works; reasonless noqa is RPR000."""
+
+import numpy as np
+
+
+def seeded_draw(n):
+    return np.random.rand(n)  # repro: noqa RPR002 -- fixture: demonstrates a reasoned suppression
+
+
+def unexplained_draw(n):
+    return np.random.rand(n)  # repro: noqa RPR002
+
+
+def other_rule_noqa(n):
+    return np.random.rand(n)  # repro: noqa RPR003 -- wrong rule id, does not cover RPR002

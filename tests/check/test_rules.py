@@ -1,0 +1,198 @@
+"""Per-rule fixture tests: exact rule ids, lines, and suppressions.
+
+Each RPR rule has a known-bad fixture (every expected finding asserted by
+rule id and line number) and a known-good fixture (zero findings), under
+``tests/check/fixtures/<rule>/``.  The fixture trees mimic the package
+layout (``ops/``, ``machines/``, ...) because the rules scope themselves
+by path through :class:`repro.check.policy.CheckPolicy`.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import RULES, Rule, register, run_check
+from repro.check.rules import FileContext
+
+pytestmark = pytest.mark.check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_of(subdir):
+    report = run_check(FIXTURES / subdir)
+    assert not report.parse_errors
+    return report
+
+
+def triples(report):
+    """Sorted (filename, line, rule) for every *active* finding."""
+    return sorted((f.path.rsplit("/", 1)[-1], f.line, f.rule)
+                  for f in report.active)
+
+
+# ----------------------------------------------------------------------
+# RPR001 two-clock purity
+# ----------------------------------------------------------------------
+def test_rpr001_bad_fixture_exact_findings():
+    report = findings_of("rpr001")
+    assert triples(report) == [
+        ("bad_clock.py", 4, "RPR001"),   # from time import perf_counter
+        ("bad_clock.py", 5, "RPR001"),   # from datetime import datetime
+        ("bad_clock.py", 9, "RPR001"),   # time.time() call
+    ]
+
+
+def test_rpr001_from_import_finding_covers_its_calls():
+    # perf_counter() and datetime.now() calls produce no findings of
+    # their own: the import line carries (and can suppress) them.
+    report = findings_of("rpr001")
+    assert all(f.line in (4, 5, 9) for f in report.active)
+
+
+def test_rpr001_good_fixture_clean():
+    report = run_check(FIXTURES / "rpr001" / "core" / "good_clock.py")
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
+# RPR002 determinism
+# ----------------------------------------------------------------------
+def test_rpr002_bad_fixture_exact_findings():
+    report = findings_of("rpr002")
+    assert triples(report) == [
+        ("bad_rng.py", 10, "RPR002"),    # random.seed
+        ("bad_rng.py", 11, "RPR002"),    # random.random
+        ("bad_rng.py", 15, "RPR002"),    # legacy numpy global draw
+        ("bad_rng.py", 19, "RPR002"),    # os.environ[...] in library code
+        ("bad_rng.py", 24, "RPR002"),    # for c in set(...) feeding +=
+        ("bad_rng.py", 30, "RPR002"),    # sum(... for ... in set(...))
+    ]
+
+
+def test_rpr002_entrypoint_may_read_environ():
+    report = run_check(FIXTURES / "rpr002" / "ops" / "__main__.py")
+    assert report.ok and not report.findings
+
+
+def test_rpr002_good_fixture_clean():
+    report = run_check(FIXTURES / "rpr002" / "ops" / "good_rng.py")
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
+# RPR003 charge accounting
+# ----------------------------------------------------------------------
+def test_rpr003_bad_fixture_exact_findings():
+    report = findings_of("rpr003")
+    assert triples(report) == [
+        ("bad_movement.py", 8, "RPR003"),   # out[1:] = values[:-1]
+        ("bad_movement.py", 14, "RPR003"),  # arr[src] = arr[dst]
+    ]
+
+
+def test_rpr003_charged_function_clean():
+    report = run_check(FIXTURES / "rpr003" / "ops" / "good_movement.py")
+    assert report.ok and not report.findings
+
+
+def test_rpr003_only_binds_in_charge_scope(tmp_path):
+    # The same movement writes outside ops//machines are not PE data.
+    source = (FIXTURES / "rpr003" / "ops" / "bad_movement.py").read_text()
+    elsewhere = tmp_path / "geometry"
+    elsewhere.mkdir()
+    (elsewhere / "movement.py").write_text(source)
+    report = run_check(elsewhere)
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
+# RPR004 bounded caches
+# ----------------------------------------------------------------------
+def test_rpr004_bad_fixture_exact_findings():
+    report = findings_of("rpr004")
+    assert triples(report) == [
+        ("bad_cache.py", 5, "RPR004"),    # unbounded, unclearable _MEMO
+        ("bad_cache.py", 14, "RPR004"),   # lru_cache(maxsize=None)
+    ]
+
+
+def test_rpr004_message_names_both_obligations():
+    report = findings_of("rpr004")
+    memo = [f for f in report.active if f.line == 5][0]
+    assert "cap" in memo.message and "clear" in memo.message
+
+
+def test_rpr004_good_fixture_clean():
+    report = run_check(FIXTURES / "rpr004" / "machines" / "good_cache.py")
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
+# RPR005 fork-safety
+# ----------------------------------------------------------------------
+def test_rpr005_bad_fixture_exact_findings():
+    report = findings_of("rpr005")
+    assert triples(report) == [
+        ("bad_workers.py", 15, "RPR005"),  # lambda worker
+        ("bad_workers.py", 22, "RPR005"),  # nested-def worker
+        ("bad_workers.py", 26, "RPR005"),  # global-mutating worker
+    ]
+
+
+def test_rpr005_good_fixture_clean():
+    report = run_check(FIXTURES / "rpr005" / "verify" / "good_workers.py")
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
+# Suppression behaviour (shared by all rules)
+# ----------------------------------------------------------------------
+def test_reasoned_noqa_suppresses_and_keeps_reason():
+    report = findings_of("suppression")
+    sup = [f for f in report.findings if f.line == 7]
+    assert len(sup) == 1 and not sup[0].active
+    assert sup[0].suppressed_by == "noqa"
+    assert "reasoned suppression" in sup[0].suppress_reason
+
+
+def test_reasonless_noqa_is_rpr000_and_does_not_suppress():
+    report = findings_of("suppression")
+    at_11 = sorted(f.rule for f in report.active if f.line == 11)
+    assert at_11 == ["RPR000", "RPR002"]
+
+
+def test_noqa_for_other_rule_does_not_cover():
+    report = findings_of("suppression")
+    at_15 = [f for f in report.active if f.line == 15]
+    assert [f.rule for f in at_15] == ["RPR002"]
+
+
+# ----------------------------------------------------------------------
+# Rule-author API
+# ----------------------------------------------------------------------
+def test_custom_rule_registers_and_runs(tmp_path):
+    @register
+    class NoPrint(Rule):
+        id = "RPR999"
+        name = "no-print"
+        summary = "print() calls in library code"
+
+        def check(self, ctx: FileContext) -> None:
+            for node, name in ctx.calls():
+                if name == "print":
+                    ctx.report(node, "print() in library code")
+
+    try:
+        target = tmp_path / "mod.py"
+        target.write_text('def f():\n    print("hi")\n')
+        report = run_check(target, select=["RPR999"])
+        assert [(f.line, f.rule) for f in report.active] == [(2, "RPR999")]
+    finally:
+        RULES.pop("RPR999")
+
+
+def test_builtin_rules_registered_with_docs():
+    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"} <= set(RULES)
+    for rule in RULES.values():
+        assert rule.name and rule.summary and rule.rationale
