@@ -3,23 +3,37 @@
 Every other bench in this directory reports *simulated parallel time*, which
 is pure accounting and must stay bit-identical across host-side
 optimisations.  This bench measures the other axis: how long the simulator
-itself takes to run, in seconds, for three representative workloads
-(envelope construction, hull membership, steady-state hull).  Results go to
-``BENCH_wallclock.json`` at the repo root, with speedups against the seed
-revision's numbers (``SEED_SECONDS``, measured with this same harness on
-the pre-optimisation tree, min of 3 runs).
+itself takes to run, in seconds, per tier:
 
-Each workload is timed twice — compiled movement plans on (the default)
-and off (the interpreted per-round executors) — and the simulated time
-charged by the two modes is asserted bit-identical, the PR 3 contract.
-A campaign-scaling section times ``repro.verify`` campaigns at
-``--jobs`` 1/2/4 and records ``host_cores`` alongside, since jobs beyond
-the physical core count cannot speed anything up.
+* ``smoke`` / ``full`` — the three end-to-end workloads (envelope
+  construction, hull membership, steady-state hull), timed under all three
+  data-movement executors (``vectorized``/``compiled``/``reference``).
+* ``large`` — ops-level sort/merge workloads at Table-1 scale
+  (n up to 2^20 PEs) where the vectorized column executor is the headline:
+  object/tuple keys are exactly what the per-pair compiled loop is slow
+  at.  The interpreted reference executor is skipped at this tier (hours),
+  so the "before" is the compiled executor.
 
-Run directly (``python benchmarks/bench_wallclock.py [--smoke]``) or via
-pytest, where ``test_wallclock_report`` runs the full mode.  Smoke mode
-shrinks every workload so the whole sweep finishes in a few seconds; the
-tier-1 suite uses it through ``tests/test_wallclock_smoke.py``.
+Results go to ``BENCH_wallclock.json`` at the repo root, with speedups
+against the seed revision's numbers where a seed baseline exists
+(``SEED_SECONDS``, measured with this same harness on the pre-optimisation
+tree, min of 3 runs).  The simulated time charged by every measured
+executor is asserted bit-identical — the PR 3 / PR 6 contract.
+
+CLI runs additionally append one JSON line per run (provenance included)
+to ``benchmarks/history/wallclock.jsonl`` so regressions are visible
+across revisions, not just against the static seed constants.  Pytest
+runs never append: the tier-1 suite must not grow a committed file on
+every invocation.
+
+A campaign-scaling section times ``repro.verify`` campaigns at ``--jobs``
+1/2/4 and records ``host_cores`` alongside, since jobs beyond the
+physical core count cannot speed anything up.
+
+Run directly (``python benchmarks/bench_wallclock.py [--tier large]``) or
+via pytest, where ``test_wallclock_report`` runs the full tier.  Smoke
+mode shrinks every workload so the whole sweep finishes in a few seconds;
+the tier-1 suite uses it through ``tests/test_wallclock_smoke.py``.
 """
 
 from __future__ import annotations
@@ -39,15 +53,18 @@ from repro.core.steady import steady_hull
 from repro.kinetics.motion import divergent_system, random_system
 from repro.kinetics.polynomial import Polynomial
 from repro.machines.machine import mesh_machine
-from repro.ops import set_compiled_plans
+from repro.ops import bitonic_merge, bitonic_sort, set_compiled_plans
 from repro.trace import Tracer, provenance_manifest, write_chrome_trace
 from repro.trace.registry import registry_snapshot
 from repro.verify.oracle import campaign
 
 JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_wallclock.json"
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent / "history" / "wallclock.jsonl"
 
 #: Seconds for the seed revision (commit d9f28b7), same harness, same
-#: parameters, min of 3 — the "before" of every speedup in the JSON.
+#: parameters, min of 3 — the "before" of every ``speedup`` in the JSON.
+#: The large tier has no entry: its workloads postdate the seed, so its
+#: "before" is the compiled executor (``vectorized_speedup``).
 SEED_SECONDS = {
     "full": {"envelope": 0.1507, "hull_membership": 0.0906,
              "steady_hull": 1.1540},
@@ -55,9 +72,11 @@ SEED_SECONDS = {
               "steady_hull": 0.1608},
 }
 
-#: Workload parameters per mode.  ``envelope`` is the acceptance workload
-#: (n >= 256, k = 2): the recursive-halving hot path the batched root
-#: isolation and crossing cache were built for.
+#: Workload parameters per tier.  ``envelope`` is the PR 4 acceptance
+#: workload (n >= 256, k = 2).  The large tier drives the data-movement
+#: ops directly: an object-float sort on the full 2^20-PE mesh, tuple
+#: keys at n = 2^16, and a 2^20-slot record merge — the regime the
+#: vectorized executor exists for.
 PARAMS = {
     "full": {
         "envelope": {"n": 256, "k": 2, "n_pe": 1024},
@@ -69,7 +88,26 @@ PARAMS = {
         "hull_membership": {"n": 12, "n_pe": 256},
         "steady_hull": {"n": 48, "n_pe": 64},
     },
+    "large": {
+        "sort_object_keys": {"n": 1 << 20, "n_pe": 1 << 20},
+        "sort_tuple_keys": {"n": 1 << 16, "n_pe": 1 << 16},
+        "merge_record_keys": {"n": 1 << 20, "n_pe": 1 << 20},
+    },
 }
+
+#: Executors measured per tier, fastest first (the first entry is the
+#: headline ``seconds`` and the sim-parity anchor).  The interpreted
+#: reference executor is only affordable at smoke/full sizes.
+EXECUTOR_TIERS = {
+    "smoke": ("vectorized", "compiled", "reference"),
+    "full": ("vectorized", "compiled", "reference"),
+    "large": ("vectorized", "compiled"),
+}
+
+#: Per-tier default repeats: the large tier's compiled runs are tens of
+#: seconds each, so one timed pass (after an untimed plan-cache warm-up)
+#: is the budget.
+DEFAULT_REPEATS = {"smoke": 3, "full": 3, "large": 1}
 
 #: Campaign-scaling parameters: a small oracle campaign timed at each jobs
 #: value.  Results are identical for every jobs value (the engine merges
@@ -78,9 +116,21 @@ PARAMS = {
 CAMPAIGN_PARAMS = {
     "full": {"algorithms": ["closest_pair", "envelope"], "instances": 12},
     "smoke": {"algorithms": ["closest_pair"], "instances": 4},
+    "large": {"algorithms": ["closest_pair", "envelope"], "instances": 12},
 }
 
 CAMPAIGN_JOBS = (1, 2, 4)
+
+
+def within_noise(fast: float, slow: float) -> bool:
+    """True when ``fast`` is no worse than ``slow`` modulo timing noise.
+
+    The relative margin absorbs scheduler jitter on real workloads; the
+    absolute 10 ms floor keeps millisecond-scale smoke workloads from
+    flagging a "regression" that is pure measurement grain (the old
+    plain-ratio guard read 0.98x at n_pe = 256 as a signal).
+    """
+    return fast <= 1.25 * slow + 0.010
 
 
 # ----------------------------------------------------------------------
@@ -123,10 +173,67 @@ def _steady_hull_workload(n: int, n_pe: int):
     return run
 
 
+def _sort_object_workload(n: int, n_pe: int):
+    rng = np.random.default_rng(5)
+    keys = np.empty(n, dtype=object)
+    keys[:] = rng.uniform(-1.0, 1.0, n).tolist()
+    payload = np.arange(n, dtype=np.int64)
+
+    def run():
+        machine = mesh_machine(n_pe)
+        bitonic_sort(machine, keys, [payload])
+        return machine
+
+    return run
+
+
+def _sort_tuple_workload(n: int, n_pe: int):
+    rng = np.random.default_rng(7)
+    keys = np.empty(n, dtype=object)
+    keys[:] = list(zip(rng.integers(0, 64, n).tolist(),
+                       rng.uniform(size=n).tolist()))
+    payload = np.arange(n, dtype=np.int64)
+
+    def run():
+        machine = mesh_machine(n_pe)
+        bitonic_sort(machine, keys, [payload])
+        return machine
+
+    return run
+
+
+def _merge_record_workload(n: int, n_pe: int):
+    rng = np.random.default_rng(9)
+
+    def sorted_records(m: int) -> list:
+        ranks = rng.integers(0, 1 << 20, size=m)
+        coords = rng.uniform(size=m)
+        return sorted(zip(ranks.tolist(), coords.tolist()))
+
+    keys = np.empty(n, dtype=object)
+    keys[:n // 2] = sorted_records(n // 2)
+    keys[n // 2:] = sorted_records(n // 2)
+    # Object payload column: the geometry layers merge python objects
+    # (curves, event records) alongside their keys, so the payload cost
+    # is part of what the executors differ on.
+    payload = np.empty(n, dtype=object)
+    payload[:] = rng.uniform(size=n).tolist()
+
+    def run():
+        machine = mesh_machine(n_pe)
+        bitonic_merge(machine, keys, [payload])
+        return machine
+
+    return run
+
+
 _BUILDERS = {
     "envelope": _envelope_workload,
     "hull_membership": _hull_workload,
     "steady_hull": _steady_hull_workload,
+    "sort_object_keys": _sort_object_workload,
+    "sort_tuple_keys": _sort_tuple_workload,
+    "merge_record_keys": _merge_record_workload,
 }
 
 
@@ -141,19 +248,19 @@ def _measure(run, repeats: int):
     return min(seconds), sum(seconds) / len(seconds), machine
 
 
-def _measure_plan_modes(run, repeats: int):
-    """Time ``run`` with compiled plans on and off; check sim-time parity."""
+def _measure_executors(run, repeats: int, executors):
+    """Time ``run`` under each executor; assert simulated-time parity."""
     out = {}
-    for label, enabled in (("plan_on", True), ("plan_off", False)):
-        prev = set_compiled_plans(enabled)
+    for name in executors:
+        prev = set_compiled_plans(name)
         try:
-            out[label] = _measure(run, repeats)
+            out[name] = _measure(run, repeats)
         finally:
             set_compiled_plans(prev)
-    on_sim = out["plan_on"][2].metrics.time
-    off_sim = out["plan_off"][2].metrics.time
-    assert on_sim == off_sim, (
-        f"simulated time moved with plan mode: on={on_sim!r} off={off_sim!r}"
+    sims = {name: measured[2].metrics.time for name, measured in out.items()}
+    anchor = sims[executors[0]]
+    assert all(sim == anchor for sim in sims.values()), (
+        f"simulated time moved with the executor: {sims!r}"
     )
     return out
 
@@ -203,45 +310,90 @@ def run_traced_pass(mode: str, expected_sim: dict) -> list[dict]:
     return forests
 
 
-def run_wallclock(mode: str = "full", repeats: int = 3,
+def append_history(results: dict,
+                   path: pathlib.Path = HISTORY_PATH) -> pathlib.Path:
+    """Append one compact JSON line for this run to the history log.
+
+    The line keeps the run-level provenance manifest (git revision, host,
+    package versions) and per-workload numbers, and drops the per-entry
+    provenance duplicates and wall-phase breakdowns — history answers
+    "when did this number move", the full JSON answers "why".
+    """
+    line = {
+        "mode": results["mode"],
+        "repeats": results["repeats"],
+        "provenance": results["provenance"],
+        "workloads": {
+            name: {k: v for k, v in entry.items()
+                   if k not in ("provenance", "wall_phases")}
+            for name, entry in results["workloads"].items()
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def run_wallclock(mode: str = "full", repeats: int | None = None,
                   json_path: pathlib.Path | None = JSON_PATH,
                   campaign_scaling: bool = True,
-                  trace_path=None) -> dict:
-    """Measure every workload; return (and optionally write) the results.
+                  trace_path=None,
+                  history_path: pathlib.Path | None = None) -> dict:
+    """Measure every workload of ``mode``; return (and write) the results.
 
     Each workload entry records measured seconds (min and mean of
-    ``repeats``) for the compiled-plan and interpreted executors, the seed
-    baseline, the speedups, the *simulated* time the run charged (asserted
-    identical between the two executors — the number that must never
-    move), per-phase wall-clock, and the run's provenance manifest
-    (git revision, seed inputs, host info, package versions).
+    ``repeats``) under the tier's executors (``EXECUTOR_TIERS``), the seed
+    baseline and speedup where one exists, the executor-vs-executor
+    speedups, the *simulated* time the run charged (asserted identical
+    across all measured executors — the number that must never move),
+    per-phase wall-clock, and the run's provenance manifest (git revision,
+    seed inputs, host info, package versions).
 
     ``trace_path`` additionally runs one traced pass per workload (after
     the timed runs, so tracing overhead never contaminates the numbers)
-    and writes a Chrome ``trace_event`` JSON.
+    and writes a Chrome ``trace_event`` JSON.  ``history_path`` appends
+    one line per run (see :func:`append_history`); the CLI passes it, the
+    pytest entry points never do.
     """
+    executors = EXECUTOR_TIERS[mode]
+    if repeats is None:
+        repeats = DEFAULT_REPEATS[mode]
     provenance = provenance_manifest(config={
         "harness": "bench_wallclock", "mode": mode, "repeats": repeats,
+        "executors": list(executors),
     })
     results: dict = {"mode": mode, "repeats": repeats,
+                     "executors": list(executors),
                      "provenance": provenance, "workloads": {}}
     for name, params in PARAMS[mode].items():
-        modes = _measure_plan_modes(_BUILDERS[name](**params), repeats)
-        best, mean, machine = modes["plan_on"]
-        off_best, off_mean, _ = modes["plan_off"]
-        seed = SEED_SECONDS[mode][name]
+        run = _BUILDERS[name](**params)
+        if mode == "large":
+            run()  # untimed warm-up: compiles the shared movement plan
+        measured = _measure_executors(run, repeats, executors)
+        best, mean, machine = measured["vectorized"]
+        comp_best, comp_mean, _ = measured["compiled"]
         entry = {
             "params": params,
             "seconds": round(best, 4),
             "mean_seconds": round(mean, 4),
-            "plan_off_seconds": round(off_best, 4),
-            "plan_off_mean_seconds": round(off_mean, 4),
-            "plan_speedup": round(off_best / best, 2) if best > 0 else math.inf,
-            "seed_seconds": seed,
-            "speedup": round(seed / best, 2) if best > 0 else math.inf,
+            "compiled_seconds": round(comp_best, 4),
+            "compiled_mean_seconds": round(comp_mean, 4),
+            "vectorized_speedup":
+                round(comp_best / best, 2) if best > 0 else math.inf,
             "sim_time": machine.metrics.time,
             "provenance": provenance,
         }
+        if "reference" in measured:
+            off_best, off_mean, _ = measured["reference"]
+            entry["plan_off_seconds"] = round(off_best, 4)
+            entry["plan_off_mean_seconds"] = round(off_mean, 4)
+            entry["plan_speedup"] = (
+                round(off_best / comp_best, 2) if comp_best > 0 else math.inf)
+        seed = SEED_SECONDS.get(mode, {}).get(name)
+        if seed is not None:
+            entry["seed_seconds"] = seed
+            entry["speedup"] = round(seed / best, 2) if best > 0 else math.inf
         wall_phases = getattr(machine.metrics, "wall_phases", None)
         if wall_phases:
             entry["wall_phases"] = {
@@ -263,19 +415,25 @@ def run_wallclock(mode: str = "full", repeats: int = 3,
         results["trace_path"] = str(trace_path)
     if json_path is not None:
         json_path.write_text(json.dumps(results, indent=2) + "\n")
+    if history_path is not None:
+        append_history(results, history_path)
     return results
 
 
 def _print_results(results: dict) -> None:
-    print(f"\nwall-clock sweep ({results['mode']} mode, "
+    print(f"\nwall-clock sweep ({results['mode']} tier, "
           f"min of {results['repeats']}):")
     for name, entry in results["workloads"].items():
-        print(f"  {name:16s} {entry['seconds']:8.4f}s   "
-              f"interpreted {entry['plan_off_seconds']:.4f}s "
-              f"({entry['plan_speedup']:.2f}x)   "
-              f"seed {entry['seed_seconds']:.4f}s "
-              f"({entry['speedup']:.2f}x)   "
-              f"sim_time {entry['sim_time']:g}")
+        line = (f"  {name:18s} {entry['seconds']:8.4f}s   "
+                f"compiled {entry['compiled_seconds']:.4f}s "
+                f"({entry['vectorized_speedup']:.2f}x)")
+        if "plan_off_seconds" in entry:
+            line += (f"   interpreted {entry['plan_off_seconds']:.4f}s "
+                     f"({entry['plan_speedup']:.2f}x)")
+        if "seed_seconds" in entry:
+            line += (f"   seed {entry['seed_seconds']:.4f}s "
+                     f"({entry['speedup']:.2f}x)")
+        print(line + f"   sim_time {entry['sim_time']:g}")
     scaling = results.get("campaign_scaling")
     if scaling:
         print(f"  campaign scaling (host cores: {scaling['host_cores']}):")
@@ -289,9 +447,15 @@ def test_wallclock_report():
     _print_results(results)
     for name, entry in results["workloads"].items():
         assert entry["seconds"] < 10.0, f"{name} runaway: {entry}"
-        # Compiled plans must never be a pessimisation (noise margin).
-        assert entry["seconds"] <= 1.25 * entry["plan_off_seconds"], (
-            f"{name}: compiled {entry['seconds']:.4f}s slower than "
+        # Neither fast executor may be a pessimisation vs the interpreted
+        # reference (noise-aware: see within_noise).
+        assert within_noise(entry["compiled_seconds"],
+                            entry["plan_off_seconds"]), (
+            f"{name}: compiled {entry['compiled_seconds']:.4f}s slower than "
+            f"interpreted {entry['plan_off_seconds']:.4f}s"
+        )
+        assert within_noise(entry["seconds"], entry["plan_off_seconds"]), (
+            f"{name}: vectorized {entry['seconds']:.4f}s slower than "
             f"interpreted {entry['plan_off_seconds']:.4f}s"
         )
     # The acceptance workload: host-side batching + caching must keep the
@@ -304,26 +468,37 @@ if __name__ == "__main__":
     import argparse
 
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tier", choices=sorted(PARAMS), default=None,
+                    help="workload tier (default: full; large = ops-level "
+                         "sort/merge up to 2^20 PEs, no interpreted runs)")
     ap.add_argument("--smoke", action="store_true",
-                    help="reduced sizes, finishes in a few seconds")
+                    help="alias for --tier smoke")
+
     def _positive(value):
         n = int(value)
         if n < 1:
             raise argparse.ArgumentTypeError("--repeats must be >= 1")
         return n
 
-    ap.add_argument("--repeats", type=_positive, default=3)
+    ap.add_argument("--repeats", type=_positive, default=None,
+                    help="timed runs per executor (default: 3, large: 1)")
     ap.add_argument("--no-json", action="store_true",
                     help="measure and print without rewriting the JSON")
     ap.add_argument("--no-campaign", action="store_true",
                     help="skip the campaign jobs-scaling section")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append this run to benchmarks/history/")
     ap.add_argument("--trace", metavar="PATH", default=None,
                     help="also run one traced pass per workload (after the "
                          "timed runs) and write a Chrome trace_event JSON")
     args = ap.parse_args()
+    if args.tier and args.smoke and args.tier != "smoke":
+        ap.error("--smoke contradicts --tier " + args.tier)
+    tier = args.tier or ("smoke" if args.smoke else "full")
     _print_results(run_wallclock(
-        "smoke" if args.smoke else "full", repeats=args.repeats,
+        tier, repeats=args.repeats,
         json_path=None if args.no_json else JSON_PATH,
         campaign_scaling=not args.no_campaign,
         trace_path=args.trace,
+        history_path=None if args.no_history else HISTORY_PATH,
     ))

@@ -10,3 +10,4 @@ from . import rules_rng      # noqa: F401  RPR002 determinism
 from . import rules_charge   # noqa: F401  RPR003 charge accounting
 from . import rules_caches   # noqa: F401  RPR004 bounded caches
 from . import rules_fork     # noqa: F401  RPR005 fork-safety
+from . import rules_vexec    # noqa: F401  RPR006 vexec hygiene

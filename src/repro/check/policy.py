@@ -78,6 +78,20 @@ class CheckPolicy:
         "monotone_route", "long_shift", "execute_plan",
     )
 
+    #: RPR006 — the vectorized plan executor: past its lowering boundary
+    #: everything must stay whole-array numeric code.
+    vexec_modules: tuple[str, ...] = (
+        "ops/vexec.py",
+    )
+
+    #: RPR006 — the only charge calls the vectorized executor may make:
+    #: the fused per-operation vectors shared with the compiled executor.
+    #: Any other charge_calls name inside vexec is a per-round charge,
+    #: which would let simulated time drift between executors.
+    vexec_fused_charges: tuple[str, ...] = (
+        "exchange_sweep", "doubling_sweep", "long_shift",
+    )
+
     #: RPR005 — the parallel-engine module itself (its internal
     #: ``pool.submit`` plumbing is the implementation, not a client).
     parallel_engine_modules: tuple[str, ...] = (
@@ -108,6 +122,9 @@ class CheckPolicy:
 
     def is_parallel_engine(self, rel: str) -> bool:
         return _match(rel, self.parallel_engine_modules)
+
+    def is_vexec_module(self, rel: str) -> bool:
+        return _match(rel, self.vexec_modules)
 
 
 DEFAULT_POLICY = CheckPolicy()

@@ -131,7 +131,10 @@ class PointSystem:
             starts = np.array([m.position(0.0) for m in ms])
             order = np.lexsort(starts.T[::-1])
             for a, b in zip(order, order[1:]):
-                if np.allclose(starts[a], starts[b], atol=1e-12):
+                # Absolute tolerance only: allclose's default rtol would
+                # scale with coordinate magnitude and misread points 1e-4
+                # apart as coincident in campaign-scale systems.
+                if np.allclose(starts[a], starts[b], rtol=0.0, atol=1e-12):
                     raise DegenerateSystemError(
                         f"points {a} and {b} share the initial position {starts[a]}"
                     )

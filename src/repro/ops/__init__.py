@@ -8,12 +8,16 @@ emerge from the topology's per-round costs.
 from .bitonic import bitonic_merge, bitonic_sort, compare_exchange_round
 from .concurrent import concurrent_read, concurrent_write, interval_locate
 from .plans import (
+    EXECUTORS,
     MovementPlan,
     clear_plan_cache,
     compiled_plans_enabled,
+    get_executor,
     plan_cache_stats,
     set_compiled_plans,
+    set_executor,
 )
+from .vexec import lower_keys, vexec_stats
 from .route import pack, permute, unpack_lists
 from .scan import (
     broadcast,
@@ -30,6 +34,8 @@ __all__ = [
     "pack", "permute", "unpack_lists",
     "broadcast", "fill_backward", "fill_forward",
     "parallel_prefix", "parallel_suffix", "semigroup",
-    "MovementPlan", "clear_plan_cache", "compiled_plans_enabled",
+    "MovementPlan", "EXECUTORS", "clear_plan_cache",
+    "compiled_plans_enabled", "get_executor", "set_executor",
     "plan_cache_stats", "set_compiled_plans",
+    "lower_keys", "vexec_stats",
 ]

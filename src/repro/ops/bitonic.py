@@ -25,6 +25,7 @@ from ..errors import OperationContractError
 from ..machines.machine import Machine
 from ..trace.tracer import trace_span
 from . import plans as _plans
+from . import vexec as _vexec
 from ._common import KeySpec, as_key_list, check_segment_size, lex_gt
 
 __all__ = ["bitonic_sort", "bitonic_merge", "compare_exchange_round"]
@@ -96,6 +97,10 @@ def bitonic_sort(
     with trace_span("bitonic_sort", machine.metrics, n=length, segment=seg):
         if _plans.compiled_plans_enabled():
             plan = _plans.get_sort_plan(machine, length, seg, bool(ascending))
+            if (_plans.get_executor() == "vectorized"
+                    and _vexec.execute_plan_vectorized(
+                        machine, plan, keys, payloads)):
+                return keys, payloads
             _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
             return keys, payloads
         idx = np.arange(length)
@@ -190,6 +195,10 @@ def bitonic_merge(
     with trace_span("bitonic_merge", machine.metrics, n=length, segment=seg):
         if _plans.compiled_plans_enabled():
             plan = _plans.get_merge_plan(machine, length, seg, bool(ascending))
+            if (_plans.get_executor() == "vectorized"
+                    and _vexec.execute_plan_vectorized(
+                        machine, plan, keys, payloads)):
+                return keys, payloads
             _plans.execute_plan(machine, plan, keys, payloads, lex_gt)
             return keys, payloads
         # Reverse the second half of every segment (one lockstep route).

@@ -48,18 +48,32 @@ if TYPE_CHECKING:
     from ..machines.machine import Machine
 
 __all__ = [
-    "MovementPlan", "PlanRound",
+    "MovementPlan", "PlanRound", "EXECUTORS",
     "compiled_plans_enabled", "set_compiled_plans",
+    "get_executor", "set_executor",
     "get_sort_plan", "get_merge_plan", "get_butterfly_partners",
     "plan_cache_stats", "reset_plan_stats", "clear_plan_cache",
 ]
 
-#: Module-wide switch (the ``set_fast_combine`` pattern): when off, the
-#: ops fall back to the interpreted per-round executors.  Outputs and
-#: simulated charges are identical either way — this exists so the
-#: equivalence tests and the plan-on/plan-off benchmark columns can
-#: exercise both paths.
-_PLANS_ENABLED = True
+#: The three executor strategies (the ``set_fast_combine`` pattern):
+#:
+#: * ``"reference"``  — the interpreted per-round executors: index arrays
+#:   rebuilt with ``np.arange`` every call, comparators evaluated both
+#:   ways.  The slowest path and the semantic oracle the other two are
+#:   verified against.
+#: * ``"compiled"``   — cached :class:`MovementPlan` schedules with
+#:   pre-oriented gathers; comparators still run over the original
+#:   (possibly object-dtype) key arrays.
+#: * ``"vectorized"`` — compiled plans executed by :mod:`repro.ops.vexec`
+#:   over numeric key columns lowered once per operation; falls back to
+#:   ``"compiled"`` *per operation* when a key cannot be lowered (counted
+#:   in ``vexec.fallbacks``, never silent).
+#:
+#: Outputs and simulated charges are bit-identical for all three — only
+#: host wall-clock moves.
+EXECUTORS = ("reference", "compiled", "vectorized")
+
+_EXECUTOR = "vectorized"
 
 #: Compiled plans keyed by (op, length, segment_size, direction).
 _PLAN_CACHE: dict = {}
@@ -79,17 +93,46 @@ _STAT_COMPILE = get_counter("movement_plans.compile_seconds", 0.0)
 register_gauge("movement_plans.cache_size", lambda: len(_PLAN_CACHE))
 
 
-def compiled_plans_enabled() -> bool:
-    """Whether the ops layer executes compiled plans (True by default)."""
-    return _PLANS_ENABLED
+def get_executor() -> str:
+    """The active executor strategy (``"vectorized"`` by default)."""
+    return _EXECUTOR
 
 
-def set_compiled_plans(enabled: bool) -> bool:
-    """Toggle compiled-plan execution; returns the previous setting."""
-    global _PLANS_ENABLED
-    prev = _PLANS_ENABLED
-    _PLANS_ENABLED = bool(enabled)
+def set_executor(name: str) -> str:
+    """Select the executor strategy; returns the previous name.
+
+    Library code never reads ``REPRO_EXECUTOR`` itself (RPR002): CLI entry
+    points parse the env var / flag once at the edge and call this.
+    """
+    global _EXECUTOR
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; choose one of {EXECUTORS}")
+    prev = _EXECUTOR
+    _EXECUTOR = name
     return prev
+
+
+def compiled_plans_enabled() -> bool:
+    """Whether the ops layer executes compiled plans (True by default).
+
+    Both the ``"compiled"`` and ``"vectorized"`` strategies run compiled
+    plans (and charge through the fused sweeps); only ``"reference"``
+    takes the interpreted per-round path.
+    """
+    return _EXECUTOR != "reference"
+
+
+def set_compiled_plans(enabled) -> str:
+    """Back-compat executor toggle; returns the previous executor name.
+
+    Accepts the historical booleans (``True`` → ``"compiled"``, ``False``
+    → ``"reference"``) as well as any :data:`EXECUTORS` name, so callers
+    can restore a saved setting with the returned value either way.
+    """
+    if isinstance(enabled, str):
+        return set_executor(enabled)
+    return set_executor("compiled" if enabled else "reference")
 
 
 def plan_cache_stats() -> dict:

@@ -20,6 +20,7 @@ from ..errors import OperationContractError
 from ..machines.machine import Machine
 from ..trace.tracer import trace_span
 from . import plans as _plans
+from . import vexec as _vexec
 from ._common import check_power_of_two
 
 __all__ = ["parallel_prefix", "parallel_suffix", "semigroup", "broadcast",
@@ -117,7 +118,14 @@ def semigroup(
     if segments is None:
         with trace_span("semigroup", machine.metrics, n=length):
             if _plans.compiled_plans_enabled():
-                for partner in _plans.get_butterfly_partners(machine, length):
+                partners = _plans.get_butterfly_partners(machine, length)
+                if vals.dtype == object and \
+                        _plans.get_executor() == "vectorized":
+                    out = _vexec.butterfly_vectorized(
+                        machine, vals, op, partners)
+                    if out is not None:
+                        return out
+                for partner in partners:
                     vals = op(vals, vals[partner])
                 machine.doubling_sweep(length)
                 return vals

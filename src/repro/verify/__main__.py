@@ -22,8 +22,10 @@ it in Perfetto.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from ..ops import EXECUTORS, set_executor
 from .oracle import ALGORITHMS, DEFAULT_CORPUS_DIR, campaign, replay
 from .scaling import DEFAULT_GOLDEN_PATH, SCALING_TARGETS, check_scaling, update_golden
 
@@ -72,6 +74,12 @@ def _parser() -> argparse.ArgumentParser:
                    help="do not serialize divergent instances")
     p.add_argument("--golden", default=str(DEFAULT_GOLDEN_PATH),
                    help="path of the golden scaling JSON")
+    p.add_argument("--executor", choices=EXECUTORS, default=None,
+                   help="data-movement executor for the whole run "
+                        "(default: the REPRO_EXECUTOR env var, else "
+                        "vectorized). Outputs and simulated time are "
+                        "identical for every choice — only wall-clock "
+                        "moves")
     return p
 
 
@@ -157,8 +165,30 @@ def _run_scaling(args) -> int:
     return 0 if ok else 1
 
 
+def _select_executor(args) -> int:
+    """Apply --executor / REPRO_EXECUTOR; configuration enters here only.
+
+    RPR002 confines environment reads to CLI entry points: library code
+    never consults ``os.environ``, so the executor a run uses is decided
+    exactly once, at this edge.  The flag wins over the variable.
+    """
+    name = args.executor or os.environ.get("REPRO_EXECUTOR")
+    if name is None:
+        return 0
+    try:
+        set_executor(name)
+    except ValueError:
+        print(f"REPRO_EXECUTOR={name!r} is not an executor; choose one of "
+              f"{', '.join(EXECUTORS)}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
+    rc = _select_executor(args)
+    if rc:
+        return rc
     if args.mode == "replay" or args.replay:
         args.replay = list(args.replay or []) + list(args.files)
         if not args.replay:

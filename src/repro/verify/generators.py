@@ -39,7 +39,7 @@ from ..kinetics.motion import (
 from ..kinetics.polynomial import Polynomial
 
 __all__ = [
-    "CURVE_KINDS", "SYSTEM_KINDS",
+    "CURVE_KINDS", "SYSTEM_KINDS", "SYSTEM_SIZE_FLOORS",
     "make_curves", "make_system",
     "curves_to_json", "curves_from_json",
     "system_to_json", "system_from_json",
@@ -48,6 +48,22 @@ __all__ = [
 
 #: Quantisation step for well-conditioned coefficients.
 _STEP = 0.25
+
+
+def _check_size(name: str, value, minimum: int) -> int:
+    """Validate an integral size argument; reject bools, floats, and
+    anything below ``minimum`` with an error naming the argument.
+
+    Campaign drivers sweep sizes programmatically (now up to 2^20 slots);
+    a float that slipped through arithmetic or a negative n must fail
+    here, loudly, not inside a builder's ``range()``.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 def _quant(rng: np.random.Generator, size, lo=-10.0, hi=10.0) -> np.ndarray:
@@ -154,9 +170,16 @@ CURVE_KINDS = {
 
 
 def make_curves(kind: str, seed: int, n: int = 8, s: int = 2) -> list[Polynomial]:
-    """Deterministic curve instance: a pure function of ``(kind, seed, n, s)``."""
+    """Deterministic curve instance: a pure function of ``(kind, seed, n, s)``.
+
+    Returns exactly ``n`` curves for every kind, for any ``n >= 1`` up to
+    campaign scale (2^20 and beyond: builder work and coefficient
+    magnitudes grow at most linearly in ``n``).
+    """
     if kind not in CURVE_KINDS:
         raise KeyError(f"unknown curve kind {kind!r}; have {sorted(CURVE_KINDS)}")
+    n = _check_size("n", n, 1)
+    s = _check_size("s", s, 0)
     rng = np.random.default_rng(seed)
     return CURVE_KINDS[kind](rng, n, s)
 
@@ -165,16 +188,25 @@ def make_curves(kind: str, seed: int, n: int = 8, s: int = 2) -> list[Polynomial
 # Point-system families (Section 4/5 instances)
 # ======================================================================
 def _distinct_starts(motions: list[Motion]) -> list[Motion]:
-    """Nudge initial positions apart so PointSystem validation passes."""
+    """Nudge initial positions apart so PointSystem validation passes.
+
+    The nudge repeats until the position is actually unoccupied: families
+    quantise starts to the ``_STEP`` grid, so at campaign sizes (2^17+)
+    a single fixed offset routinely lands on another occupied grid point.
+    """
     seen = set()
     out = []
     for i, m in enumerate(motions):
-        start = tuple(float(c(0.0)) for c in m.coords)
-        if start in seen:
-            coords = list(m.coords)
-            coords[0] = coords[0] + Polynomial.constant(_STEP * (i + 1))
+        base = list(m.coords)
+        start = tuple(float(c(0.0)) for c in base)
+        bump = 0.0
+        while start in seen:
+            bump += _STEP * (i + 1)
+            coords = list(base)
+            coords[0] = coords[0] + Polynomial.constant(bump)
             m = Motion(coords)
-        seen.add(tuple(float(c(0.0)) for c in m.coords))
+            start = tuple(float(c(0.0)) for c in m.coords)
+        seen.add(start)
         out.append(m)
     return out
 
@@ -184,11 +216,11 @@ def _system_random(rng: np.random.Generator, n: int, k: int) -> PointSystem:
 
 
 def _system_crossing(rng: np.random.Generator, n: int, k: int) -> PointSystem:
-    return crossing_traffic(max(2, n), seed=rng)
+    return crossing_traffic(n, seed=rng)
 
 
 def _system_converging(rng: np.random.Generator, n: int, k: int) -> PointSystem:
-    return converging_swarm(max(2, n), seed=rng)
+    return converging_swarm(n, seed=rng)
 
 
 def _system_grazing(rng: np.random.Generator, n: int, k: int) -> PointSystem:
@@ -199,7 +231,7 @@ def _system_grazing(rng: np.random.Generator, n: int, k: int) -> PointSystem:
     points pass at a small but safe offset.
     """
     motions = [Motion.linear([0.0, 0.0], [1.0, 0.0])]
-    for i in range(1, max(2, n)):
+    for i in range(1, n):
         t_meet = float(i) + 0.5
         offset = 0.0 if i % 2 == 1 else _STEP * i
         y0 = float(np.round(rng.uniform(2.0, 10.0) / _STEP) * _STEP)
@@ -218,7 +250,7 @@ def _system_symmetric(rng: np.random.Generator, n: int, k: int) -> PointSystem:
     """
     motions = [Motion.linear([0.0, 0.0], [_STEP, 0.0])]
     i = 0
-    while len(motions) < max(3, n):
+    while len(motions) < n:
         i += 1
         x = float(np.round(rng.uniform(1.0, 8.0) / _STEP) * _STEP) + i
         y = float(np.round(rng.uniform(0.5, 6.0) / _STEP) * _STEP)
@@ -226,7 +258,7 @@ def _system_symmetric(rng: np.random.Generator, n: int, k: int) -> PointSystem:
         vy = float(np.round(rng.uniform(-2.0, 2.0) / _STEP) * _STEP)
         motions.append(Motion.linear([x, y], [vx, vy]))
         motions.append(Motion.linear([x, -y], [vx, -vy]))
-    return PointSystem(_distinct_starts(motions[:max(3, n)]))
+    return PointSystem(_distinct_starts(motions[:n]))
 
 
 def _system_parallel(rng: np.random.Generator, n: int, k: int) -> PointSystem:
@@ -238,7 +270,7 @@ def _system_parallel(rng: np.random.Generator, n: int, k: int) -> PointSystem:
     """
     v = _quant(rng, 2, lo=-3.0, hi=3.0)
     motions = []
-    for i in range(max(2, n)):
+    for i in range(n):
         start = _quant(rng, 2, lo=-8.0, hi=8.0) + np.array([0.0, 0.5 * i])
         motions.append(Motion.linear(start, v))
     return PointSystem(_distinct_starts(motions))
@@ -248,7 +280,7 @@ def _system_quadratic(rng: np.random.Generator, n: int, k: int) -> PointSystem:
     """Degree-boundary motion: a mix of k-motion, linear and stationary
     points in one system (effective degrees 0..k)."""
     motions = []
-    for i in range(max(2, n)):
+    for i in range(n):
         eff_k = int(rng.integers(0, max(1, k) + 1))
         rows = [_quant(rng, eff_k + 1, lo=-6.0, hi=6.0) for _ in range(2)]
         motions.append(Motion.from_arrays(rows))
@@ -266,11 +298,33 @@ SYSTEM_KINDS = {
     "mixed_degree": _system_quadratic,
 }
 
+#: Smallest meaningful instance per family: the seed configuration each
+#: geometry needs (a collider and a target, a mirror pair plus the
+#: on-axis query point, ...).  :func:`make_system` pads requests below
+#: the floor up to it, so every family returns ``max(n, floor)`` points.
+SYSTEM_SIZE_FLOORS = {
+    "random": 1,
+    "crossing": 2,
+    "converging": 2,
+    "grazing": 2,
+    "symmetric": 3,
+    "parallel": 2,
+    "mixed_degree": 2,
+}
+
 
 def make_system(kind: str, seed: int, n: int = 8, k: int = 1) -> PointSystem:
-    """Deterministic system instance: a pure function of ``(kind, seed, n, k)``."""
+    """Deterministic system instance: a pure function of ``(kind, seed, n, k)``.
+
+    Returns exactly ``max(n, SYSTEM_SIZE_FLOORS[kind])`` points, for any
+    ``n >= 1`` up to campaign scale (2^20 and beyond: builder work and
+    coordinate magnitudes grow at most linearly in ``n``).
+    """
     if kind not in SYSTEM_KINDS:
         raise KeyError(f"unknown system kind {kind!r}; have {sorted(SYSTEM_KINDS)}")
+    n = _check_size("n", n, 1)
+    k = _check_size("k", k, 0)
+    n = max(n, SYSTEM_SIZE_FLOORS[kind])
     rng = np.random.default_rng(seed)
     return SYSTEM_KINDS[kind](rng, n, k)
 

@@ -26,6 +26,8 @@ import pathlib
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from ..analysis import polylog_fit, power_fit
 from ..core.collision import collision_times
 from ..core.containment import containment_intervals
@@ -36,6 +38,7 @@ from ..core.neighbors import closest_point_sequence
 from ..kinetics.davenport_schinzel import lambda_mesh_size
 from ..kinetics.motion import converging_swarm, crossing_traffic, random_system
 from ..machines.machine import hypercube_machine, mesh_machine
+from ..ops import bitonic_sort
 from .diffs import render_diff
 from .generators import make_curves
 
@@ -93,6 +96,15 @@ def _run_containment(machine, n):
     containment_intervals(machine, converging_swarm(n, seed=3), [40.0, 40.0])
 
 
+def _run_sort(machine, n):
+    bitonic_sort(machine, np.random.default_rng(4).uniform(size=n))
+
+
+def _run_envelope_large(machine, n):
+    envelope(machine, make_curves("random", seed=7, n=n, s=2),
+             PolynomialFamily(2))
+
+
 SCALING_TARGETS: dict[str, ScalingTarget] = {
     t.name: t for t in (
         ScalingTarget("envelope", (16, 64, 256), _run_envelope,
@@ -110,6 +122,15 @@ SCALING_TARGETS: dict[str, ScalingTarget] = {
         ScalingTarget("containment", (16, 64, 256), _run_containment,
                       lambda n: lambda_mesh_size(n, 1),
                       "Theta(lambda^{1/2}(n,1)) mesh / Theta(log^2 n) cube"),
+        # Table-1-scale sweeps: the primitive the vectorized executor
+        # accelerates, pinned at sizes up to the full 4096-PE machine,
+        # and the envelope sweep extended 4x beyond its small-tier pin.
+        ScalingTarget("sort", (256, 1024, 4096), _run_sort,
+                      lambda n: float(n),
+                      "Theta(n^{1/2}) mesh / Theta(log^2 n) cube"),
+        ScalingTarget("envelope_large", (64, 256, 1024), _run_envelope_large,
+                      lambda n: lambda_mesh_size(n, 2),
+                      "Theta(lambda^{1/2}(n,2)) mesh / Theta(log^2 n) cube"),
     )
 }
 

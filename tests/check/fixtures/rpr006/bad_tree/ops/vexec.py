@@ -1,0 +1,23 @@
+"""Known-bad vectorized executor: every RPR006 failure mode in one file."""
+
+import numpy as np
+
+
+def execute_plan_vectorized(machine, plan, cols):
+    length = len(cols[0])
+    boxed = np.empty(length, dtype=object)
+    for i in range(length):
+        boxed[i] = cols[0][i]
+    for rnd in plan.rounds:
+        swap = boxed[rnd.src_lo] > boxed[rnd.src_hi]
+        gidx = np.where(swap, rnd.upper, rnd.lower)
+        boxed = boxed[gidx]
+        machine.exchange(length, rnd.bit)
+    return boxed
+
+
+def widen_column(machine, col):
+    lifted = np.frompyfunc(min, 2, 1)
+    out = col.astype(object)
+    machine.doubling_sweep(len(col))
+    return lifted(out, out[::-1])

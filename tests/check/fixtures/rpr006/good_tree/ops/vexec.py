@@ -1,0 +1,39 @@
+"""Known-good vectorized executor: whole-array kernels, fused charges.
+
+Object boxing happens only inside the declared ``_lower*`` / ``_rebox*``
+boundary; execution loops iterate over plan rounds (never slots) and the
+only charges are the fused per-operation vectors.
+"""
+
+import numpy as np
+
+
+def _lower_column(values):
+    lowered = []
+    for i in range(len(values)):
+        lowered.append(float(values[i]))
+    out = np.empty(len(values), dtype=object)
+    out[:] = lowered
+    return out.astype(np.float64)
+
+
+def _rebox_column(col):
+    out = np.empty(len(col), dtype=object)
+    out[:] = col.tolist()
+    return out
+
+
+def execute_plan_vectorized(machine, plan, keys):
+    col = _lower_column(keys[0])
+    perm = np.arange(len(col), dtype=np.intp)
+    for rnd in plan.rounds:
+        swap = col[rnd.src_lo] > col[rnd.src_hi]
+        gidx = np.arange(len(col), dtype=np.intp)
+        gidx[rnd.lower] = np.where(swap, rnd.upper, rnd.lower)
+        gidx[rnd.upper] = np.where(swap, rnd.lower, rnd.upper)
+        col = col[gidx]
+        perm = perm[gidx]
+    machine.exchange_sweep(len(col), plan.bits)
+    for arr in keys:
+        arr[:] = arr[perm]
+    return _rebox_column(col)

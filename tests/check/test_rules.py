@@ -146,6 +146,39 @@ def test_rpr005_good_fixture_clean():
 
 
 # ----------------------------------------------------------------------
+# RPR006 vectorized-executor hygiene
+# ----------------------------------------------------------------------
+def test_rpr006_bad_fixture_exact_findings():
+    report = findings_of("rpr006")
+    assert triples(report) == [
+        ("vexec.py", 8, "RPR006"),    # dtype=object outside _lower*/_rebox*
+        ("vexec.py", 9, "RPR006"),    # for-over-range element loop
+        ("vexec.py", 15, "RPR006"),   # per-round machine.exchange charge
+        ("vexec.py", 20, "RPR006"),   # np.frompyfunc python lift
+        ("vexec.py", 21, "RPR006"),   # astype(object)
+    ]
+
+
+def test_rpr006_good_fixture_boundary_functions_exempt():
+    # The good tree boxes objects and walks elements *inside* the
+    # _lower*/_rebox* boundary, charges only fused sweeps — zero findings.
+    report = run_check(FIXTURES / "rpr006" / "good_tree")
+    assert report.ok and not report.findings
+
+
+def test_rpr006_only_binds_to_the_vexec_module(tmp_path):
+    # The same code under any other module name is out of scope: RPR006
+    # is a contract of repro.ops.vexec specifically.
+    source = (FIXTURES / "rpr006" / "bad_tree" / "ops" /
+              "vexec.py").read_text()
+    ops = tmp_path / "ops"
+    ops.mkdir()
+    (ops / "helpers.py").write_text(source)
+    report = run_check(tmp_path, select=["RPR006"])
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
 # Suppression behaviour (shared by all rules)
 # ----------------------------------------------------------------------
 def test_reasoned_noqa_suppresses_and_keeps_reason():
@@ -193,6 +226,7 @@ def test_custom_rule_registers_and_runs(tmp_path):
 
 
 def test_builtin_rules_registered_with_docs():
-    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"} <= set(RULES)
+    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR006"} <= set(RULES)
     for rule in RULES.values():
         assert rule.name and rule.summary and rule.rationale

@@ -37,14 +37,16 @@ def fast_combine_mode(request):
         set_fast_combine(prev)
 
 
-@pytest.fixture(params=[True, False], ids=["compiled", "interpreted"])
+@pytest.fixture(params=["vectorized", "compiled", "reference"],
+                ids=["vectorized", "compiled", "interpreted"])
 def plan_mode(request):
-    """Run the decorated tests under both data-movement executors.
+    """Run the decorated tests under all three data-movement executors.
 
-    Same contract as ``fast_combine_mode``: the compiled plans (PR 3) must
-    be output- and simulated-charge-identical to the interpreted per-round
-    path, so tests marked ``@pytest.mark.usefixtures("plan_mode")`` run
-    once per executor.
+    Same contract as ``fast_combine_mode``: the compiled plans (PR 3) and
+    the vectorized column executor (PR 6) must be output- and
+    simulated-charge-identical to the interpreted per-round path, so tests
+    marked ``@pytest.mark.usefixtures("plan_mode")`` run once per
+    executor.
     """
     prev = set_compiled_plans(request.param)
     try:

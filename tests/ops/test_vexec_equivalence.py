@@ -1,0 +1,292 @@
+"""Vectorized executor vs compiled plans vs the interpreted reference.
+
+The vectorized executor (:mod:`repro.ops.vexec`) lowers keys to numeric
+columns once per operation and replays the compiled plan as whole-array
+kernels.  These tests pin the three-way contract bit-exactly — values
+*and* the full simulated-charge snapshot must agree across
+``reference``/``compiled``/``vectorized`` on every topology, for every
+key family the lowering layer accepts, and the refusal path (key types
+that cannot be lowered) must fall back to the compiled executor
+observably: same results, ``vexec.fallbacks`` incremented in the shared
+registry.  Mirrors ``test_plans_equivalence.py``, which keeps pinning the
+compiled-vs-reference half of the contract.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    ccc_machine,
+    hypercube_machine,
+    mesh_machine,
+    shuffle_exchange_machine,
+)
+from repro.ops import (
+    bitonic_merge,
+    bitonic_sort,
+    fill_forward,
+    pack,
+    parallel_prefix,
+    semigroup,
+    set_compiled_plans,
+    vexec_stats,
+)
+from repro.ops.vexec import lower_keys
+from repro.trace.registry import registry_snapshot
+from repro.verify.compare import sim_snapshot
+
+FACTORIES = {
+    "mesh": mesh_machine,
+    "hypercube": hypercube_machine,
+    "ccc": ccc_machine,
+    "shuffle-exchange": shuffle_exchange_machine,
+}
+
+EXECUTORS = ("vectorized", "compiled", "reference")
+
+N = 16
+
+
+def all_modes(run):
+    """Run ``run()`` under every executor; return ``{mode: result}``."""
+    out = {}
+    for mode in EXECUTORS:
+        prev = set_compiled_plans(mode)
+        try:
+            out[mode] = run()
+        finally:
+            set_compiled_plans(prev)
+    return out
+
+
+def assert_all_identical(results):
+    base_mode = EXECUTORS[-1]  # reference: the semantic oracle
+    b_arrays, b_metrics = results[base_mode]
+    for mode, (arrays, metrics) in results.items():
+        assert len(arrays) == len(b_arrays)
+        for got, want in zip(arrays, b_arrays):
+            got, want = np.asarray(got), np.asarray(want)
+            assert got.dtype == want.dtype, mode
+            assert got.tolist() == want.tolist(), mode
+        assert sim_snapshot(metrics) == sim_snapshot(b_metrics), mode
+
+
+def _object_floats(rng, n):
+    out = np.empty(n, dtype=object)
+    out[:] = rng.uniform(-5, 5, n).tolist()
+    return out
+
+
+def _object_ints(rng, n):
+    out = np.empty(n, dtype=object)
+    out[:] = [int(v) << 40 for v in rng.integers(-50, 50, n)]
+    return out
+
+
+def _object_tuples(rng, n):
+    out = np.empty(n, dtype=object)
+    out[:] = list(zip(rng.integers(0, 3, n).tolist(),
+                      rng.uniform(size=n).tolist()))
+    return out
+
+
+def _duplicate_heavy(rng, n):
+    # Many ties: pins that the vectorized permutation reproduces the
+    # network's (unstable) tie arrangement exactly, not just sortedness.
+    out = np.empty(n, dtype=object)
+    out[:] = [float(v) for v in rng.integers(0, 3, n)]
+    return out
+
+
+KEY_FAMILIES = {
+    "native_float": lambda rng, n: rng.uniform(-5, 5, n),
+    "object_float": _object_floats,
+    "object_bigint": _object_ints,
+    "object_tuple": _object_tuples,
+    "duplicate_heavy": _duplicate_heavy,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+@pytest.mark.parametrize("family", sorted(KEY_FAMILIES))
+class TestSortEquivalence:
+    def test_sort_with_payload(self, kind, family):
+        rng = np.random.default_rng(7)
+        keys = KEY_FAMILIES[family](rng, N)
+        tags = np.arange(N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            (k,), (t,) = bitonic_sort(m, keys, [tags])
+            return (k, t), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+    def test_segmented_descending_sort(self, kind, family):
+        rng = np.random.default_rng(11)
+        keys = KEY_FAMILIES[family](rng, N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            (k,), _ = bitonic_sort(m, keys, segment_size=4, ascending=False)
+            return (k,), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+class TestMergeEquivalence:
+    def test_merge_object_keys(self, kind):
+        rng = np.random.default_rng(13)
+        keys = np.empty(N, dtype=object)
+        keys[:N // 2] = np.sort(rng.uniform(size=N // 2)).tolist()
+        keys[N // 2:] = np.sort(rng.uniform(size=N // 2)).tolist()
+        tags = np.arange(N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            (k,), (t,) = bitonic_merge(m, keys, [tags])
+            return (k, t), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+class TestScanEquivalence:
+    def test_semigroup_min_max_object(self, kind):
+        rng = np.random.default_rng(17)
+        vals = _object_floats(rng, N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            lo = semigroup(m, vals, np.minimum)
+            hi = semigroup(m, vals, np.maximum)
+            return (lo, hi), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+    def test_semigroup_add_object(self, kind):
+        rng = np.random.default_rng(19)
+        vals = _object_floats(rng, N)
+
+        def run():
+            m = FACTORIES[kind](N)
+            return (semigroup(m, vals, np.add),), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+    def test_fill_and_pack_ride_along(self, kind):
+        # Fills/prefix are whole-array under every executor; pack rides on
+        # them.  Pinned here so the executor switch can never skew them.
+        rng = np.random.default_rng(23)
+        vals = _object_floats(rng, N)
+        known = np.zeros(N, dtype=bool)
+        known[[2, 9, 14]] = True
+        keep = rng.uniform(size=N) < 0.5
+
+        def run():
+            m = FACTORIES[kind](N)
+            filled = fill_forward(m, vals, known)
+            pre = parallel_prefix(m, np.arange(N), np.add)
+            (packed,), count = pack(m, keep, [vals])
+            return (filled, pre, packed, np.asarray([count])), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+
+class TestMultiKey:
+    def test_mixed_native_and_object_keys(self):
+        rng = np.random.default_rng(29)
+        k1 = rng.integers(0, 3, N)
+        k2 = _object_floats(rng, N)
+
+        def run():
+            m = mesh_machine(N)
+            (s1, s2), _ = bitonic_sort(m, [k1, k2])
+            return (s1, s2), m.metrics
+
+        assert_all_identical(all_modes(run))
+
+
+class TestLowering:
+    def test_lowerable_families(self):
+        rng = np.random.default_rng(31)
+        for family in ("object_float", "object_bigint", "object_tuple"):
+            cols = lower_keys([KEY_FAMILIES[family](rng, N)])
+            assert cols is not None, family
+            assert all(c.dtype != object for c in cols), family
+
+    def test_tuple_keys_widen_to_columns(self):
+        rng = np.random.default_rng(37)
+        cols = lower_keys([_object_tuples(rng, N)])
+        assert len(cols) == 2
+
+    def test_refusals(self):
+        fractions = np.empty(N, dtype=object)
+        fractions[:] = [Fraction(i, 7) for i in range(N)]
+        huge = np.empty(N, dtype=object)
+        huge[:] = [i << 200 for i in range(N)]
+        inexact = np.empty(N, dtype=object)
+        inexact[:] = [(1 << 53) + 1 - i for i in range(N // 2)] + \
+            [0.5] * (N - N // 2)
+        ragged = np.empty(N, dtype=object)
+        ragged[:] = [(1,)] * (N - 1) + [(1, 2)]
+        for name, arr in [("fractions", fractions), ("huge", huge),
+                          ("inexact_mixed", inexact), ("ragged", ragged)]:
+            assert lower_keys([arr]) is None, name
+
+
+class TestObservableFallback:
+    def test_non_lowerable_keys_fall_back_identically(self):
+        keys = np.empty(N, dtype=object)
+        keys[:] = [Fraction(3 * i % 11, 7) for i in range(N)]
+        tags = np.arange(N)
+
+        def run():
+            m = hypercube_machine(N)
+            (k,), (t,) = bitonic_sort(m, keys, [tags])
+            return (k, t), m.metrics
+
+        before = vexec_stats()
+        assert_all_identical(all_modes(run))
+        after = vexec_stats()
+        # Exactly the one vectorized attempt refused; the compiled and
+        # reference runs never consult the lowering layer.
+        assert after["fallbacks"] == before["fallbacks"] + 1
+        assert after["lowered"] == before["lowered"]
+
+    def test_fallback_visible_in_registry_snapshot(self):
+        keys = np.empty(N, dtype=object)
+        keys[:] = [Fraction(i, 3) for i in range(N)]
+        before = registry_snapshot().get("vexec.fallbacks", 0)
+        prev = set_compiled_plans("vectorized")
+        try:
+            bitonic_sort(mesh_machine(N), keys)
+        finally:
+            set_compiled_plans(prev)
+        snap = registry_snapshot()
+        assert snap["vexec.fallbacks"] == before + 1
+
+    def test_lowered_counter_advances(self):
+        before = vexec_stats()["lowered"]
+        prev = set_compiled_plans("vectorized")
+        try:
+            bitonic_sort(mesh_machine(N), np.arange(N, dtype=float))
+        finally:
+            set_compiled_plans(prev)
+        assert vexec_stats()["lowered"] == before + 1
+
+    def test_custom_semigroup_op_falls_back(self):
+        rng = np.random.default_rng(41)
+        vals = _object_floats(rng, N)
+        lifted = np.frompyfunc(lambda a, b: a if a < b else b, 2, 1)
+
+        def run():
+            m = mesh_machine(N)
+            return (semigroup(m, vals, lifted),), m.metrics
+
+        before = vexec_stats()["fallbacks"]
+        assert_all_identical(all_modes(run))
+        assert vexec_stats()["fallbacks"] == before + 1

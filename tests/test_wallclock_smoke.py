@@ -18,7 +18,7 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from bench_wallclock import JSON_PATH, run_wallclock  # noqa: E402
+from bench_wallclock import JSON_PATH, run_wallclock, within_noise  # noqa: E402
 
 pytestmark = pytest.mark.wallclock
 
@@ -36,10 +36,16 @@ def test_wallclock_smoke():
     # The envelope sweep specifically must retain a clear win over seed:
     # losing the batched/cached fast path drops this to ~1x.
     assert results["workloads"]["envelope"]["speedup"] >= 1.5
-    # Compiled movement plans must not be a pessimisation on the
-    # acceptance workload (generous noise margin: smoke sizes are tiny).
+    # Neither fast executor may be a pessimisation on the acceptance
+    # workload.  Noise-aware (1.25x + 10 ms): smoke workloads run in tens
+    # of milliseconds, where a plain ratio reads measurement grain as
+    # signal — the large tier is where executor speedups are asserted.
     env = results["workloads"]["envelope"]
-    assert env["seconds"] <= 1.25 * env["plan_off_seconds"], (
-        f"envelope: compiled {env['seconds']:.4f}s slower than "
+    assert within_noise(env["compiled_seconds"], env["plan_off_seconds"]), (
+        f"envelope: compiled {env['compiled_seconds']:.4f}s slower than "
+        f"interpreted {env['plan_off_seconds']:.4f}s"
+    )
+    assert within_noise(env["seconds"], env["plan_off_seconds"]), (
+        f"envelope: vectorized {env['seconds']:.4f}s slower than "
         f"interpreted {env['plan_off_seconds']:.4f}s"
     )

@@ -8,6 +8,7 @@ from repro.kinetics.motion import PointSystem
 from repro.verify.generators import (
     CURVE_KINDS,
     SYSTEM_KINDS,
+    SYSTEM_SIZE_FLOORS,
     curve_lists,
     curves_from_json,
     curves_to_json,
@@ -96,6 +97,70 @@ class TestFamilyShapes:
         assert all(len(m.coords) == 2 for m in system)
         starts = [tuple(float(c(0.0)) for c in m.coords) for m in system]
         assert len(set(starts)) == len(starts)
+
+
+class TestSizeContract:
+    """Exact instance sizes, degenerate requests, and campaign-scale n."""
+
+    @pytest.mark.parametrize("kind", sorted(CURVE_KINDS))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64])
+    def test_curve_families_return_exactly_n(self, kind, n):
+        assert len(make_curves(kind, seed=13, n=n, s=2)) == n
+
+    @pytest.mark.parametrize("kind", sorted(SYSTEM_KINDS))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64])
+    def test_system_families_return_floored_n(self, kind, n):
+        system = make_system(kind, seed=13, n=n, k=1)
+        assert len(system) == max(n, SYSTEM_SIZE_FLOORS[kind])
+
+    def test_floors_cover_every_family(self):
+        assert set(SYSTEM_SIZE_FLOORS) == set(SYSTEM_KINDS)
+
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_degenerate_sizes_rejected(self, bad):
+        with pytest.raises(ValueError, match="n must be"):
+            make_curves("random", seed=0, n=bad)
+        with pytest.raises(ValueError, match="n must be"):
+            make_system("random", seed=0, n=bad)
+
+    @pytest.mark.parametrize("bad", [2.0, "8", None, True])
+    def test_non_integer_sizes_rejected(self, bad):
+        with pytest.raises(TypeError, match="n must be an integer"):
+            make_curves("random", seed=0, n=bad)
+        with pytest.raises(TypeError, match="n must be an integer"):
+            make_system("random", seed=0, n=bad)
+
+    def test_numpy_integer_sizes_accepted(self):
+        # Campaign sweeps produce np.int64 sizes; they must pass through.
+        assert len(make_curves("random", seed=0, n=np.int64(5), s=2)) == 5
+        assert len(make_system("parallel", seed=0, n=np.int64(5))) == 5
+
+    def test_degree_and_motion_bounds_validated(self):
+        with pytest.raises(ValueError, match="s must be"):
+            make_curves("random", seed=0, n=4, s=-1)
+        with pytest.raises(ValueError, match="k must be"):
+            make_system("random", seed=0, n=4, k=-1)
+
+    @pytest.mark.parametrize("kind", ["random", "grazing", "parallel"])
+    def test_campaign_scale_systems_stay_finite(self, kind):
+        # 2^17 points: the builders' n-dependent terms (lane offsets,
+        # mirror nudges, per-point speeds) grow at most linearly, so
+        # coordinates must stay finite and starts distinct at scale.
+        n = 1 << 17
+        system = make_system(kind, seed=1, n=n, k=1)
+        assert len(system) == n
+        starts = np.array([[float(c(0.0)) for c in m.coords]
+                           for m in system])
+        assert np.isfinite(starts).all()
+        assert len({tuple(row) for row in starts.tolist()}) == n
+
+    def test_campaign_scale_curves_stay_finite(self):
+        n = 1 << 17
+        fns = make_curves("random", seed=1, n=n, s=2)
+        assert len(fns) == n
+        coeffs = np.concatenate([np.asarray(f._cl, dtype=float)
+                                 for f in fns])
+        assert np.isfinite(coeffs).all()
 
 
 class TestJsonRoundTrip:
