@@ -1,8 +1,11 @@
 """Wall-clock smoke check — tier-1's guard against host-side regressions.
 
 Runs the ``benchmarks/bench_wallclock.py`` sweep in smoke mode (reduced
-sizes, a few seconds total), writes ``BENCH_wallclock.json``, and fails on
-a >2x wall-clock regression against the recorded seed baselines.  The
+sizes, a few seconds total) and fails on a >2x wall-clock regression
+against the recorded seed baselines.  The JSON report goes to a pytest
+temp dir, never to the repo-root ``BENCH_wallclock.json`` — that file is
+reserved for explicit CLI benchmark runs, so the tier-1 suite cannot
+overwrite deliberate large-tier results with smoke noise.  The
 budgets are generous — the optimised tree runs 3-6x *faster* than seed, so
 only a genuine regression (e.g. losing the fast combine path *and* the
 crossing cache) can trip them, not machine noise.
@@ -18,14 +21,15 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from bench_wallclock import JSON_PATH, run_wallclock, within_noise  # noqa: E402
+from bench_wallclock import run_wallclock, within_noise  # noqa: E402
 
 pytestmark = pytest.mark.wallclock
 
 
-def test_wallclock_smoke():
-    results = run_wallclock("smoke", repeats=3)
-    assert JSON_PATH.exists()
+def test_wallclock_smoke(tmp_path):
+    json_path = tmp_path / "BENCH_wallclock.json"
+    results = run_wallclock("smoke", repeats=3, json_path=json_path)
+    assert json_path.exists()
     for name, entry in results["workloads"].items():
         # >2x regression vs the *seed* baseline fails: even the
         # unoptimised tree passed this with a 2x margin to spare.
