@@ -35,11 +35,14 @@ class CheckPolicy:
     #:   trace/tracer.py       span wall-clock capture (the other clock)
     #:   trace/provenance.py   run manifests timestamp by design
     #:   parallel.py           the process-pool engine (host execution)
+    #:   service/              request latency / worker wall accounting
+    #:                         (serving measures the host by design)
     wallclock_modules: tuple[str, ...] = (
         "machines/metrics.py",
         "trace/tracer.py",
         "trace/provenance.py",
         "parallel.py",
+        "service/",
         "benchmarks/",
     )
 
@@ -105,6 +108,24 @@ class CheckPolicy:
         "submit",
     )
 
+    #: RPR007 — the asyncio serving layer: its event loop must never run
+    #: a simulated run; drivers execute in shard worker pools.
+    service_modules: tuple[str, ...] = (
+        "service/",
+    )
+
+    #: RPR007 — callable names that block for a whole simulated run (the
+    #: drivers, the batch/worker entry points, the campaign engine, ops
+    #: sorts).  Calling any of these inside an ``async def`` in a service
+    #: module is a finding; passing them *uncalled* to ``pool.submit`` is
+    #: the sanctioned pattern.
+    service_blocking_calls: tuple[str, ...] = (
+        "envelope", "envelope_serial",
+        "hull_membership_intervals", "steady_hull",
+        "run_driver", "direct_response", "execute_batch", "direct_item",
+        "run_instance", "campaign", "parallel_map", "bitonic_sort",
+    )
+
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -125,6 +146,9 @@ class CheckPolicy:
 
     def is_vexec_module(self, rel: str) -> bool:
         return _match(rel, self.vexec_modules)
+
+    def is_service_module(self, rel: str) -> bool:
+        return _match(rel, self.service_modules)
 
 
 DEFAULT_POLICY = CheckPolicy()

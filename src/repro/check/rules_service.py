@@ -1,0 +1,82 @@
+"""RPR007 — event-loop purity of the query service.
+
+The asyncio service (:mod:`repro.service`) promises that its event loop
+only plans, keys, caches, and evaluates already-encoded answers; every
+simulated run crosses into a shard worker through ``pool.submit``.  A
+blocking driver call *inside an async handler* freezes the whole serving
+loop for the duration of a simulated run — every concurrent client
+stalls, latency percentiles collapse, and nothing fails loudly (the
+answers stay correct, which is why a static rule is needed).
+
+The rule flags, inside service modules only
+(:attr:`~repro.check.policy.CheckPolicy.service_modules`):
+
+* **blocking driver calls in async functions** — any call whose resolved
+  name is in
+  :attr:`~repro.check.policy.CheckPolicy.service_blocking_calls`
+  (drivers, the batch/driver entry points, the campaign engine, ops
+  sorts) lexically inside an ``async def``.  Passing the callable to an
+  executor (``pool.submit(execute_batch, payload)``) is legal — the rule
+  matches *calls*, not references;
+* **synchronous sleeps in async functions** — ``time.sleep`` in a
+  handler blocks the loop the same way (use ``asyncio.sleep``).
+
+Synchronous helpers in the same modules may call drivers freely (that is
+what the workers do); the rule keys on the *enclosing async frame*, so a
+nested sync ``def`` inside an ``async def`` is still flagged — the loop
+runs it just the same.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+#: Names that block the loop regardless of the driver list.
+_SYNC_SLEEPS = {"time.sleep"}
+
+
+@register
+class ServiceLoopPurity(Rule):
+    id = "RPR007"
+    name = "service-loop-purity"
+    summary = ("blocking driver code (or time.sleep) called inside an "
+               "async service handler instead of a shard worker")
+    rationale = ("the serving loop must only plan/cache/answer; a driver "
+                 "call on the loop stalls every concurrent client for a "
+                 "whole simulated run (docs/service.md) — runs belong in "
+                 "shard workers via pool.submit")
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.policy.is_service_module(ctx.rel):
+            return
+        blocking = set(ctx.policy.service_blocking_calls)
+        for node, name in ctx.calls():
+            leaf = name.rsplit(".", 1)[-1]
+            if name in _SYNC_SLEEPS:
+                if _in_async_frame(ctx, node):
+                    ctx.report(node, "time.sleep() blocks the event loop; "
+                                     "use asyncio.sleep() in handlers")
+            elif leaf in blocking and _in_async_frame(ctx, node):
+                ctx.report(node, f"blocking driver call {leaf}() inside an "
+                                 f"async handler; submit it to a shard "
+                                 f"worker pool instead (the loop must "
+                                 f"never run a simulated run)")
+
+
+def _in_async_frame(ctx: FileContext, node: ast.AST) -> bool:
+    """True when the *loop* would execute ``node``.
+
+    Walks the enclosing-function chain: a hit on an ``async def`` before
+    hitting module scope means the call runs on the loop.  Plain ``def``
+    frames do not stop the walk — a sync helper nested in an async
+    handler still executes on the loop when the handler calls it, and
+    flagging at its definition site keeps the finding next to the code.
+    """
+    fn = ctx.enclosing_function(node)
+    while fn is not None:
+        if isinstance(fn, ast.AsyncFunctionDef):
+            return True
+        fn = ctx.enclosing_function(fn)
+    return False

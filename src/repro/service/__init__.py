@@ -1,0 +1,44 @@
+"""Envelope-as-a-service: batched, cached, sharded query serving.
+
+The serving layer of ROADMAP item 2.  Clients submit
+``(curve-family, query)`` requests to an asyncio :class:`QueryService`;
+compatible queries (same family + algorithm + machine model) batch into
+single simulated runs, families shard deterministically across worker
+pools, and repeat traffic is served from a bounded sharded cache — with
+the hard contract that none of it can change a response byte
+(``docs/service.md``, enforced by ``tests/service/``).
+
+Layout:
+
+``model``    requests, run keys, encoded results, answers, provenance
+``planner``  pending requests -> deterministic batch units
+``cache``    sharded bounded LRU over finished run entries
+``workers``  per-shard pools + the picklable batch entry point
+``server``   the asyncio front end (batching loop, retries, spans)
+"""
+
+from .cache import ShardedResultCache
+from .model import (
+    ALGORITHMS,
+    BACKENDS,
+    FamilySpec,
+    QueryRequest,
+    QueryResponse,
+    ServiceError,
+    direct_response,
+    request,
+    run_key,
+    shard_of,
+    validate_request,
+)
+from .planner import BatchUnit, plan_batches
+from .server import QueryService, ServiceStats
+from .workers import ShardPools, direct_item, execute_batch
+
+__all__ = [
+    "ALGORITHMS", "BACKENDS", "FamilySpec", "QueryRequest", "QueryResponse",
+    "ServiceError", "QueryService", "ServiceStats", "ShardedResultCache",
+    "ShardPools", "BatchUnit", "plan_batches", "request", "run_key",
+    "shard_of", "direct_response", "direct_item", "execute_batch",
+    "validate_request",
+]

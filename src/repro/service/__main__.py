@@ -1,0 +1,85 @@
+"""``python -m repro.service`` — a self-contained serving smoke run.
+
+Replays a small synthetic query stream (zipf-skewed repeats over a few
+families, all three algorithms) through a live :class:`QueryService` and
+prints the serving counters.  The heavyweight load harness with latency
+percentiles and the committed artifact lives in
+``benchmarks/bench_service.py``; this entry point exists to demo the
+service and smoke-test an installation in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+from .model import request
+from .server import QueryService
+
+
+def build_stream(n_queries: int, n_families: int, seed: int,
+                 skew: float = 1.1) -> list:
+    """A zipf-skewed request stream over a deterministic family universe."""
+    rng = np.random.default_rng(seed)
+    universe = []
+    for i in range(n_families):
+        alg = ("envelope", "hull_membership", "steady_hull")[i % 3]
+        if alg == "envelope":
+            universe.append(request(
+                "envelope", kind=("random", "tangent", "tie")[i % 3],
+                seed=100 + i, n=4 + i % 5,
+                op="min" if i % 2 == 0 else "max"))
+        elif alg == "hull_membership":
+            universe.append(request(
+                "hull_membership", kind=("random", "symmetric")[i % 2],
+                seed=200 + i, n=5 + i % 3))
+        else:
+            universe.append(request(
+                "steady_hull", kind=("random", "converging")[i % 2],
+                seed=300 + i, n=5 + i % 4))
+    weights = (np.arange(1, n_families + 1, dtype=float)) ** (-skew)
+    weights /= weights.sum()
+    picks = rng.choice(n_families, size=n_queries, p=weights)
+    return [universe[int(i)] for i in picks]
+
+
+async def _serve(stream, args) -> dict:
+    async with QueryService(shards=args.shards, workers=args.workers,
+                            cache_capacity=args.cache,
+                            max_batch=args.max_batch) as svc:
+        for start in range(0, len(stream), args.wave):
+            wave = stream[start:start + args.wave]
+            await svc.submit_many(wave)
+        return svc.stats_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="smoke-replay a synthetic query stream")
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--families", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", choices=("thread", "process"),
+                        default="thread")
+    parser.add_argument("--cache", type=int, default=128,
+                        help="total cache capacity (0 disables)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--wave", type=int, default=64,
+                        help="concurrent submissions per wave")
+    args = parser.parse_args(argv)
+    stream = build_stream(args.queries, args.families, args.seed)
+    stats = asyncio.run(_serve(stream, args))
+    json.dump(stats, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    ok = stats["service"]["responses"] == args.queries
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

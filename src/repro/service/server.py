@@ -1,0 +1,455 @@
+"""Envelope-as-a-service: the asyncio batching/caching query server.
+
+:class:`QueryService` is the long-running front end of ROADMAP item 2:
+clients ``await submit(request)`` with a ``(curve-family, query)``
+request; a batching loop collects concurrent arrivals, the planner
+(:mod:`repro.service.planner`) collapses compatible queries into batch
+units backed by a single simulated run each, units are sharded
+deterministically across worker pools, and repeat traffic is served from
+the sharded bounded cache (:mod:`repro.service.cache`).
+
+Serving discipline:
+
+* **event-loop purity** — the loop only plans, keys, caches, and
+  evaluates encoded answers; every simulated run crosses into a shard
+  worker via ``pool.submit`` (RPR007 enforces this statically: async
+  handlers must not call blocking driver code);
+* **determinism** — a response payload is a pure function of the request
+  and the service configuration.  Batching, dedupe, caching, shard
+  count, worker mode, and arrival order can change only *metadata*
+  (latency, cache flags), never a payload byte;
+* **degradation** — a failed worker (killed process, raised fault) is
+  retried on a fresh pool up to ``retries`` times, then the batch's
+  waiters receive a structured :class:`~repro.service.model.ServiceError`
+  — the service itself keeps serving;
+* **observability** — every served batch appends a ``batch`` span (with
+  the run's simulated charges) carrying per-request child spans, and
+  hit/miss/batch-size counters land in the process-wide
+  :class:`~repro.trace.registry.MetricsRegistry`.  Responses carry a
+  ``repro.provenance/1`` manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..ops.plans import EXECUTORS
+from ..trace.provenance import provenance_manifest
+from ..trace.registry import get_counter
+from .cache import ShardedResultCache
+from .model import (
+    QueryRequest,
+    QueryResponse,
+    ServiceError,
+    response_payload,
+    validate_request,
+)
+from .planner import BatchUnit, plan_batches
+from .workers import ShardPools, execute_batch
+
+__all__ = ["QueryService", "ServiceStats"]
+
+_REQUESTS = get_counter("service.requests")
+_RESPONSES = get_counter("service.responses")
+_BATCHES = get_counter("service.batches")
+_BATCHED = get_counter("service.batched_requests")
+_BATCH_MAX = get_counter("service.batch_max")
+_DEDUP = get_counter("service.dedup_hits")
+_RETRIES = get_counter("service.retries")
+_ERRORS = get_counter("service.errors")
+_CANCELLED = get_counter("service.cancelled")
+
+
+@dataclass
+class _Pending:
+    """One submitted request awaiting its response."""
+
+    request: QueryRequest
+    future: asyncio.Future
+    t0: float
+
+
+@dataclass
+class ServiceStats:
+    """Exact instance counters for one service's lifetime."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    batch_max: int = 0
+    dedup_hits: int = 0
+    cache_hit_requests: int = 0
+    cold_requests: int = 0
+    coalesced_requests: int = 0
+    retries: int = 0
+    spans_dropped: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class QueryService:
+    """Batched, cached, sharded asyncio query server over the drivers.
+
+    Use as an async context manager::
+
+        async with QueryService(shards=4) as svc:
+            resp = await svc.submit(request("envelope", kind="random",
+                                            seed=3, n=8, op="min"))
+
+    ``workers`` selects the shard pool mode: ``"thread"`` (in-process,
+    inherits the ambient data-movement executor and caches; the default)
+    or ``"process"`` (isolated workers; worker death is survivable and
+    ``executor`` may pin a data-movement executor per run).  Pinning an
+    executor under thread workers is rejected: threads share the
+    process-wide executor switch, so per-run pinning would race.
+    """
+
+    def __init__(self, *, shards: int = 2, workers: str = "thread",
+                 cache_capacity: int = 256, cache_shards: int | None = None,
+                 batching: bool = True, max_batch: int = 64,
+                 batch_window: float = 0.0, machine_size: int = 64,
+                 executor: str | None = None, retries: int = 1,
+                 span_limit: int = 4096, provenance: bool = True):
+        if executor is not None and executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; "
+                             f"have {EXECUTORS}")
+        if executor is not None and workers == "thread":
+            raise ValueError(
+                "executor pinning requires process workers; thread workers "
+                "share the process-wide executor switch (set it at the "
+                "edge with repro.ops.set_compiled_plans instead)")
+        self.n_shards = max(1, int(shards))
+        self.worker_mode = workers
+        self.batching = bool(batching)
+        self.max_batch = max(1, int(max_batch))
+        self.batch_window = float(batch_window)
+        self.machine_size = int(machine_size)
+        self.executor = executor
+        self.retries = max(0, int(retries))
+        self.span_limit = max(0, int(span_limit))
+        self._want_provenance = bool(provenance)
+        self.cache = ShardedResultCache(
+            cache_capacity,
+            shards=cache_shards if cache_shards is not None else self.n_shards,
+        )
+        self.stats = ServiceStats()
+        self.spans: list[dict] = []
+        self._pending: list[_Pending] = []
+        self._inflight: dict[tuple, asyncio.Task] = {}
+        self._faults: list[str] = []
+        self._pools: ShardPools | None = None
+        self._batcher: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._provenance: dict = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryService":
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        config = {
+            "shards": self.n_shards, "workers": self.worker_mode,
+            "cache_capacity": self.cache.capacity,
+            "batching": self.batching, "max_batch": self.max_batch,
+            "batch_window": self.batch_window,
+            "machine_size": self.machine_size, "executor": self.executor,
+        }
+        if self._want_provenance:
+            self._provenance = provenance_manifest(config=config)
+        else:
+            self._provenance = {"schema": "repro.provenance/1",
+                                "config": config}
+        self._pools = ShardPools(self.n_shards, self.worker_mode)
+        self._wake = asyncio.Event()
+        self._batcher = self._loop.create_task(self._batch_loop())
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        assert self._batcher is not None and self._pools is not None
+        self._batcher.cancel()
+        try:
+            await self._batcher
+        except asyncio.CancelledError:
+            pass
+        err = ServiceError("shutdown", "service stopped with the request "
+                                       "still pending")
+        for pending in self._pending:
+            if not pending.future.done():
+                pending.future.set_exception(err)
+        self._pending.clear()
+        inflight = list(self._inflight.values())
+        for task in inflight:
+            task.cancel()
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+        self._inflight.clear()
+        self._pools.shutdown()
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    async def submit(self, req: QueryRequest) -> QueryResponse:
+        """Serve one request; raises :class:`ServiceError` on failure."""
+        if not self._started:
+            raise ServiceError("not_started", "call start() (or use the "
+                                              "service as an async context "
+                                              "manager) before submitting")
+        problems = validate_request(req)
+        if problems:
+            raise ServiceError("bad_request", "; ".join(problems),
+                               {"request": req.to_dict()})
+        assert self._loop is not None and self._wake is not None
+        fut: asyncio.Future = self._loop.create_future()
+        self._pending.append(_Pending(req, fut, perf_counter()))
+        self.stats.requests += 1
+        _REQUESTS.inc()
+        self._wake.set()
+        return await fut
+
+    async def submit_many(self, reqs) -> list:
+        """Serve many requests concurrently, results in request order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in reqs)))
+
+    def inject_fault(self, mode: str, count: int = 1) -> None:
+        """Arm ``count`` one-shot worker faults (test hook).
+
+        ``"raise"`` makes the next batch attempts raise inside the
+        worker; ``"die"`` kills the worker process mid-batch (process
+        pools only — killing a thread worker would kill the server).
+        """
+        if mode not in ("raise", "die"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if mode == "die" and self.worker_mode != "process":
+            raise ValueError("fault mode 'die' requires process workers")
+        self._faults.extend([mode] * max(1, int(count)))
+
+    # ------------------------------------------------------------------
+    # Batching loop
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            else:
+                await asyncio.sleep(0)
+            pending, self._pending = self._pending, []
+            if not pending:
+                continue
+            units = plan_batches(
+                pending, machine_size=self.machine_size,
+                executor=self.executor, n_shards=self.n_shards,
+                batching=self.batching, max_batch=self.max_batch,
+            )
+            for unit in units:
+                self._dispatch(unit)
+
+    def _dispatch(self, unit: BatchUnit) -> None:
+        assert self._loop is not None
+        self.stats.batches += 1
+        self.stats.batched_requests += unit.size
+        self.stats.dedup_hits += unit.dedup_hits
+        _BATCHES.inc()
+        _BATCHED.inc(unit.size)
+        _DEDUP.inc(unit.dedup_hits)
+        if unit.size > self.stats.batch_max:
+            self.stats.batch_max = unit.size
+            _BATCH_MAX.value = max(_BATCH_MAX.value, unit.size)
+        entry = self.cache.get(unit.key)
+        if entry is not None:
+            self.stats.cache_hit_requests += unit.size
+            self._resolve(unit, entry, cache_hit=True)
+            return
+        task = self._inflight.get(unit.key) if self.batching else None
+        coalesced = task is not None
+        if task is None:
+            task = self._loop.create_task(self._run_unit(unit))
+            if self.batching:
+                self._inflight[unit.key] = task
+        self._loop.create_task(self._deliver(unit, task, coalesced))
+
+    async def _run_unit(self, unit: BatchUnit) -> dict:
+        try:
+            entry = await self._execute_with_retries(unit)
+        finally:
+            self._inflight.pop(unit.key, None)
+        self.cache.put(unit.key, entry)
+        return entry
+
+    async def _deliver(self, unit: BatchUnit, task: asyncio.Task,
+                       coalesced: bool) -> None:
+        try:
+            entry = await asyncio.shield(task)
+        except asyncio.CancelledError:
+            entry = None
+            err = ServiceError("shutdown", "service stopped mid-batch",
+                               {"algorithm": unit.algorithm})
+        except ServiceError as exc:
+            entry = None
+            err = exc
+        except Exception as exc:  # defensive: a bug must not hang waiters
+            entry = None
+            err = ServiceError("internal", f"unexpected batch failure: "
+                                           f"{exc!r}",
+                               {"algorithm": unit.algorithm})
+        if entry is None:
+            for pending in unit.waiters:
+                if not pending.future.done():
+                    pending.future.set_exception(err)
+            return
+        if coalesced:
+            self.stats.coalesced_requests += unit.size
+        else:
+            self.stats.cold_requests += unit.size
+        self._resolve(unit, entry, cache_hit=False, coalesced=coalesced)
+
+    async def _execute_with_retries(self, unit: BatchUnit) -> dict:
+        assert self._pools is not None
+        attempts = 0
+        while True:
+            attempts += 1
+            payload = self._build_payload(unit)
+            try:
+                pool = self._pools.pool(unit.shard)
+                entry = await asyncio.wrap_future(
+                    pool.submit(execute_batch, payload))
+                entry["attempts"] = attempts
+                return entry
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if isinstance(exc, BrokenExecutor):
+                    self._pools.restart(unit.shard)
+                if attempts > self.retries:
+                    self.stats.errors += 1
+                    _ERRORS.inc()
+                    raise ServiceError(
+                        "worker_failed",
+                        f"batch failed after {attempts} attempt(s): {exc!r}",
+                        {"algorithm": unit.algorithm, "shard": unit.shard,
+                         "attempts": attempts,
+                         "batch_size": unit.size},
+                    ) from exc
+                self.stats.retries += 1
+                _RETRIES.inc()
+
+    def _build_payload(self, unit: BatchUnit) -> dict:
+        proto = unit.waiters[0].request
+        fault = self._faults.pop(0) if self._faults else None
+        return {
+            "algorithm": proto.algorithm,
+            "family": proto.family.to_dict(),
+            "backend": proto.backend,
+            "machine_size": self.machine_size,
+            "executor": self.executor,
+            "run_params": proto.run_params(),
+            "fault": fault,
+        }
+
+    # ------------------------------------------------------------------
+    # Response fan-out
+    # ------------------------------------------------------------------
+    def _resolve(self, unit: BatchUnit, entry: dict, *, cache_hit: bool,
+                 coalesced: bool = False) -> None:
+        now = perf_counter()
+        children = []
+        for pending in unit.waiters:
+            fut = pending.future
+            latency = now - pending.t0
+            if fut.done():  # the client cancelled: never poison the batch
+                self.stats.cancelled += 1
+                _CANCELLED.inc()
+                continue
+            try:
+                payload = response_payload(
+                    pending.request, entry,
+                    machine_size=self.machine_size, executor=self.executor)
+            except Exception as exc:
+                fut.set_exception(ServiceError(
+                    "answer_failed", f"query evaluation failed: {exc!r}",
+                    {"request": pending.request.to_dict()}))
+                self.stats.errors += 1
+                _ERRORS.inc()
+                continue
+            meta = {
+                "cache_hit": cache_hit,
+                "coalesced": coalesced,
+                "batch_size": unit.size,
+                "dedup_hits": unit.dedup_hits,
+                "shard": unit.shard,
+                "attempts": entry.get("attempts", 0),
+                "latency_s": latency,
+            }
+            fut.set_result(QueryResponse(payload, meta, self._provenance))
+            self.stats.responses += 1
+            _RESPONSES.inc()
+            children.append({
+                "name": f"request:{pending.request.algorithm}",
+                "cat": "request",
+                "attrs": {"latency_s": latency, "cache_hit": cache_hit},
+                "sim": None, "wall": latency, "children": [],
+            })
+        self._record_span(unit, entry, cache_hit, children)
+
+    def _record_span(self, unit: BatchUnit, entry: dict, cache_hit: bool,
+                     children: list) -> None:
+        if self.span_limit <= 0:
+            return
+        if len(self.spans) >= self.span_limit:
+            del self.spans[0]
+            self.stats.spans_dropped += 1
+        self.spans.append({
+            "name": f"batch:{unit.algorithm}",
+            "cat": "batch",
+            "attrs": {
+                "shard": unit.shard,
+                "size": unit.size,
+                "dedup_hits": unit.dedup_hits,
+                "cache_hit": cache_hit,
+                "attempts": entry.get("attempts", 0),
+            },
+            "sim": entry.get("sim"),
+            "wall": float(entry.get("wall", 0.0)),
+            "children": children,
+        })
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def span_forest(self) -> list[dict]:
+        """The recorded batch/request span dicts (trace exporter schema).
+
+        The dicts follow :meth:`repro.trace.tracer.Span.to_dict`, so
+        ``repro.trace.export`` writers and
+        :func:`repro.trace.tracer.span_from_dict` consume them directly.
+        """
+        return list(self.spans)
+
+    def stats_dict(self) -> dict:
+        """Service, cache, and pool counters in one snapshot."""
+        out = {"service": self.stats.to_dict(), "cache": self.cache.stats()}
+        out["pool_restarts"] = self._pools.restarts if self._pools else 0
+        return out

@@ -1,0 +1,19 @@
+"""RPR007 fixture: drivers and sync sleeps on the event loop (flagged)."""
+
+import time
+
+from repro.core.envelope import envelope
+from repro.service.workers import execute_batch
+
+
+async def handle(machine, fns):
+    env = envelope(machine, fns, fns)
+    time.sleep(0.001)
+    return env
+
+
+async def handle_nested(payload):
+    def inner():
+        return execute_batch(payload)
+
+    return inner()

@@ -1,0 +1,18 @@
+"""RPR007 fixture: drivers stay in workers, loop only awaits (clean)."""
+
+import asyncio
+
+from repro.service.workers import execute_batch
+
+
+async def handle(pool, payload):
+    # Submitting the *uncalled* worker to the pool is the sanctioned
+    # pattern: the loop awaits, the shard worker runs the driver.
+    future = pool.submit(execute_batch, payload)
+    await asyncio.sleep(0)
+    return await asyncio.wrap_future(future)
+
+
+def sync_worker(payload):
+    # Sync helpers may run the driver directly — this is worker code.
+    return execute_batch(payload)

@@ -1,0 +1,65 @@
+"""Shared helpers for the service test layer.
+
+No pytest-asyncio in the baked environment, so the suite drives the
+asyncio server through :func:`asyncio.run` directly: ``serve`` spins a
+service up, submits a stream concurrently, tears the service down, and
+hands back the responses *and* the stopped service (stats, spans, and
+cache survive ``stop()`` for post-mortem assertions).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import QueryService, request
+
+
+def run_async(coro):
+    """Run one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def serve():
+    """``serve(requests, **service_kwargs) -> (responses, service)``.
+
+    Responses come back in request order (``submit_many``); the returned
+    service is stopped but fully inspectable.
+    """
+
+    def _serve(reqs, **kwargs):
+        async def go():
+            async with QueryService(**kwargs) as svc:
+                resps = await svc.submit_many(reqs)
+            return resps, svc
+
+        return asyncio.run(go())
+
+    return _serve
+
+
+def mixed_stream():
+    """A small mixed-algorithm request stream with repeats and dedupes.
+
+    Covers all three algorithms, both run-parameter axes (envelope op,
+    hull query index), derived queries sharing a run with their full
+    query, and exact duplicates — the shapes the planner/cache must
+    handle — while staying small enough for tier-1.
+    """
+    return [
+        request("envelope", kind="random", seed=3, n=5, op="min"),
+        request("envelope", kind="random", seed=3, n=5, op="min",
+                q="value_at", t=0.5),
+        request("envelope", kind="random", seed=3, n=5, op="min"),
+        request("envelope", kind="tangent", seed=1, n=4, op="max"),
+        request("hull_membership", kind="random", seed=2, n=6),
+        request("hull_membership", kind="random", seed=2, n=6,
+                q="member_at", t=1.0),
+        request("hull_membership", kind="random", seed=2, n=6, query=1),
+        request("steady_hull", kind="random", seed=5, n=6),
+        request("steady_hull", kind="random", seed=5, n=6,
+                q="is_extreme", i=0),
+        request("steady_hull", kind="converging", seed=7, n=5,
+                backend="hypercube"),
+        request("envelope", kind="random", seed=3, n=5, op="min"),
+    ]

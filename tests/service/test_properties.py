@@ -1,0 +1,144 @@
+"""Hypothesis properties: serving machinery is semantically invisible.
+
+Randomised request pools, duplicate-heavy streams, arrival permutations
+and configuration draws — under all of them the served payload bytes
+must equal the unbatched/uncached/single-shard reference, and the
+serving counters must reconcile exactly.  Examples are kept small (each
+one spins real asyncio services over real driver runs).
+"""
+
+import asyncio
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.service import QueryService, request
+from repro.verify.compare import outputs_match
+
+pytestmark = pytest.mark.service
+
+
+def _envelope(kind, seed, n, op, backend):
+    return request("envelope", kind=kind, seed=seed, n=n, op=op,
+                   backend=backend)
+
+
+def _envelope_at(kind, seed, n, op, t):
+    return request("envelope", kind=kind, seed=seed, n=n, op=op,
+                   q="value_at", t=t)
+
+
+def _membership(kind, seed, n, query):
+    return request("hull_membership", kind=kind, seed=seed, n=n,
+                   query=query)
+
+
+def _hull(kind, seed, n, backend):
+    return request("steady_hull", kind=kind, seed=seed, n=n,
+                   backend=backend)
+
+
+def any_request():
+    seeds = st.integers(0, 2)
+    sizes = st.integers(3, 5)
+    backends = st.sampled_from(["mesh", "serial"])
+    return st.one_of(
+        st.builds(_envelope, st.sampled_from(["random", "tangent"]),
+                  seeds, sizes, st.sampled_from(["min", "max"]), backends),
+        st.builds(_envelope_at, st.just("random"), seeds, sizes,
+                  st.sampled_from(["min", "max"]),
+                  st.sampled_from([0.0, 0.5, 2.0])),
+        st.builds(_membership, st.sampled_from(["random", "crossing"]),
+                  seeds, sizes, st.integers(0, 2)),
+        st.builds(_hull, st.sampled_from(["random", "converging"]),
+                  seeds, sizes, backends),
+    )
+
+
+@st.composite
+def streams(draw):
+    """A duplicate-heavy stream drawn from a small request pool."""
+    pool = draw(st.lists(any_request(), min_size=1, max_size=3))
+    return draw(st.lists(st.sampled_from(pool), min_size=1, max_size=7))
+
+
+def serve_stream(reqs, **kwargs):
+    async def go():
+        async with QueryService(**kwargs) as svc:
+            resps = await svc.submit_many(reqs)
+        return resps, svc
+
+    return asyncio.run(go())
+
+
+def served_bytes(reqs, **kwargs):
+    resps, _ = serve_stream(reqs, **kwargs)
+    return [r.payload_bytes() for r in resps]
+
+
+class TestServingInvisibility:
+    @given(streams())
+    @settings(max_examples=10, deadline=None)
+    def test_batched_equals_unbatched_bytes(self, reqs):
+        batched = served_bytes(reqs, shards=2, batching=True)
+        unbatched = served_bytes(reqs, shards=2, batching=False,
+                                 cache_capacity=0)
+        assert batched == unbatched
+
+    @given(streams(), st.randoms(use_true_random=False))
+    @settings(max_examples=10, deadline=None)
+    def test_arrival_permutation_cannot_change_bytes(self, reqs, rng):
+        reference = {}
+        for req, blob in zip(reqs, served_bytes(reqs, shards=2)):
+            reference[req.key()] = blob
+        shuffled = list(reqs)
+        rng.shuffle(shuffled)
+        for req, blob in zip(shuffled, served_bytes(shuffled, shards=2)):
+            assert blob == reference[req.key()]
+
+    @given(streams(), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_shard_count_cannot_change_bytes(self, reqs, a, b):
+        assert served_bytes(reqs, shards=a) == served_bytes(reqs, shards=b)
+
+    @given(streams(), st.sampled_from([0, 1, 64]))
+    @settings(max_examples=10, deadline=None)
+    def test_cache_capacity_cannot_change_bytes(self, reqs, capacity):
+        assert served_bytes(reqs, cache_capacity=capacity) == \
+            served_bytes(reqs, cache_capacity=256)
+
+    @given(streams())
+    @settings(max_examples=10, deadline=None)
+    def test_batched_answers_match_unbatched_under_verify_compare(
+            self, reqs):
+        # Satellite: the oracle's comparator itself certifies batching as
+        # semantically invisible, not just byte-stable encodings.
+        batched, _ = serve_stream(reqs, shards=2, batching=True)
+        direct, _ = serve_stream(reqs, batching=False, cache_capacity=0)
+        for a, b in zip(batched, direct):
+            assert outputs_match(a.answer, b.answer) == []
+
+
+class TestCountersReconcile:
+    @given(streams())
+    @settings(max_examples=10, deadline=None)
+    def test_every_request_is_accounted_exactly_once(self, reqs):
+        resps, svc = serve_stream(reqs, shards=2)
+        s = svc.stats
+        assert len(resps) == len(reqs)
+        assert s.requests == len(reqs)
+        assert s.responses + s.errors + s.cancelled == s.requests
+        assert s.cache_hit_requests + s.cold_requests + \
+            s.coalesced_requests == s.responses
+        assert s.batched_requests == s.requests
+        assert s.batch_max <= max(1, s.batched_requests)
+
+    @given(streams())
+    @settings(max_examples=10, deadline=None)
+    def test_cache_lookups_equal_batches(self, reqs):
+        # Every planned unit consults the cache exactly once.
+        _, svc = serve_stream(reqs, shards=2)
+        stats = svc.cache.stats()
+        assert stats["lookups"] == svc.stats.batches
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
