@@ -12,3 +12,4 @@ from . import rules_caches   # noqa: F401  RPR004 bounded caches
 from . import rules_fork     # noqa: F401  RPR005 fork-safety
 from . import rules_vexec    # noqa: F401  RPR006 vexec hygiene
 from . import rules_service  # noqa: F401  RPR007 service loop purity
+from . import rules_incremental  # noqa: F401  RPR008 event-queue determinism

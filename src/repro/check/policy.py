@@ -126,6 +126,14 @@ class CheckPolicy:
         "run_instance", "campaign", "parallel_map", "bitonic_sort",
     )
 
+    #: RPR008 — the incremental update engine: certificate event queues
+    #: must pop in an order that is a pure function of the geometry
+    #: (failure time + canonical key), never of Python object identity,
+    #: string-hash randomization, or heap insertion order.
+    incremental_modules: tuple[str, ...] = (
+        "incremental/",
+    )
+
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -149,6 +157,9 @@ class CheckPolicy:
 
     def is_service_module(self, rel: str) -> bool:
         return _match(rel, self.service_modules)
+
+    def is_incremental_module(self, rel: str) -> bool:
+        return _match(rel, self.incremental_modules)
 
 
 DEFAULT_POLICY = CheckPolicy()

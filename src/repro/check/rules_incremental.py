@@ -1,0 +1,86 @@
+"""RPR008 — event-queue determinism of the incremental engine.
+
+The incremental update engine (:mod:`repro.incremental`) owes its
+byte-parity contract to one discipline: certificate events pop in an
+order that is a **pure function of the geometry** — ``(failure_time,
+canonical key)`` — never of anything the Python runtime made up.  Three
+runtime artefacts silently break that and only show up as one-in-a-
+thousand parity flakes, which is why a static rule holds the line:
+
+* ``id(obj)`` — object identity varies per process and per allocation;
+  an id anywhere near a heap or sort key makes pop order a function of
+  the allocator;
+* ``hash(obj)`` — string hashing is randomized per process
+  (``PYTHONHASHSEED``), and hashing an unordered container is
+  order-dependent on top of that;
+* **bare heap pushes** — ``heappush(q, obj)`` without an explicit
+  ``(failure_time, key, ...)`` tuple literal falls back to object
+  comparison, and ties then resolve by heap insertion order (or raise
+  on unorderable payloads — equally non-canonical).
+
+The rule flags, inside incremental modules only
+(:attr:`~repro.check.policy.CheckPolicy.incremental_modules`): every
+``id()`` / ``hash()`` call, and every ``heappush`` / ``heappushpop`` /
+``heapreplace`` whose pushed item is not an explicit tuple literal of
+at least two elements.  The sanctioned pattern is the one
+:class:`repro.incremental.events.CertificateQueue` uses — push
+``(failure_time, canonical_key, payload)`` tuples and *reject*
+duplicate ``(failure_time, key)`` prefixes outright.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import FileContext, Rule, register
+
+#: Builtins whose value depends on the runtime, not the geometry.
+_RUNTIME_KEYS = {"id", "hash"}
+
+#: heapq entry points that insert an item whose ordering matters.
+_HEAP_PUSHES = {"heappush", "heappushpop", "heapreplace"}
+
+
+@register
+class IncrementalQueueDeterminism(Rule):
+    id = "RPR008"
+    name = "incremental-queue-determinism"
+    summary = ("event-queue or sort ordering in the incremental engine "
+               "depends on id()/hash() or on heap insertion order")
+    rationale = ("incremental updates are byte-identical to full "
+                 "recomputes only while certificate events pop by "
+                 "(failure_time, canonical key); id() varies per "
+                 "allocation, hash() per process, and a bare heap push "
+                 "resolves ties by insertion order — each turns parity "
+                 "into a one-in-a-thousand flake (docs/incremental.md)")
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.policy.is_incremental_module(ctx.rel):
+            return
+        for node, name in ctx.calls():
+            leaf = name.rsplit(".", 1)[-1]
+            if name in _RUNTIME_KEYS:
+                ctx.report(node, f"{name}() is runtime-dependent (per-"
+                                 f"allocation / per-process); event and "
+                                 f"sort keys must be pure functions of "
+                                 f"the geometry")
+            elif leaf in _HEAP_PUSHES and not _pushes_key_tuple(node):
+                ctx.report(node, f"{leaf}() without an explicit "
+                                 f"(failure_time, canonical_key, ...) "
+                                 f"tuple; bare items make pop order "
+                                 f"depend on heap insertion order")
+
+
+def _pushes_key_tuple(call: ast.Call) -> bool:
+    """True when the pushed item is an explicit >=2-tuple literal.
+
+    ``heappush(q, item)`` / ``heappushpop(q, item)`` / ``heapreplace(q,
+    item)`` all take the item as the second positional argument.  Only a
+    syntactic tuple of at least (time, key) proves the ordering was
+    chosen; anything else — a name, a call result, a 1-tuple — hides
+    the comparison the heap will actually perform.
+    """
+    if len(call.args) < 2:
+        return False
+    item = call.args[1]
+    return isinstance(item, ast.Tuple) and len(item.elts) >= 2

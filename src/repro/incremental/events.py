@@ -1,0 +1,106 @@
+"""Deterministic certificate event queue for the incremental envelope.
+
+A *certificate* asserts that a locally verified fact about the current
+envelope stays true up to its *failure time* — "piece ``p``'s winner beats
+the inserted curve until ``r``", "the window winner ``w`` beats challenger
+``x`` until their next crossing".  The incremental engine
+(:mod:`repro.incremental.engine`) repairs an envelope by processing
+certificate failures in order, never by scanning whole structures, which
+is what localizes an update to its affected breakpoints.
+
+Determinism contract (enforced statically by RPR008):
+
+* the queue orders strictly by ``(failure_time, canonical key)`` — the
+  key is a tuple of curve *positions* (stable insertion ranks) and
+  interval coordinates, never ``id()``/``hash()`` of live objects;
+* heap entries are ``(failure_time, key, payload)`` tuples and the
+  ``(failure_time, key)`` prefix is unique per entry, so comparison
+  never reaches the payload and pop order is a pure function of the
+  *set* of pushed certificates — pushing the same certificates in any
+  permutation pops them identically (pinned by the tie-permutation
+  property tests in ``tests/incremental/``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+__all__ = ["Certificate", "CertificateQueue"]
+
+
+class Certificate:
+    """One scheduled failure: ``(failure_time, key)`` plus engine payload.
+
+    ``key`` must be a tuple of plain ordered scalars (ints/floats) that is
+    unique among the certificates simultaneously in a queue — the engine
+    uses curve positions and span coordinates.  ``payload`` is opaque to
+    the queue and never participates in ordering.
+    """
+
+    __slots__ = ("failure_time", "key", "payload")
+
+    def __init__(self, failure_time: float, key: tuple, payload):
+        if not isinstance(key, tuple):
+            raise TypeError(f"certificate key must be a tuple, got {key!r}")
+        self.failure_time = float(failure_time)
+        self.key = key
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Certificate(t={self.failure_time:g}, key={self.key})"
+
+
+class CertificateQueue:
+    """Min-queue of certificates ordered by ``(failure_time, key)``.
+
+    Pops are a pure function of the pushed set: entries with distinct
+    ``(failure_time, key)`` prefixes order totally, and duplicate
+    prefixes are rejected at push time (two certificates that could only
+    be ordered by insertion order are a determinism bug, not a tie to
+    break silently).
+    """
+
+    __slots__ = ("_heap", "_keys", "pushes", "pops")
+
+    def __init__(self):
+        self._heap: list[tuple] = []
+        self._keys: set[tuple] = set()
+        self.pushes = 0
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, cert: Certificate) -> None:
+        entry_key = (cert.failure_time, cert.key)
+        if entry_key in self._keys:
+            raise ValueError(
+                f"duplicate certificate order key {entry_key!r}: pop order "
+                f"would depend on insertion order")
+        self._keys.add(entry_key)
+        self.pushes += 1
+        heapq.heappush(self._heap, (cert.failure_time, cert.key, cert))
+
+    def push_all(self, certs) -> None:
+        for cert in certs:
+            self.push(cert)
+
+    def pop(self) -> Certificate:
+        failure_time, key, cert = heapq.heappop(self._heap)
+        self._keys.discard((failure_time, key))
+        self.pops += 1
+        return cert
+
+    def peek_time(self) -> float:
+        """Failure time of the earliest certificate (inf when empty)."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    def clear(self) -> None:
+        """Drop every scheduled certificate (e.g. after a winner change,
+        when the engine rebuilds the challenger set from scratch)."""
+        self._heap.clear()
+        self._keys.clear()

@@ -1,4 +1,10 @@
-"""CLI entry point: ``python -m repro.report [name ...]``."""
+"""CLI entry point: ``python -m repro.report [name ...]``.
+
+Besides the table/figure experiments, one analysis subcommand rides
+here: ``python -m repro.report trend`` walks the benchmark history
+records (``benchmarks/history/*.jsonl``) and flags wall-clock
+regressions between commits (see :mod:`repro.report.trend`).
+"""
 
 from __future__ import annotations
 
@@ -28,12 +34,19 @@ def _diagnostics() -> None:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["trend"]:
+        # The trend analyser has its own flags (threshold, history dir)
+        # that the experiment parser would reject — dispatch before it.
+        from .trend import main as trend_main
+        return trend_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("experiments", nargs="*",
-                        help="experiment names (default: all)")
+                        help="experiment names (default: all), or the "
+                             "'trend' subcommand (see --help after it)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("-v", "--verbose", action="store_true",

@@ -1,0 +1,223 @@
+"""Wall-clock trend analysis over the benchmark history files.
+
+Every perf-sensitive bench appends one JSON record per full run to
+``benchmarks/history/<bench>.jsonl`` — provenance (git sha, timestamp,
+host) plus its headline wall-clock metrics.  This module walks those
+files and flags **regressions between commits**: a wall-clock metric
+that moved the wrong way by more than a relative threshold from one
+record to the next, within the same benchmark tier (records of
+different ``mode`` never compare — a smoke run is not a baseline for a
+full run).
+
+Only *wall-clock* metrics trend: simulated time is deterministic and
+pinned by golden files (``repro.verify scaling``), so a simulated-time
+change is a correctness problem, not a trend.  Metric direction is
+inferred from the flattened path: ``seconds``/``latency``/``wall``
+metrics are lower-is-better, ``throughput``/``speedup``/``qps`` are
+higher-is-better, everything else is ignored.  Thresholds are generous
+by default (25%) because shared CI hosts are noisy; ``--strict`` turns
+any flagged regression into a nonzero exit for gating.
+
+CLI::
+
+    python -m repro.report trend [--history DIR] [--threshold PCT]
+                                 [--strict] [--benches NAME ...]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_HISTORY_DIR", "Delta", "TrendReport", "flatten_metrics",
+           "load_history", "trend"]
+
+DEFAULT_HISTORY_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "history"
+)
+
+#: Subtrees that never hold wall-clock metrics.
+_SKIP_KEYS = frozenset({"provenance", "params"})
+_LOWER_BETTER = ("seconds", "latency", "wall")
+_HIGHER_BETTER = ("throughput", "speedup", "qps")
+
+
+def _direction(path: str) -> int:
+    """-1: lower is better, +1: higher is better, 0: not a trend metric."""
+    low = path.lower()
+    if any(tok in low for tok in _HIGHER_BETTER):
+        return 1
+    if any(tok in low for tok in _LOWER_BETTER):
+        return -1
+    return 0
+
+
+def flatten_metrics(record: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every trendable numeric leaf.
+
+    Provenance and workload-parameter subtrees are skipped, and only
+    leaves whose path classifies as a wall-clock metric survive.
+    """
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if key in _SKIP_KEYS:
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if _direction(path):
+                out[path] = float(value)
+    return out
+
+
+def _sha(record: dict) -> str:
+    sha = (record.get("provenance") or {}).get("git_sha") or "?"
+    return str(sha)[:12]
+
+
+def load_history(history_dir=DEFAULT_HISTORY_DIR,
+                 benches=None) -> dict[str, list[dict]]:
+    """Parsed records per bench, in append (run) order.
+
+    Unparseable lines are skipped rather than fatal: a truncated append
+    from an interrupted run must not take the trend tool down with it.
+    """
+    history_dir = pathlib.Path(history_dir)
+    out: dict[str, list[dict]] = {}
+    for path in sorted(history_dir.glob("*.jsonl")):
+        name = path.stem
+        if benches and name not in benches:
+            continue
+        records = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict):
+                records.append(rec)
+        out[name] = records
+    return out
+
+
+@dataclass
+class Delta:
+    """One metric's move between two consecutive same-tier records."""
+
+    bench: str
+    mode: str
+    metric: str
+    before: float
+    after: float
+    change: float  # signed relative change, (after - before) / |before|
+    regression: bool
+    sha_before: str = "?"
+    sha_after: str = "?"
+
+
+@dataclass
+class TrendReport:
+    deltas: list[Delta] = field(default_factory=list)
+    #: Benches with fewer than two comparable records (no trend yet).
+    unpaired: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        flagged = self.regressions
+        if flagged:
+            lines.append(f"{len(flagged)} wall-clock regression(s) flagged:")
+            for d in flagged:
+                arrow = "slower" if d.after > d.before else "worse"
+                lines.append(
+                    f"  {d.bench}[{d.mode}] {d.metric}: "
+                    f"{d.before:g} -> {d.after:g} "
+                    f"({d.change:+.1%} {arrow}; "
+                    f"{d.sha_before} -> {d.sha_after})"
+                )
+        else:
+            lines.append("no wall-clock regressions flagged")
+        compared = {(d.bench, d.mode) for d in self.deltas}
+        lines.append(
+            f"compared {len(self.deltas)} metric pairs across "
+            f"{len(compared)} bench tier(s)"
+        )
+        for name in self.unpaired:
+            lines.append(f"  {name}: fewer than two comparable runs "
+                         f"(no trend yet)")
+        return "\n".join(lines)
+
+
+def trend(history_dir=DEFAULT_HISTORY_DIR, threshold: float = 0.25,
+          benches=None) -> TrendReport:
+    """Compare consecutive same-tier records of every history file.
+
+    ``threshold`` is the relative move that flags a regression: a
+    lower-is-better metric growing by more than it, or a
+    higher-is-better metric shrinking by more than it.  Improvements
+    and sub-threshold noise are recorded in the deltas but not flagged.
+    """
+    report = TrendReport()
+    for bench, records in load_history(history_dir, benches).items():
+        by_mode: dict[str, list[dict]] = {}
+        for rec in records:
+            by_mode.setdefault(str(rec.get("mode", "?")), []).append(rec)
+        paired = False
+        for mode, runs in sorted(by_mode.items()):
+            for prev, cur in zip(runs, runs[1:]):
+                before, after = flatten_metrics(prev), flatten_metrics(cur)
+                for metric in sorted(set(before) & set(after)):
+                    a, b = before[metric], after[metric]
+                    if a == 0:
+                        continue
+                    paired = True
+                    change = (b - a) / abs(a)
+                    worse = change * _direction(metric) < 0
+                    report.deltas.append(Delta(
+                        bench=bench, mode=mode, metric=metric,
+                        before=a, after=b, change=change,
+                        regression=worse and abs(change) > threshold,
+                        sha_before=_sha(prev), sha_after=_sha(cur),
+                    ))
+        if not paired:
+            report.unpaired.append(bench)
+    return report
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.report trend``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report trend",
+        description="Flag wall-clock regressions across benchmark history "
+                    "records (benchmarks/history/*.jsonl).",
+    )
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY_DIR),
+                        help="history directory (default: "
+                             "benchmarks/history)")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        metavar="PCT",
+                        help="relative move (percent) that flags a "
+                             "regression (default: 25)")
+    parser.add_argument("--benches", nargs="+", metavar="NAME",
+                        help="restrict to these history files (stem names)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any regression is flagged")
+    args = parser.parse_args(argv)
+    report = trend(args.history, threshold=args.threshold / 100.0,
+                   benches=args.benches)
+    print(report.render())
+    return 1 if (args.strict and not report.ok) else 0

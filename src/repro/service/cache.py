@@ -32,6 +32,7 @@ __all__ = ["ShardedResultCache"]
 _HITS = get_counter("service.cache.hits")
 _MISSES = get_counter("service.cache.misses")
 _EVICTIONS = get_counter("service.cache.evictions")
+_INVALIDATIONS = get_counter("service.cache.invalidations")
 
 
 class ShardedResultCache:
@@ -54,6 +55,7 @@ class ShardedResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def _shard(self, key: tuple) -> dict:
@@ -89,6 +91,23 @@ class ShardedResultCache:
             _EVICTIONS.inc()
         shard[key] = entry
 
+    def invalidate(self, key: tuple) -> bool:
+        """Evict one entry by key (targeted invalidation, not aging).
+
+        Returns True when an entry was actually removed.  Mutation
+        traffic uses this to evict exactly the run keys a write
+        affected — ``invalidations`` counts real removals only, so
+        ``tests/service/test_mutations.py`` can pin the eviction set
+        exactly (a mutation must never clear unrelated entries).
+        """
+        if self.per_shard == 0:
+            return False
+        removed = self._shard(key).pop(key, None) is not None
+        if removed:
+            self.invalidations += 1
+            _INVALIDATIONS.inc()
+        return removed
+
     def clear(self) -> None:
         for shard in self._shards:
             shard.clear()
@@ -107,6 +126,7 @@ class ShardedResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "lookups": lookups,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
             "size": self.size(),

@@ -24,6 +24,7 @@ runs.
 from __future__ import annotations
 
 import json
+import math
 import zlib
 from dataclasses import dataclass
 
@@ -42,9 +43,10 @@ from ..verify.generators import (
 )
 
 __all__ = [
-    "ALGORITHMS", "BACKENDS", "FamilySpec", "QueryRequest", "QueryResponse",
-    "ServiceError", "request", "run_key", "shard_of", "run_driver",
-    "answer_query", "direct_response", "response_payload",
+    "ALGORITHMS", "BACKENDS", "FamilySpec", "MutationRequest", "MUTATION_OPS",
+    "QueryRequest", "QueryResponse", "ServiceError", "mutation", "request",
+    "run_key", "shard_of", "run_driver", "answer_query", "direct_response",
+    "dynamic_run_key", "response_payload", "validate_mutation",
     "validate_request",
 ]
 
@@ -204,6 +206,122 @@ def request(algorithm: str, *, kind: str, seed: int, n: int,
     fam = FamilySpec(domain, kind, seed, n, degree)
     items = tuple(sorted(params.items()))
     return QueryRequest(algorithm, fam, backend, items)
+
+
+# ----------------------------------------------------------------------
+# Mutations: write traffic against dynamic families
+# ----------------------------------------------------------------------
+#: mutation action -> required parameter names (beyond optional ones).
+MUTATION_OPS = {
+    "create": (),
+    "insert": ("coeffs",),
+    "delete": ("curve_id",),
+    "retarget": ("curve_id", "coeffs"),
+    "drop": (),
+}
+
+#: Optional parameters each mutation action understands.
+_MUTATION_OPTIONAL = {
+    "create": ("op", "degree", "kind", "seed", "n"),
+    "insert": (),
+    "delete": (),
+    "retarget": (),
+    "drop": (),
+}
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """One write against a *dynamic* family: ``(name, action, params)``.
+
+    Dynamic families live in the service's
+    :class:`~repro.service.dynamic.DynamicFamilyStore`, maintained by
+    the incremental engine (:mod:`repro.incremental`) — a mutation
+    updates the envelope in place instead of invalidating the world and
+    recomputing.  ``params`` is a sorted ``(name, value)`` tuple (same
+    canonical form as :class:`QueryRequest.params`); use
+    :func:`mutation` to build one from keyword arguments.
+    """
+
+    name: str
+    action: str
+    params: tuple = ()
+
+    def __post_init__(self):
+        if self.action not in MUTATION_OPS:
+            raise KeyError(f"unknown mutation action {self.action!r}; "
+                           f"have {sorted(MUTATION_OPS)}")
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("dynamic family name must be a non-empty string")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "action": self.action,
+                "params": dict(self.params)}
+
+
+def mutation(name: str, action: str, **params) -> MutationRequest:
+    """Build a :class:`MutationRequest` from keyword parameters."""
+    if "coeffs" in params:
+        params["coeffs"] = tuple(float(c) for c in params["coeffs"])
+    return MutationRequest(name, action, tuple(sorted(params.items())))
+
+
+def validate_mutation(m: MutationRequest) -> list[str]:
+    """Problems that would make ``m`` unapplyable (empty = valid).
+
+    Mirrors :func:`validate_request`: shape errors surface at submit
+    time as structured ``bad_request`` failures, never inside the
+    engine.  Liveness errors (unknown family, unknown curve id) are the
+    store's to raise — they depend on state, not shape.
+    """
+    problems = []
+    params = dict(m.params)
+    required = MUTATION_OPS[m.action]
+    known = set(required) | set(_MUTATION_OPTIONAL[m.action])
+    for need in required:
+        if need not in params:
+            problems.append(f"mutation {m.action!r} requires parameter "
+                            f"{need!r}")
+    for name in params:
+        if name not in known:
+            problems.append(f"unknown parameter {name!r} for mutation "
+                            f"{m.action!r} (known: {sorted(known)})")
+    if "coeffs" in params:
+        coeffs = params["coeffs"]
+        if not isinstance(coeffs, tuple) or not coeffs:
+            problems.append("coeffs must be a non-empty tuple of floats")
+        elif not all(isinstance(c, float) and math.isfinite(c)
+                     for c in coeffs):
+            problems.append("coeffs must all be finite floats")
+    if "curve_id" in params and not isinstance(params["curve_id"], int):
+        problems.append("curve_id must be an integer")
+    if m.action == "create":
+        if params.get("op", "min") not in ("min", "max"):
+            problems.append(f"envelope op must be 'min' or 'max', "
+                            f"got {params.get('op')!r}")
+        kind = params.get("kind")
+        if kind is not None and kind not in CURVE_KINDS:
+            problems.append(f"unknown curve kind {kind!r}; "
+                            f"have {sorted(CURVE_KINDS)}")
+        if int(params.get("n", 0)) < 0:
+            problems.append("seed family size n must be >= 0")
+        if int(params.get("degree", 2)) < 0:
+            problems.append("degree bound must be >= 0")
+    return problems
+
+
+def dynamic_run_key(name: str, op: str) -> tuple:
+    """The run key a dynamic family's envelope entry caches under.
+
+    Same shape as :func:`run_key` — ``("envelope", family-coordinates,
+    backend, machine_size, executor, run-params)`` — with the
+    ``"dynamic"`` domain marking that the entry came from the
+    incremental engine, not a simulated run.  The key deliberately
+    excludes the family *version*: a mutation evicts the key (targeted
+    invalidation) rather than abandoning it to LRU aging.
+    """
+    return ("envelope", ("dynamic", name), "incremental", 0, None,
+            (("op", op),))
 
 
 #: Query names each algorithm answers, with their required parameters.

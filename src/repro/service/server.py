@@ -40,11 +40,16 @@ from ..ops.plans import EXECUTORS
 from ..trace.provenance import provenance_manifest
 from ..trace.registry import get_counter
 from .cache import ShardedResultCache
+from .dynamic import DynamicFamilyStore
 from .model import (
+    MutationRequest,
     QueryRequest,
     QueryResponse,
     ServiceError,
+    _QUERY_SHAPES,
+    answer_query,
     response_payload,
+    validate_mutation,
     validate_request,
 )
 from .planner import BatchUnit, plan_batches
@@ -61,6 +66,8 @@ _DEDUP = get_counter("service.dedup_hits")
 _RETRIES = get_counter("service.retries")
 _ERRORS = get_counter("service.errors")
 _CANCELLED = get_counter("service.cancelled")
+_MUTATIONS = get_counter("service.mutations")
+_DYN_QUERIES = get_counter("service.dynamic_queries")
 
 
 @dataclass
@@ -89,6 +96,10 @@ class ServiceStats:
     coalesced_requests: int = 0
     retries: int = 0
     spans_dropped: int = 0
+    mutations: int = 0
+    dynamic_queries: int = 0
+    dynamic_cache_hits: int = 0
+    invalidated_keys: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -139,6 +150,7 @@ class QueryService:
             cache_capacity,
             shards=cache_shards if cache_shards is not None else self.n_shards,
         )
+        self.dynamic = DynamicFamilyStore()
         self.stats = ServiceStats()
         self.spans: list[dict] = []
         self._pending: list[_Pending] = []
@@ -198,6 +210,7 @@ class QueryService:
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
         self._inflight.clear()
+        self.dynamic.clear()
         self._pools.shutdown()
 
     async def __aenter__(self) -> "QueryService":
@@ -230,6 +243,108 @@ class QueryService:
     async def submit_many(self, reqs) -> list:
         """Serve many requests concurrently, results in request order."""
         return list(await asyncio.gather(*(self.submit(r) for r in reqs)))
+
+    async def mutate(self, m: MutationRequest) -> QueryResponse:
+        """Apply one write to a dynamic family; returns the mutation
+        receipt as a response.
+
+        The incremental engine updates the envelope in place (amortized
+        incremental cost — never a full simulated recompute), then the
+        family's cached run keys are evicted one by one
+        (``cache.invalidate``): targeted invalidation with exact
+        accounting, leaving every other family's entries untouched.
+        State errors (unknown family, unknown curve id) raise
+        :class:`ServiceError` with a machine-readable code.
+        """
+        if not self._started:
+            raise ServiceError("not_started", "call start() (or use the "
+                                              "service as an async context "
+                                              "manager) before mutating")
+        problems = validate_mutation(m)
+        if problems:
+            raise ServiceError("bad_mutation", "; ".join(problems),
+                               {"mutation": m.to_dict()})
+        t0 = perf_counter()
+        keys: set = set()
+        if m.action == "drop" and m.name in self.dynamic:
+            # The drop discards the family object (and its key
+            # registration) — capture the keys first.
+            keys = set(self.dynamic.family(m.name).cached_keys)
+        result = self.dynamic.apply(m.name, m.action, dict(m.params))
+        if m.name in self.dynamic:
+            keys |= self.dynamic.take_cached(m.name)
+        invalidated = sum(
+            1 for key in keys if self.cache.invalidate(key)
+        )
+        self.stats.mutations += 1
+        self.stats.invalidated_keys += invalidated
+        _MUTATIONS.inc()
+        payload = {
+            "schema": "repro.service/1",
+            "mutation": m.to_dict(),
+            "result": result,
+            "invalidated": invalidated,
+        }
+        meta = {"latency_s": perf_counter() - t0,
+                "invalidated": invalidated}
+        return QueryResponse(payload, meta, self._provenance)
+
+    async def submit_dynamic(self, name: str, **params) -> QueryResponse:
+        """Serve an envelope query against a dynamic family.
+
+        Read traffic against mutated state: the answer comes from the
+        maintained envelope's encoded entry (cached under the family's
+        run key until the next mutation evicts it) through the same
+        pure ``answer_query`` path as driver results — so after any
+        mutation sequence the answer is byte-identical to a cold serial
+        driver run over the surviving curves.
+        """
+        if not self._started:
+            raise ServiceError("not_started", "call start() (or use the "
+                                              "service as an async context "
+                                              "manager) before submitting")
+        t0 = perf_counter()
+        query = dict(params)
+        query.setdefault("q", "full")
+        shapes = _QUERY_SHAPES["envelope"]
+        if query["q"] not in shapes:
+            raise ServiceError("bad_request",
+                               f"unknown envelope query {query['q']!r}; "
+                               f"have {sorted(shapes)}", {"name": name})
+        for needed in shapes[query["q"]]:
+            if needed not in query:
+                raise ServiceError("bad_request",
+                                   f"query {query['q']!r} requires "
+                                   f"parameter {needed!r}", {"name": name})
+        fam = self.dynamic.family(name)
+        key = self.dynamic.run_key(name)
+        entry = self.cache.get(key)
+        cache_hit = entry is not None
+        if entry is None:
+            entry = self.dynamic.entry(name)
+            self.cache.put(key, entry)
+            self.dynamic.note_cached(name, key)
+        self.stats.dynamic_queries += 1
+        if cache_hit:
+            self.stats.dynamic_cache_hits += 1
+        _DYN_QUERIES.inc()
+        payload = {
+            "schema": "repro.service/1",
+            "algorithm": "envelope",
+            "family": {"domain": "dynamic", "name": name,
+                       "version": fam.engine.version,
+                       "size": len(fam.engine)},
+            "backend": "incremental",
+            "machine_size": 0,
+            "executor": None,
+            "run_params": {"op": fam.op},
+            "query": query,
+            "answer": answer_query("envelope", entry["result"], query),
+            "sim_time": entry["sim_time"],
+        }
+        meta = {"cache_hit": cache_hit,
+                "latency_s": perf_counter() - t0}
+        return QueryResponse(payload, meta, self._provenance)
 
     def inject_fault(self, mode: str, count: int = 1) -> None:
         """Arm ``count`` one-shot worker faults (test hook).
@@ -450,6 +565,7 @@ class QueryService:
 
     def stats_dict(self) -> dict:
         """Service, cache, and pool counters in one snapshot."""
-        out = {"service": self.stats.to_dict(), "cache": self.cache.stats()}
+        out = {"service": self.stats.to_dict(), "cache": self.cache.stats(),
+               "dynamic": self.dynamic.stats()}
         out["pool_restarts"] = self._pools.restarts if self._pools else 0
         return out

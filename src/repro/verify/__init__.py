@@ -13,6 +13,11 @@ this reproduction's credibility rests on two mechanically checkable facts:
    ``Theta(lambda^{1/2}(n, s))`` on the mesh, ``Theta(log^2 n)`` on the
    hypercube — with fitted exponents pinned as golden JSON with tolerance
    bands.
+3. **Update parity** (:mod:`repro.verify.incremental`): the incremental
+   engine's maintained envelope is *byte-identical* to a cold serial
+   recompute after every insert/delete/retarget of a seeded update
+   script (exact within the robust-kind domain; see the module
+   docstring for the degeneracy boundary).
 
 Adversarial instances come from :mod:`repro.verify.generators`
 (tangencies, coincident trajectories, breakpoint ties, degree-boundary
@@ -35,6 +40,14 @@ from .generators import (
     system_from_json,
     system_to_json,
 )
+from .incremental import (
+    UPDATE_KINDS,
+    UpdateCampaignResult,
+    make_update_script,
+    replay_update,
+    run_update_instance,
+    update_campaign,
+)
 from .oracle import ALGORITHMS, BACKENDS, CampaignResult, campaign, replay, run_instance
 from .scaling import (
     DEFAULT_GOLDEN_PATH,
@@ -54,4 +67,6 @@ __all__ = [
     "render_diff", "scalar_diff",
     "DEFAULT_GOLDEN_PATH", "SCALING_TARGETS", "check_scaling", "fit_scaling",
     "update_golden",
+    "UPDATE_KINDS", "UpdateCampaignResult", "make_update_script",
+    "replay_update", "run_update_instance", "update_campaign",
 ]

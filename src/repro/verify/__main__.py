@@ -7,6 +7,8 @@ Modes (positional, or the equivalent legacy flags):
                           check; nonzero exit on any divergence or drift.
 * ``campaign``          — campaign only (legacy: ``--oracle``).
 * ``scaling``           — scaling check only (legacy: ``--scaling``).
+* ``incremental``       — byte-parity fuzzing of the incremental update
+                          engine against cold serial recomputes.
 * ``replay FILE..``     — re-run serialized corpus instances, no RNG
                           (legacy: ``--replay FILE..``).
 * ``--update-golden``   — re-measure and re-pin ``golden_scaling.json``
@@ -26,6 +28,7 @@ import os
 import sys
 
 from ..ops import EXECUTORS, set_executor
+from .incremental import replay_update, update_campaign
 from .oracle import ALGORITHMS, DEFAULT_CORPUS_DIR, campaign, replay
 from .scaling import DEFAULT_GOLDEN_PATH, SCALING_TARGETS, check_scaling, update_golden
 
@@ -36,7 +39,7 @@ def _parser() -> argparse.ArgumentParser:
         description="Differential oracle + Theta-scaling conformance harness.",
     )
     p.add_argument("mode", nargs="?",
-                   choices=["campaign", "scaling", "replay"],
+                   choices=["campaign", "scaling", "incremental", "replay"],
                    help="what to run (default: campaign then scaling)")
     p.add_argument("files", nargs="*", metavar="FILE",
                    help="corpus files for the replay mode")
@@ -84,8 +87,21 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _run_replay(args) -> int:
+    import json as _json
+
     rc = 0
     for path in args.replay:
+        if _json.loads(open(path).read()).get("algorithm") == "incremental":
+            report = replay_update(path)
+            if report.ok:
+                print(f"{path}: OK (incremental/{report.kind} "
+                      f"seed={report.seed})")
+            else:
+                rc = 1
+                print(f"{path}: DIVERGENT (incremental/{report.kind} "
+                      f"seed={report.seed} step={report.failed_step})")
+                print(f"  {report.mismatch}")
+            continue
         kwargs = {} if args.tol is None else {"tol": args.tol}
         report = replay(path, **kwargs)
         if report.ok:
@@ -152,6 +168,25 @@ def _export_campaign_trace(args, result) -> None:
     print(f"  summarize with: python -m repro.trace summarize {path}")
 
 
+def _run_incremental(args) -> int:
+    result = update_campaign(
+        instances=args.instances,
+        seed0=args.seed0,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+        progress=lambda line: print(f"  {line}"),
+        jobs=args.jobs,
+    )
+    total = len(result.reports)
+    failed = len(result.failures)
+    checks = sum(r.steps + 1 for r in result.reports)
+    print(f"incremental: {total - failed}/{total} update scripts "
+          f"byte-identical to cold recomputes ({checks} parity checks)")
+    for path in result.corpus_files:
+        print(f"  divergence serialized: {path}")
+        print(f"  replay with: python -m repro.verify --replay {path}")
+    return 0 if result.ok else 1
+
+
 def _run_scaling(args) -> int:
     if args.update_golden:
         doc = update_golden(args.golden, args.targets,
@@ -202,6 +237,8 @@ def main(argv=None) -> int:
         return 2
     if args.update_golden or args.scaling_only or args.mode == "scaling":
         return _run_scaling(args)
+    if args.mode == "incremental":
+        return _run_incremental(args)
     if args.oracle or args.mode == "campaign":
         return _run_oracle(args)
     rc = _run_oracle(args)

@@ -1,0 +1,16 @@
+"""RPR008 fixture: runtime-dependent event ordering (flagged)."""
+
+import heapq
+
+
+def schedule(queue, certs):
+    for cert in certs:
+        heapq.heappush(queue, cert)
+
+
+def keyed_by_identity(certs):
+    return sorted(certs, key=lambda c: (c.failure_time, id(c)))
+
+
+def keyed_by_hash(certs):
+    return sorted(certs, key=lambda c: hash(c.curves))

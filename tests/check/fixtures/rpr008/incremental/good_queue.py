@@ -1,0 +1,12 @@
+"""RPR008 fixture: canonical (failure_time, key) ordering (clean)."""
+
+import heapq
+
+
+def schedule(queue, certs):
+    for cert in certs:
+        heapq.heappush(queue, (cert.failure_time, cert.key, cert))
+
+
+def keyed_by_geometry(certs):
+    return sorted(certs, key=lambda c: (c.failure_time, c.key))

@@ -219,6 +219,45 @@ def test_rpr007_shipped_service_package_is_clean():
 
 
 # ----------------------------------------------------------------------
+# RPR008 incremental event-queue determinism
+# ----------------------------------------------------------------------
+def test_rpr008_bad_fixture_exact_findings():
+    report = findings_of("rpr008")
+    assert triples(report) == [
+        ("bad_queue.py", 8, "RPR008"),   # bare heappush (insertion order)
+        ("bad_queue.py", 12, "RPR008"),  # id() in a sort key
+        ("bad_queue.py", 16, "RPR008"),  # hash() in a sort key
+    ]
+
+
+def test_rpr008_canonical_tuple_push_clean():
+    # Pushing explicit (failure_time, key, payload) tuples and sorting
+    # by geometric keys is exactly the sanctioned pattern.
+    report = run_check(FIXTURES / "rpr008" / "incremental" / "good_queue.py")
+    assert report.ok and not report.findings
+
+
+def test_rpr008_only_binds_to_incremental_modules(tmp_path):
+    # The same code outside incremental/ is out of scope: RPR008 is a
+    # contract of the certificate event queue specifically.
+    source = (FIXTURES / "rpr008" / "incremental" / "bad_queue.py").read_text()
+    analysis = tmp_path / "analysis"
+    analysis.mkdir()
+    (analysis / "bad_queue.py").write_text(source)
+    report = run_check(tmp_path, select=["RPR008"])
+    assert report.ok and not report.findings
+
+
+def test_rpr008_shipped_incremental_package_is_clean():
+    # The real engine honours its own rule with zero suppressions.
+    import repro
+    root = Path(repro.__file__).parent
+    assert (root / "incremental" / "events.py").exists()
+    report = run_check(root, select=["RPR008"])
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
 # Suppression behaviour (shared by all rules)
 # ----------------------------------------------------------------------
 def test_reasoned_noqa_suppresses_and_keeps_reason():
@@ -267,6 +306,6 @@ def test_custom_rule_registers_and_runs(tmp_path):
 
 def test_builtin_rules_registered_with_docs():
     assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-            "RPR006", "RPR007"} <= set(RULES)
+            "RPR006", "RPR007", "RPR008"} <= set(RULES)
     for rule in RULES.values():
         assert rule.name and rule.summary and rule.rationale

@@ -1,0 +1,143 @@
+"""Incremental engine vs cold serial recompute: byte-identical, always.
+
+The contract under test is stronger than value equality: after any
+update the maintained envelope's canonical JSON bytes
+(:func:`repro.incremental.envelope_bytes` over the rank-relabelled
+pieces) must equal those of a cold ``envelope_serial`` run over the
+surviving curves — same breakpoint floats to the last bit, same
+coefficients, same labels.  Kinds here are the robust generator
+families (see ``repro.verify.incremental`` for the tie/near_degenerate
+boundary).
+"""
+
+import pytest
+
+from repro.incremental import IncrementalEnvelope, envelope_bytes
+from repro.verify.generators import make_curves
+from repro.verify.incremental import make_update_script, run_update_instance
+
+pytestmark = pytest.mark.incremental
+
+
+def assert_parity(engine):
+    got = engine.canonical_bytes()
+    want = envelope_bytes(engine.recompute_reference())
+    assert got == want
+
+
+def build(kind="random", seed=0, n=6, op="min"):
+    base = make_curves(kind, seed, n=n, s=2)
+    s = max([2] + [c.degree for c in base])
+    engine = IncrementalEnvelope(s=s, op=op)
+    engine.reset(base)
+    return engine
+
+
+class TestInsert:
+    @pytest.mark.parametrize("kind", ["random", "duplicate", "tangent",
+                                      "degree_boundary"])
+    @pytest.mark.parametrize("op", ["min", "max"])
+    def test_insert_parity_across_kinds_and_ops(self, kind, op):
+        engine = build(kind=kind, seed=7, n=5, op=op)
+        for i in range(4):
+            extra = make_curves(kind, 900 + i, n=1, s=2)[0]
+            engine.insert(extra)
+            assert_parity(engine)
+
+    def test_insert_into_empty(self):
+        engine = IncrementalEnvelope(s=2, op="min")
+        engine.insert([1.0, 2.0])
+        assert len(engine) == 1
+        assert_parity(engine)
+
+    def test_insert_rejects_degree_overflow(self):
+        engine = IncrementalEnvelope(s=1, op="min")
+        with pytest.raises(ValueError, match="degree"):
+            engine.insert([0.0, 0.0, 3.0])
+
+    def test_insert_duplicate_id_rejected(self):
+        engine = build()
+        with pytest.raises(ValueError, match="already live"):
+            engine.insert([1.0], cid=engine.ids()[0])
+
+
+class TestDelete:
+    def test_delete_every_curve_down_to_empty(self):
+        engine = build(seed=3, n=6)
+        while len(engine):
+            engine.delete(engine.ids()[0])
+            assert_parity(engine)
+        assert len(engine.envelope.pieces) == 0
+
+    def test_delete_unknown_id(self):
+        engine = build()
+        with pytest.raises(KeyError):
+            engine.delete(999)
+
+    def test_hidden_delete_skips_sweep(self):
+        # A curve that never reached the envelope must excise without
+        # re-sweeping any window.
+        engine = IncrementalEnvelope(s=2, op="min")
+        low = engine.insert([-100.0])
+        hidden = engine.insert([0.0, 0.0, 1.0])  # t^2 >= -100 everywhere
+        assert all(p.label == low for p in engine.envelope.pieces)
+        engine.delete(hidden)
+        assert engine.last_update["windows"] == 0
+        assert engine.stats["hidden_deletes"] == 1
+        assert_parity(engine)
+
+
+class TestRetarget:
+    def test_retarget_parity(self):
+        engine = build(seed=11, n=6)
+        for i, cid in enumerate(list(engine.ids())[:3]):
+            curve = make_curves("random", 500 + i, n=1, s=2)[0]
+            engine.retarget(cid, curve)
+            assert_parity(engine)
+
+    def test_retarget_keeps_rank(self):
+        # The reference order is insertion-rank order; a retarget is the
+        # same object with a new motion, so its rank must not move.
+        engine = build(seed=2, n=4)
+        ids_before = engine.ids()
+        engine.retarget(ids_before[1], [5.0, -1.0])
+        assert engine.ids() == ids_before
+        assert_parity(engine)
+
+    def test_retarget_failure_is_atomic(self):
+        engine = build(seed=2, n=4)
+        before = engine.canonical_bytes()
+        with pytest.raises(ValueError):
+            engine.retarget(engine.ids()[0], [0.0] * 8 + [1.0])
+        assert engine.canonical_bytes() == before
+
+
+class TestScripts:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_scripts_byte_identical(self, seed):
+        report = run_update_instance(seed)
+        assert report.ok, report.mismatch
+
+    def test_script_replay_without_rng(self):
+        script = make_update_script(5)
+        a = run_update_instance(5, script=script)
+        b = run_update_instance(5, script=script)
+        assert a.ok and b.ok and a.steps == b.steps
+
+
+class TestSmokeTier1:
+    def test_incremental_parity_smoke(self):
+        # The tier-1 floor: one small mixed-update run, byte-identical
+        # to a cold recompute at every step.
+        engine = build(seed=1, n=5)
+        engine.insert(make_curves("random", 901, n=1, s=2)[0])
+        assert_parity(engine)
+        engine.delete(engine.ids()[2])
+        assert_parity(engine)
+        engine.retarget(engine.ids()[0],
+                        make_curves("random", 902, n=1, s=2)[0])
+        assert_parity(engine)
+        assert engine.version == 4  # reset + 3 updates
+        stats = engine.stats
+        assert stats["inserts"] == 1 and stats["deletes"] == 1
+        assert stats["retargets"] == 1

@@ -1,0 +1,80 @@
+"""Certificate event queue: canonical ordering, never insertion order."""
+
+import pytest
+
+from repro.incremental import Certificate, CertificateQueue
+
+pytestmark = pytest.mark.incremental
+
+
+def cert(t, key, payload=None):
+    return Certificate(failure_time=t, key=key, payload=payload)
+
+
+class TestOrdering:
+    def test_pops_by_failure_time(self):
+        q = CertificateQueue()
+        q.push(cert(3.0, (0, 1)))
+        q.push(cert(1.0, (0, 2)))
+        q.push(cert(2.0, (0, 3)))
+        assert [q.pop().failure_time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_pop_order_is_time_then_key(self):
+        q = CertificateQueue()
+        q.push(cert(2.0, (1, 0)))
+        q.push(cert(1.0, (9, 9)))
+        q.push(cert(2.0, (0, 5)))
+        popped = [q.pop() for _ in range(3)]
+        assert [(c.failure_time, c.key) for c in popped] == [
+            (1.0, (9, 9)), (2.0, (0, 5)), (2.0, (1, 0)),
+        ]
+
+    def test_tie_resolution_invariant_under_push_permutation(self):
+        certs = [cert(1.0, (i, j)) for i in range(3) for j in range(3)]
+        import itertools
+        orders = list(itertools.permutations(certs, len(certs)))[:24]
+        expected = None
+        for perm in orders:
+            q = CertificateQueue()
+            q.push_all(perm)
+            got = [q.pop().key for _ in range(len(certs))]
+            if expected is None:
+                expected = got
+            assert got == expected
+
+    def test_peek_time_matches_next_pop(self):
+        q = CertificateQueue()
+        q.push(cert(5.0, (0,)))
+        q.push(cert(2.0, (1,)))
+        assert q.peek_time() == 2.0
+        assert q.pop().failure_time == 2.0
+
+
+class TestDeterminismContract:
+    def test_duplicate_order_key_rejected(self):
+        # Two certificates with the same (failure_time, key) prefix would
+        # pop in heap-insertion order — the exact nondeterminism RPR008
+        # exists to prevent — so the queue refuses outright.
+        q = CertificateQueue()
+        q.push(cert(1.0, (0, 1), payload="a"))
+        with pytest.raises(ValueError, match="insertion order"):
+            q.push(cert(1.0, (0, 1), payload="b"))
+
+    def test_same_key_different_time_fine(self):
+        q = CertificateQueue()
+        q.push(cert(1.0, (0, 1)))
+        q.push(cert(2.0, (0, 1)))
+        assert len(q) == 2
+
+    def test_key_must_be_tuple(self):
+        with pytest.raises(TypeError):
+            Certificate(failure_time=1.0, key=[0, 1], payload=None)
+
+    def test_counters_and_clear(self):
+        q = CertificateQueue()
+        q.push_all([cert(1.0, (0,)), cert(2.0, (1,))])
+        q.pop()
+        assert (q.pushes, q.pops) == (2, 1)
+        q.clear()
+        assert len(q) == 0 and not q
+        assert q.peek_time() == float("inf")

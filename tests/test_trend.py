@@ -1,0 +1,124 @@
+"""Benchmark history trend analysis: regression flags between commits."""
+
+import json
+
+import pytest
+
+from repro.report.trend import flatten_metrics, load_history, main, trend
+
+
+def record(mode, sha, **metrics):
+    return {"mode": mode, "provenance": {"git_sha": sha}, **metrics}
+
+
+def write_history(path, name, records):
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / f"{name}.jsonl", "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+
+
+class TestFlatten:
+    def test_keeps_wallclock_drops_everything_else(self):
+        rec = {
+            "wall_seconds": 1.5,
+            "throughput_qps": 900.0,
+            "latency_s": {"p50": 0.01, "p99": 0.2},
+            "queries": 1000,              # not a trend metric
+            "sim_time": 42.0,             # simulated: golden-pinned, not trended
+            "provenance": {"git_sha": "abc", "seconds": 99.0},  # skipped
+            "params": {"warmup_seconds": 3.0},                  # skipped
+        }
+        flat = flatten_metrics(rec)
+        assert flat == {"wall_seconds": 1.5, "throughput_qps": 900.0,
+                        "latency_s.p50": 0.01, "latency_s.p99": 0.2}
+
+
+class TestTrend:
+    def test_slowdown_past_threshold_is_flagged(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0),
+            record("full", "bbb", wall_seconds=14.0),
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        assert not report.ok
+        (d,) = report.regressions
+        assert (d.bench, d.metric, d.sha_before, d.sha_after) == \
+            ("svc", "wall_seconds", "aaa", "bbb")
+        assert d.change == pytest.approx(0.4)
+
+    def test_improvement_and_noise_not_flagged(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0, throughput_qps=100.0),
+            record("full", "bbb", wall_seconds=8.0, throughput_qps=110.0),
+            record("full", "ccc", wall_seconds=8.4, throughput_qps=108.0),
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        assert report.ok and len(report.deltas) == 4
+
+    def test_throughput_drop_is_a_regression(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", throughput_qps=1000.0),
+            record("full", "bbb", throughput_qps=500.0),
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        assert [d.metric for d in report.regressions] == ["throughput_qps"]
+
+    def test_tiers_never_compare(self, tmp_path):
+        # A smoke run after a full run is not a regression baseline.
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=100.0),
+            record("smoke", "bbb", wall_seconds=1.0),
+            record("smoke", "ccc", wall_seconds=1.1),
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        assert report.ok
+        assert {(d.mode,) for d in report.deltas} == {("smoke",)}
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "svc.jsonl").write_text(
+            json.dumps(record("full", "aaa", wall_seconds=1.0)) + "\n"
+            + "{truncated...\n"
+            + json.dumps(record("full", "bbb", wall_seconds=1.1)) + "\n")
+        assert len(load_history(tmp_path)["svc"]) == 2
+        assert trend(tmp_path, threshold=0.25).ok
+
+    def test_single_run_reports_unpaired(self, tmp_path):
+        write_history(tmp_path, "svc", [record("full", "aaa",
+                                               wall_seconds=1.0)])
+        report = trend(tmp_path, threshold=0.25)
+        assert report.ok and report.unpaired == ["svc"]
+        assert "no trend yet" in report.render()
+
+
+class TestCli:
+    def test_strict_gates_on_regressions(self, tmp_path, capsys):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0),
+            record("full", "bbb", wall_seconds=20.0),
+        ])
+        rc = main(["--history", str(tmp_path), "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 1 and "regression(s) flagged" in out
+        # without --strict the same analysis reports but never gates
+        assert main(["--history", str(tmp_path)]) == 0
+
+    def test_threshold_flag_is_percent(self, tmp_path, capsys):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0),
+            record("full", "bbb", wall_seconds=11.0),
+        ])
+        assert main(["--history", str(tmp_path), "--strict",
+                     "--threshold", "50"]) == 0
+        assert main(["--history", str(tmp_path), "--strict",
+                     "--threshold", "5"]) == 1
+
+    def test_report_cli_dispatches_trend(self, tmp_path, capsys):
+        from repro.report.__main__ import main as report_main
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=1.0),
+        ])
+        rc = report_main(["trend", "--history", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "no wall-clock regressions" in out
