@@ -18,7 +18,14 @@ envelope, and records:
 * **parity** — the maintained envelope must be *byte-identical* to the
   cold recompute at the end of the script, asserted in the same run
   (``repro.incremental.envelope_bytes``); a speedup with broken parity
-  is not a result.
+  is not a result;
+* **per-update latency distribution** — every update is observed into a
+  per-size :class:`repro.obs.hist.Log2Histogram`; p50/p99 per size come
+  from the shared histogram implementation (parity-checked each run
+  against the sorted samples, within one bucket's resolution), and the
+  per-size histograms are bucket-wise merged into one run-level
+  histogram — the merge is exact and grouping-invariant, asserted by
+  merging in both orders.
 
 CLI runs write ``BENCH_incremental.json`` at the repo root and append
 one JSON line (provenance included) to
@@ -34,6 +41,7 @@ or via pytest (``test_incremental_report``).
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import time
 
@@ -42,6 +50,7 @@ import numpy as np
 from repro.core.envelope import envelope_serial
 from repro.core.family import PolynomialFamily
 from repro.incremental import IncrementalEnvelope, envelope_bytes
+from repro.obs.hist import Log2Histogram
 from repro.trace import provenance_manifest
 from repro.verify.generators import make_curves
 
@@ -60,6 +69,34 @@ PARAMS = {
 }
 
 _ACTIONS = ("insert", "delete", "retarget")
+
+#: Shared bucket range for every per-update latency histogram: base
+#: resolution ~60ns (one bucket per power of two) saturating at 2s.
+#: Identical declared ranges are what make the per-size histograms
+#: exactly mergeable into the run-level one.
+UPDATE_HIST_LO = 2.0 ** -24
+UPDATE_HIST_HI = 2.0
+
+
+def hist_percentiles(hist: Log2Histogram, samples: list[float]) -> dict:
+    """p50/p99 from the shared histogram + the one-run parity check.
+
+    Each quantile must be exactly the upper edge of the bucket holding
+    the same-rank sorted sample — within one bucket's resolution (a
+    factor of two) of the exact sorted-sample percentile.
+    """
+    assert hist.count == len(samples)
+    ordered = sorted(samples)
+    out = {}
+    for q in (0.50, 0.99):
+        bound = hist.quantile(q)
+        rank = max(1, math.ceil(q * len(ordered)))
+        sample = ordered[rank - 1]
+        assert bound == hist.upper_bound(hist.bucket_of(sample)), (
+            f"p{q * 100:g}: histogram bound {bound} disagrees with the "
+            f"bucket of the rank-{rank} sample {sample}")
+        out[f"p{q * 100:g}"] = bound
+    return out
 
 
 def make_updates(seed: int, n0: int, count: int, s: int = 2) -> list[dict]:
@@ -112,11 +149,19 @@ def bench_size(n: int, updates: int, recompute_reps: int,
     engine.reset(base)
     script = make_updates(seed + n, n, updates, s=s)
 
+    hist = Log2Histogram(f"update_latency_s[n={n}]", lo=UPDATE_HIST_LO,
+                         hi=UPDATE_HIST_HI, unit="s")
+    samples: list[float] = []
     t0 = time.perf_counter()
     for update in script:
+        u0 = time.perf_counter()
         _apply(engine, update)
+        dt = time.perf_counter() - u0
+        hist.observe(dt)
+        samples.append(dt)
     update_wall = time.perf_counter() - t0
     amortized = update_wall / len(script)
+    pcts = hist_percentiles(hist, samples)
 
     # The alternative: a recompute-per-mutation design pays this on
     # every update.  Fresh family each rep = genuinely cold crossing
@@ -138,11 +183,37 @@ def bench_size(n: int, updates: int, recompute_reps: int,
         "final_n": len(engine),
         "pieces": len(engine.envelope.pieces),
         "amortized_update_s": round(amortized, 8),
+        "update_p50_s": pcts["p50"],
+        "update_p99_s": pcts["p99"],
+        "update_hist": hist.to_dict(),
         "full_recompute_s": round(recompute, 8),
         "speedup": round(recompute / amortized, 2),
         "parity": parity,
         "engine_stats": dict(engine.stats),
     }
+
+
+def _merged_update_hist(rows: list[dict]) -> dict:
+    """Merge the per-size histograms into one run-level distribution.
+
+    The merge is exact bucket-wise integer addition over identical
+    declared ranges; grouping-invariance is asserted by merging the same
+    snapshots in both orders and demanding identical bucket state.
+    """
+    hists = [Log2Histogram.from_dict(r["update_hist"]) for r in rows]
+    merged = Log2Histogram("update_latency_s", lo=UPDATE_HIST_LO,
+                           hi=UPDATE_HIST_HI, unit="s")
+    for h in hists:
+        merged.merge(h)
+    backwards = Log2Histogram("update_latency_s", lo=UPDATE_HIST_LO,
+                              hi=UPDATE_HIST_HI, unit="s")
+    for h in reversed(hists):
+        backwards.merge(h)
+    assert (merged.buckets, merged.count, merged.vmin, merged.vmax) == \
+        (backwards.buckets, backwards.count, backwards.vmin,
+         backwards.vmax), "histogram merge is not grouping-invariant"
+    assert merged.count == sum(r["updates"] for r in rows)
+    return merged.to_dict()
 
 
 def run_incremental_bench(mode: str = "full",
@@ -164,6 +235,7 @@ def run_incremental_bench(mode: str = "full",
         "max_speedup": max(r["speedup"] for r in rows),
         "top_size_speedup": rows[-1]["speedup"],
         "all_parity": all(r["parity"] for r in rows),
+        "update_hist": _merged_update_hist(rows),
     }
     if json_path is not None:
         json_path.write_text(json.dumps(results, indent=2) + "\n")
@@ -176,18 +248,24 @@ def append_history(results: dict,
                    path: pathlib.Path = HISTORY_PATH) -> pathlib.Path:
     """Append one compact JSON line for this run to the history log.
 
-    Per-size amortized/recompute seconds ride along (keyed by ``n``) so
-    ``python -m repro.report trend`` can flag wall-clock regressions
-    between commits at every benched size.
+    Per-size amortized/recompute seconds and histogram-derived p50/p99
+    ride along (keyed by ``n``) so ``python -m repro.report trend`` can
+    flag wall-clock regressions between commits at every benched size;
+    the run-level merged bucket array rides along for offline re-merge
+    and ``--slo`` gating (the trend analyser skips histogram subtrees
+    when diffing scalars).
     """
     line = {
         "mode": results["mode"],
         "crossover_n": results["crossover_n"],
         "top_size_speedup": results["top_size_speedup"],
         "all_parity": results["all_parity"],
+        "update_hist": results["update_hist"],
         "sizes": {
             str(r["n"]): {
                 "amortized_update_seconds": r["amortized_update_s"],
+                "update_p50_seconds": r["update_p50_s"],
+                "update_p99_seconds": r["update_p99_s"],
                 "full_recompute_seconds": r["full_recompute_s"],
                 "speedup": r["speedup"],
             }
@@ -204,11 +282,13 @@ def append_history(results: dict,
 def _print_results(results: dict) -> None:
     print(f"\nincremental engine vs full recompute "
           f"({results['mode']} tier):")
-    print(f"  {'n':>6} {'updates':>8} {'amortized':>12} "
-          f"{'recompute':>12} {'speedup':>9} {'parity':>7}")
+    print(f"  {'n':>6} {'updates':>8} {'amortized':>12} {'p50':>10} "
+          f"{'p99':>10} {'recompute':>12} {'speedup':>9} {'parity':>7}")
     for r in results["rows"]:
         print(f"  {r['n']:>6} {r['updates']:>8} "
               f"{r['amortized_update_s'] * 1e6:>10.1f}us "
+              f"{r['update_p50_s'] * 1e6:>8.1f}us "
+              f"{r['update_p99_s'] * 1e6:>8.1f}us "
               f"{r['full_recompute_s'] * 1e3:>10.2f}ms "
               f"{r['speedup']:>8.1f}x {str(r['parity']):>7}")
     cx = results["crossover_n"]
@@ -226,6 +306,12 @@ def test_incremental_report(tmp_path):
     _print_results(results)
     assert results["all_parity"], "maintained envelope diverged from recompute"
     assert results["top_size_speedup"] >= 2.0
+    # The run-level histogram must cover every update of every size, and
+    # the per-size percentiles must be ordered.
+    total = sum(r["updates"] for r in results["rows"])
+    assert results["update_hist"]["count"] == total
+    for r in results["rows"]:
+        assert r["update_p50_s"] <= r["update_p99_s"]
     assert (tmp_path / "BENCH_incremental.json").exists()
 
 

@@ -13,6 +13,14 @@ per-query through the campaign engine
 :func:`repro.service.workers.direct_item`) and must match the served
 payloads byte-for-byte.
 
+Latency percentiles come from the service's own
+``request_latency_s`` :class:`~repro.obs.hist.Log2Histogram` — the same
+buckets the live ``stats()`` endpoint serves — not from a private sorted
+array.  Every run asserts parity between the histogram-derived quantiles
+and the sorted-sample percentiles (within one bucket's resolution), and
+both the bucket array and the full ``repro.obs/1`` stats snapshot ride
+along in the artifacts.
+
 CLI runs write ``BENCH_service.json`` at the repo root and append one
 JSON line (provenance included) to ``benchmarks/history/service.jsonl``;
 pytest entry points write to a temp dir and never append — the committed
@@ -27,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import pathlib
 import time
 
@@ -144,6 +153,36 @@ async def _replay(stream: list, wave: int, service_kwargs: dict,
             "sampled": sampled, "service": svc}
 
 
+def hist_latency(hist, lat: np.ndarray) -> dict:
+    """Histogram-derived latency percentiles + the one-run parity check.
+
+    p50/p90/p99 are read from the service's shared
+    :class:`repro.obs.hist.Log2Histogram` (upper bucket edges).  For each
+    quantile the run asserts the histogram's answer is exactly the upper
+    edge of the bucket holding the same-rank sorted sample — i.e. within
+    one bucket's resolution (a factor of two) of the exact sorted-sample
+    percentile.  A drifted histogram (missed observation, wrong bucket
+    arithmetic) fails the benchmark rather than misreporting latency.
+    """
+    assert hist.count == len(lat), (
+        f"histogram saw {hist.count} samples, harness saw {len(lat)}")
+    ordered = np.sort(lat)
+    out = {}
+    for q in (0.50, 0.90, 0.99):
+        bound = hist.quantile(q)
+        rank = max(1, math.ceil(q * len(ordered)))
+        sample = float(ordered[rank - 1])
+        assert bound == hist.upper_bound(hist.bucket_of(sample)), (
+            f"p{q * 100:g}: histogram bound {bound} disagrees with the "
+            f"bucket of the rank-{rank} sample {sample}")
+        assert sample <= bound <= max(2.0 * sample, hist.lo), (
+            f"p{q * 100:g}: bound {bound} not within one bucket "
+            f"of the sorted-sample percentile {sample}")
+        out[f"p{q * 100:g}"] = round(bound, 9)
+    out["max"] = round(float(hist.vmax), 6)
+    return out
+
+
 def check_correctness(sampled: dict, universe: list,
                       machine_size: int) -> int:
     """Recompute sampled requests per-query via the campaign engine.
@@ -189,8 +228,9 @@ def run_service_bench(mode: str = "full",
     svc = replay["service"]
     lat = replay["latencies"]
     assert len(lat) == params["queries"], "stream not fully served"
-    stats = svc.stats
+    counters = svc.counters
     cache = svc.cache.stats()
+    hist = svc.obs.hists["request_latency_s"]
     checked = check_correctness(replay["sampled"], universe,
                                 svc.machine_size)
     results = {
@@ -201,37 +241,37 @@ def run_service_bench(mode: str = "full",
         "queries": params["queries"],
         "wall_seconds": round(replay["wall"], 4),
         "throughput_qps": round(params["queries"] / replay["wall"], 1),
-        "latency_s": {
-            "p50": round(float(np.percentile(lat, 50)), 6),
-            "p90": round(float(np.percentile(lat, 90)), 6),
-            "p99": round(float(np.percentile(lat, 99)), 6),
-            "max": round(float(lat.max()), 6),
-        },
+        "latency_s": hist_latency(hist, lat),
+        "latency_hist": hist.to_dict(),
         "cache": {
             "hit_rate": round(cache["hit_rate"], 4),
             "hits": cache["hits"],
             "misses": cache["misses"],
             "evictions": cache["evictions"],
             "request_hit_rate":
-                round(stats.cache_hit_requests / stats.responses, 4),
+                round(counters.cache_hit_requests / counters.responses, 4),
         },
         "batching": {
-            "batches": stats.batches,
-            "batch_max": stats.batch_max,
+            "batches": counters.batches,
+            "batch_max": counters.batch_max,
             "mean_batch_size":
-                round(stats.batched_requests / stats.batches, 2),
-            "dedup_hits": stats.dedup_hits,
-            "coalesced_requests": stats.coalesced_requests,
+                round(counters.batched_requests / counters.batches, 2),
+            "dedup_hits": counters.dedup_hits,
+            "coalesced_requests": counters.coalesced_requests,
         },
         "counters": {
-            "requests": stats.requests,
-            "responses": stats.responses,
-            "errors": stats.errors,
+            "requests": counters.requests,
+            "responses": counters.responses,
+            "errors": counters.errors,
             "pool_restarts": svc.stats_dict()["pool_restarts"],
             "spans_recorded": len(svc.span_forest()),
-            "spans_dropped": stats.spans_dropped,
+            "spans_dropped": counters.spans_dropped,
         },
         "correctness_checked": checked,
+        # The live-endpoint view of the same run: the versioned
+        # ``repro.obs/1`` snapshot (histograms, event/recorder
+        # accounting) as ``QueryService.stats()`` would serve it.
+        "stats": svc.stats(),
     }
     if json_path is not None:
         json_path.write_text(json.dumps(results, indent=2) + "\n")
@@ -242,10 +282,17 @@ def run_service_bench(mode: str = "full",
 
 def append_history(results: dict,
                    path: pathlib.Path = HISTORY_PATH) -> pathlib.Path:
-    """Append one compact JSON line for this run to the history log."""
+    """Append one compact JSON line for this run to the history log.
+
+    ``latency_hist`` carries the full bucket array so later runs can be
+    merged or re-quantiled offline; the trend analyser skips histogram
+    subtrees when diffing scalar metrics and ``--slo`` reads them for
+    percentile gating.
+    """
     line = {k: results[k] for k in
             ("mode", "queries", "wall_seconds", "throughput_qps",
-             "latency_s", "cache", "batching", "provenance")}
+             "latency_s", "latency_hist", "cache", "batching",
+             "provenance")}
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(line, sort_keys=True) + "\n")
@@ -285,6 +332,10 @@ def test_service_report(tmp_path):
     assert results["cache"]["request_hit_rate"] > 0.3
     assert results["correctness_checked"] >= 5
     assert results["latency_s"]["p50"] <= results["latency_s"]["p99"]
+    # Every served request must be in the histogram the percentiles came
+    # from, and the embedded live-endpoint snapshot must be versioned.
+    assert results["latency_hist"]["count"] == results["queries"]
+    assert results["stats"]["schema"] == "repro.obs/1"
     assert (tmp_path / "BENCH_service.json").exists()
 
 

@@ -13,3 +13,4 @@ from . import rules_fork     # noqa: F401  RPR005 fork-safety
 from . import rules_vexec    # noqa: F401  RPR006 vexec hygiene
 from . import rules_service  # noqa: F401  RPR007 service loop purity
 from . import rules_incremental  # noqa: F401  RPR008 event-queue determinism
+from . import rules_obs      # noqa: F401  RPR009 telemetry hygiene

@@ -37,12 +37,16 @@ class CheckPolicy:
     #:   parallel.py           the process-pool engine (host execution)
     #:   service/              request latency / worker wall accounting
     #:                         (serving measures the host by design)
+    #:   obs/                  telemetry summarises host-side values; the
+    #:                         tighter RPR009 clock discipline (interval
+    #:                         clocks only) binds there instead
     wallclock_modules: tuple[str, ...] = (
         "machines/metrics.py",
         "trace/tracer.py",
         "trace/provenance.py",
         "parallel.py",
         "service/",
+        "obs/",
         "benchmarks/",
     )
 
@@ -134,6 +138,31 @@ class CheckPolicy:
         "incremental/",
     )
 
+    #: RPR009 — the operational-telemetry package: always-on buffers must
+    #: append behind a visible ``len()`` cap guard, and only interval
+    #: clocks may be read (calendar timestamps belong to
+    #: ``trace/provenance.py``, stamped once per artifact).
+    obs_modules: tuple[str, ...] = (
+        "obs/",
+    )
+
+    #: RPR009 — the only wall-clock reads obs code may make.  Interval
+    #: measurement is telemetry's job; anything else (``time.time``,
+    #: ``datetime.now``) would put wall timestamps into event streams
+    #: whose ordering contract is the sequence number.
+    obs_clock_allow: tuple[str, ...] = (
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    )
+
+    #: RPR009 — call names that emit structured telemetry records.  Their
+    #: arguments must stay structured fields; an f-string argument is a
+    #: pre-formatted message that no consumer can filter on.  Checked in
+    #: obs modules and at the service's emission sites.
+    obs_emit_calls: tuple[str, ...] = (
+        "emit", "record_event", "record_span",
+    )
+
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -160,6 +189,9 @@ class CheckPolicy:
 
     def is_incremental_module(self, rel: str) -> bool:
         return _match(rel, self.incremental_modules)
+
+    def is_obs_module(self, rel: str) -> bool:
+        return _match(rel, self.obs_modules)
 
 
 DEFAULT_POLICY = CheckPolicy()

@@ -1,9 +1,11 @@
 """CLI entry point: ``python -m repro.report [name ...]``.
 
-Besides the table/figure experiments, one analysis subcommand rides
+Besides the table/figure experiments, two analysis subcommands ride
 here: ``python -m repro.report trend`` walks the benchmark history
 records (``benchmarks/history/*.jsonl``) and flags wall-clock
-regressions between commits (see :mod:`repro.report.trend`).
+regressions between commits (see :mod:`repro.report.trend`), and
+``python -m repro.report postmortem <file>`` renders a service
+flight-recorder dump (see :mod:`repro.report.postmortem`).
 """
 
 from __future__ import annotations
@@ -40,6 +42,9 @@ def main(argv=None) -> int:
         # that the experiment parser would reject — dispatch before it.
         from .trend import main as trend_main
         return trend_main(argv[1:])
+    if argv[:1] == ["postmortem"]:
+        from .postmortem import main as postmortem_main
+        return postmortem_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the paper's tables and figures.",

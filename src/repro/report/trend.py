@@ -18,20 +18,33 @@ higher-is-better, everything else is ignored.  Thresholds are generous
 by default (25%) because shared CI hosts are noisy; ``--strict`` turns
 any flagged regression into a nonzero exit for gating.
 
+Since PR 9 the service benches also record full histogram bucket arrays
+(``repro.obs`` log2 snapshots, fields named ``*_hist``).  Histogram
+subtrees are *not* trend metrics — their counts and sums would register
+as bogus directional leaves — so :func:`flatten_metrics` skips them,
+which is also what makes mixed-schema history files (records predating
+the histogram fields next to records carrying them) compare cleanly.
+They power **SLO gating** instead: ``--slo p99_ms<50`` derives the
+quantile from the newest record's bucket array and fails the gate on
+violation (records without histograms are skipped, never a KeyError).
+
 CLI::
 
     python -m repro.report trend [--history DIR] [--threshold PCT]
                                  [--strict] [--benches NAME ...]
+                                 [--slo [FIELD:]pNN_ms<LIMIT ...]
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 
-__all__ = ["DEFAULT_HISTORY_DIR", "Delta", "TrendReport", "flatten_metrics",
-           "load_history", "trend"]
+__all__ = ["DEFAULT_HISTORY_DIR", "Delta", "SloCheck", "TrendReport",
+           "check_slos", "flatten_metrics", "load_history", "parse_slo",
+           "trend"]
 
 DEFAULT_HISTORY_DIR = (
     pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "history"
@@ -53,11 +66,22 @@ def _direction(path: str) -> int:
     return 0
 
 
+def _is_histogram(value) -> bool:
+    """A ``repro.obs`` histogram snapshot (bucket array + range)."""
+    return (isinstance(value, dict) and "buckets" in value
+            and "lo" in value and "hi" in value)
+
+
 def flatten_metrics(record: dict, prefix: str = "") -> dict[str, float]:
     """Dotted-path -> value for every trendable numeric leaf.
 
     Provenance and workload-parameter subtrees are skipped, and only
     leaves whose path classifies as a wall-clock metric survive.
+    Histogram snapshots are skipped whole: their counts/sums are not
+    directional metrics (``latency_hist.count`` is not a latency), and
+    skipping them keeps mixed-schema history files — records written
+    before the histogram fields existed next to records carrying them —
+    comparable without a KeyError or a spurious delta.
     """
     out: dict[str, float] = {}
     for key, value in record.items():
@@ -65,6 +89,8 @@ def flatten_metrics(record: dict, prefix: str = "") -> dict[str, float]:
             continue
         path = f"{prefix}{key}"
         if isinstance(value, dict):
+            if _is_histogram(value):
+                continue
             out.update(flatten_metrics(value, f"{path}."))
         elif isinstance(value, (int, float)) and not isinstance(value, bool):
             if _direction(path):
@@ -196,6 +222,98 @@ def trend(history_dir=DEFAULT_HISTORY_DIR, threshold: float = 0.25,
     return report
 
 
+# ----------------------------------------------------------------------
+# SLO gating over recorded histogram bucket arrays
+# ----------------------------------------------------------------------
+_SLO_RE = re.compile(
+    r"^(?:(?P<field>[A-Za-z_][\w.]*):)?"
+    r"p(?P<q>\d{1,2}(?:_\d+)?)_ms"
+    r"(?P<op><=?)"
+    r"(?P<limit>\d+(?:\.\d+)?)$"
+)
+
+#: The histogram field an unqualified ``pNN_ms<...`` spec reads.
+DEFAULT_SLO_FIELD = "latency_hist"
+
+
+@dataclass
+class SloCheck:
+    """One SLO evaluation against a bench's newest histogram record."""
+
+    bench: str
+    mode: str
+    spec: str
+    field: str
+    value_ms: float | None  # None: no record carries the histogram field
+    limit_ms: float
+    ok: bool
+    sha: str = "?"
+
+    def render(self) -> str:
+        if self.value_ms is None:
+            return (f"  {self.bench}: no record carries {self.field!r} "
+                    f"(SLO {self.spec} not evaluated)")
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (f"  {self.bench}[{self.mode}] {self.spec}: "
+                f"{self.value_ms:g} ms vs limit {self.limit_ms:g} ms "
+                f"-> {verdict} ({self.sha})")
+
+
+def parse_slo(spec: str) -> tuple[str, float, str, float]:
+    """``[field:]pNN_ms<LIMIT`` -> (field, quantile, op, limit_ms)."""
+    m = _SLO_RE.match(spec.strip())
+    if not m:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected e.g. p99_ms<50 or "
+            f"update_hist:p50_ms<1.5")
+    q = float(m.group("q").replace("_", ".")) / 100.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"bad SLO quantile in {spec!r}")
+    return (m.group("field") or DEFAULT_SLO_FIELD, q, m.group("op"),
+            float(m.group("limit")))
+
+
+def _latest_with_field(records: list[dict], field_name: str):
+    for rec in reversed(records):
+        if _is_histogram(rec.get(field_name)):
+            return rec
+    return None
+
+
+def check_slos(specs, history_dir=DEFAULT_HISTORY_DIR,
+               benches=None) -> list[SloCheck]:
+    """Evaluate each SLO spec against every bench's newest histogram.
+
+    A spec gates the **latest** record (per history file) that carries
+    its histogram field; older records and records predating the field
+    are skipped — an SLO never KeyErrors on mixed-schema history.  The
+    gated value is the histogram's deterministic upper-bound quantile
+    (:meth:`repro.obs.hist.Log2Histogram.quantile`), converted to ms.
+    """
+    from ..obs.hist import Log2Histogram
+
+    checks: list[SloCheck] = []
+    history = load_history(history_dir, benches)
+    for spec in specs:
+        field_name, q, op, limit_ms = parse_slo(spec)
+        for bench, records in sorted(history.items()):
+            rec = _latest_with_field(records, field_name)
+            if rec is None:
+                checks.append(SloCheck(
+                    bench=bench, mode="?", spec=spec, field=field_name,
+                    value_ms=None, limit_ms=limit_ms, ok=True))
+                continue
+            hist = Log2Histogram.from_dict(rec[field_name])
+            quant = hist.quantile(q)
+            value_ms = (quant or 0.0) * 1000.0
+            ok = value_ms < limit_ms if op == "<" else value_ms <= limit_ms
+            checks.append(SloCheck(
+                bench=bench, mode=str(rec.get("mode", "?")), spec=spec,
+                field=field_name, value_ms=value_ms, limit_ms=limit_ms,
+                ok=ok, sha=_sha(rec)))
+    return checks
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.report trend``."""
     import argparse
@@ -216,8 +334,26 @@ def main(argv=None) -> int:
                         help="restrict to these history files (stem names)")
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero when any regression is flagged")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="[FIELD:]pNN_ms<LIMIT",
+                        help="gate the newest recorded latency histogram "
+                             "at a quantile, e.g. p99_ms<50 (repeatable; "
+                             "a violation always exits nonzero)")
     args = parser.parse_args(argv)
     report = trend(args.history, threshold=args.threshold / 100.0,
                    benches=args.benches)
     print(report.render())
-    return 1 if (args.strict and not report.ok) else 0
+    slo_ok = True
+    if args.slo:
+        try:
+            checks = check_slos(args.slo, args.history,
+                                benches=args.benches)
+        except ValueError as exc:
+            print(f"bad --slo: {exc}")
+            return 2
+        print("SLO gates:")
+        for check in checks:
+            print(check.render())
+        slo_ok = all(c.ok for c in checks)
+    failed = (args.strict and not report.ok) or not slo_ok
+    return 1 if failed else 0

@@ -23,6 +23,7 @@ runs.
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 import zlib
@@ -339,7 +340,16 @@ def validate_request(req: QueryRequest) -> list[str]:
     the *parameters*: run parameters in range, a known query name, and
     the query's required arguments present — so a bad request fails at
     submit time with a structured error, never inside a worker.
+
+    Validity is a pure function of the (frozen, hashable) request, so
+    repeat arrivals of popular requests hit a bounded memo instead of
+    re-deriving the parameter shape on every submit.
     """
+    return list(_validate_cached(req))
+
+
+@functools.lru_cache(maxsize=4096)
+def _validate_cached(req: QueryRequest) -> tuple:
     problems = []
     params = dict(req.params)
     rp = req.run_params()
@@ -370,21 +380,25 @@ def validate_request(req: QueryRequest) -> list[str]:
         if name not in known:
             problems.append(f"unknown parameter {name!r} for "
                             f"{req.algorithm} (known: {sorted(known)})")
-    return problems
+    return tuple(problems)
 
 
+@functools.lru_cache(maxsize=4096)
 def run_key(req: QueryRequest, machine_size: int,
             executor: str | None) -> tuple:
     """The simulated-run identity a request resolves to.
 
     Requests sharing a run key are batched into one simulated run; the
-    result cache is keyed on this.
+    result cache is keyed on this.  A pure function of its (hashable)
+    arguments, memoized bounded: the planner computes it once per
+    arrival, and repeat-heavy traffic repeats the same requests.
     """
     rp = tuple(sorted(req.run_params().items()))
     return (req.algorithm, req.family.key(), req.backend,
             machine_size, executor, rp)
 
 
+@functools.lru_cache(maxsize=4096)
 def shard_of(key: tuple, n_shards: int) -> int:
     """Deterministic family->shard assignment, stable across processes.
 

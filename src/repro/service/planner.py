@@ -37,6 +37,9 @@ class BatchUnit:
     algorithm: str
     waiters: list = field(default_factory=list)  # (pending, ...) arrival order
     dedup_hits: int = 0
+    #: Batch correlation id, minted by the server at dispatch time and
+    #: propagated into events, worker payloads, and the batch span.
+    bid: str = ""
     #: Distinct full request keys seen, for dedupe accounting.
     _seen: set = field(default_factory=set)
 

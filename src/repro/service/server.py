@@ -27,15 +27,28 @@ Serving discipline:
   hit/miss/batch-size counters land in the process-wide
   :class:`~repro.trace.registry.MetricsRegistry`.  Responses carry a
   ``repro.provenance/1`` manifest.
+
+Operational telemetry (:mod:`repro.obs`, docs/operations.md) rides every
+serving path: a correlation id (``cid``) is minted at submit time and
+propagated through planner batches (``bid``), worker payloads, retries,
+spans, and the structured lifecycle event log, so one grep reconstructs
+any request's path; latency/size/depth distributions land in
+deterministic log2 histograms; :meth:`QueryService.stats` returns the
+versioned ``repro.obs/1`` snapshot; and a bounded flight recorder dumps
+a ``repro.postmortem/1`` file on degradation or worker death.  All of it
+is host-clock-only — with telemetry fully enabled, response payloads and
+simulated charges are bit-identical to an untelemetered run.
 """
 
 from __future__ import annotations
 
 import asyncio
+import pathlib
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from ..obs.telemetry import STATS_SCHEMA, ServiceTelemetry
 from ..ops.plans import EXECUTORS
 from ..trace.provenance import provenance_manifest
 from ..trace.registry import get_counter
@@ -68,6 +81,7 @@ _ERRORS = get_counter("service.errors")
 _CANCELLED = get_counter("service.cancelled")
 _MUTATIONS = get_counter("service.mutations")
 _DYN_QUERIES = get_counter("service.dynamic_queries")
+_POSTMORTEMS = get_counter("service.postmortems")
 
 
 @dataclass
@@ -77,6 +91,9 @@ class _Pending:
     request: QueryRequest
     future: asyncio.Future
     t0: float
+    #: Correlation id minted at submit time (`q-...`), carried through
+    #: events, batch payloads, spans, and the response metadata.
+    cid: str = ""
 
 
 @dataclass
@@ -100,6 +117,11 @@ class ServiceStats:
     dynamic_queries: int = 0
     dynamic_cache_hits: int = 0
     invalidated_keys: int = 0
+    postmortems: int = 0
+    #: Simulated time of the cold runs this service executed — the
+    #: service's "work done" on the simulated clock, accumulated from
+    #: run entries (telemetry never adds charges of its own).
+    sim_time_served: float = 0.0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -127,7 +149,10 @@ class QueryService:
                  batching: bool = True, max_batch: int = 64,
                  batch_window: float = 0.0, machine_size: int = 64,
                  executor: str | None = None, retries: int = 1,
-                 span_limit: int = 4096, provenance: bool = True):
+                 span_limit: int = 4096, provenance: bool = True,
+                 event_capacity: int = 4096, recorder_events: int = 512,
+                 recorder_spans: int = 256, events_path=None,
+                 postmortem_dir=None):
         if executor is not None and executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; "
                              f"have {EXECUTORS}")
@@ -151,7 +176,15 @@ class QueryService:
             shards=cache_shards if cache_shards is not None else self.n_shards,
         )
         self.dynamic = DynamicFamilyStore()
-        self.stats = ServiceStats()
+        self.counters = ServiceStats()
+        self.obs = ServiceTelemetry(event_capacity=event_capacity,
+                                    recorder_events=recorder_events,
+                                    recorder_spans=recorder_spans,
+                                    events_path=events_path)
+        self.postmortem_dir = postmortem_dir
+        self.last_postmortem = None
+        self._t0: float | None = None
+        self._uptime = 0.0
         self.spans: list[dict] = []
         self._pending: list[_Pending] = []
         self._inflight: dict[tuple, asyncio.Task] = {}
@@ -185,6 +218,7 @@ class QueryService:
         self._pools = ShardPools(self.n_shards, self.worker_mode)
         self._wake = asyncio.Event()
         self._batcher = self._loop.create_task(self._batch_loop())
+        self._t0 = perf_counter()
         self._started = True
         return self
 
@@ -203,6 +237,7 @@ class QueryService:
         for pending in self._pending:
             if not pending.future.done():
                 pending.future.set_exception(err)
+                self.obs.emit("failed", pending.cid, code="shutdown")
         self._pending.clear()
         inflight = list(self._inflight.values())
         for task in inflight:
@@ -212,6 +247,10 @@ class QueryService:
         self._inflight.clear()
         self.dynamic.clear()
         self._pools.shutdown()
+        if self._t0 is not None:
+            self._uptime = perf_counter() - self._t0
+            self._t0 = None
+        self.obs.close()
 
     async def __aenter__(self) -> "QueryService":
         return await self.start()
@@ -228,14 +267,17 @@ class QueryService:
             raise ServiceError("not_started", "call start() (or use the "
                                               "service as an async context "
                                               "manager) before submitting")
+        cid = self.obs.mint("q")
+        self.obs.emit("request_received", cid, algorithm=req.algorithm)
         problems = validate_request(req)
         if problems:
+            self.obs.emit("failed", cid, code="bad_request")
             raise ServiceError("bad_request", "; ".join(problems),
-                               {"request": req.to_dict()})
+                               {"request": req.to_dict(), "cid": cid})
         assert self._loop is not None and self._wake is not None
         fut: asyncio.Future = self._loop.create_future()
-        self._pending.append(_Pending(req, fut, perf_counter()))
-        self.stats.requests += 1
+        self._pending.append(_Pending(req, fut, perf_counter(), cid))
+        self.counters.requests += 1
         _REQUESTS.inc()
         self._wake.set()
         return await fut
@@ -260,33 +302,51 @@ class QueryService:
             raise ServiceError("not_started", "call start() (or use the "
                                               "service as an async context "
                                               "manager) before mutating")
+        cid = self.obs.mint("m")
         problems = validate_mutation(m)
         if problems:
+            self.obs.emit("failed", cid, code="bad_mutation")
             raise ServiceError("bad_mutation", "; ".join(problems),
-                               {"mutation": m.to_dict()})
+                               {"mutation": m.to_dict(), "cid": cid})
         t0 = perf_counter()
         keys: set = set()
         if m.action == "drop" and m.name in self.dynamic:
             # The drop discards the family object (and its key
             # registration) — capture the keys first.
             keys = set(self.dynamic.family(m.name).cached_keys)
-        result = self.dynamic.apply(m.name, m.action, dict(m.params))
+        try:
+            result = self.dynamic.apply(m.name, m.action, dict(m.params))
+        except ServiceError as exc:
+            self.obs.emit("failed", cid, code=exc.code, name=m.name,
+                          action=m.action)
+            raise
         if m.name in self.dynamic:
             keys |= self.dynamic.take_cached(m.name)
         invalidated = sum(
             1 for key in keys if self.cache.invalidate(key)
         )
-        self.stats.mutations += 1
-        self.stats.invalidated_keys += invalidated
+        self.counters.mutations += 1
+        self.counters.invalidated_keys += invalidated
         _MUTATIONS.inc()
+        latency = perf_counter() - t0
+        self.obs.emit("mutation_applied", cid, name=m.name, action=m.action,
+                      version=result.get("version"), invalidated=invalidated)
+        if invalidated:
+            self.obs.emit("cache_invalidated", cid, name=m.name,
+                          keys=invalidated)
+        self._record_aux_span(f"mutation:{m.action}", "mutation", {
+            "cid": cid, "name": m.name, "action": m.action,
+            "invalidated": invalidated, "version": result.get("version"),
+        }, latency)
         payload = {
             "schema": "repro.service/1",
             "mutation": m.to_dict(),
             "result": result,
             "invalidated": invalidated,
         }
-        meta = {"latency_s": perf_counter() - t0,
-                "invalidated": invalidated}
+        meta = {"latency_s": latency,
+                "invalidated": invalidated,
+                "cid": cid}
         return QueryResponse(payload, meta, self._provenance)
 
     async def submit_dynamic(self, name: str, **params) -> QueryResponse:
@@ -304,29 +364,40 @@ class QueryService:
                                               "service as an async context "
                                               "manager) before submitting")
         t0 = perf_counter()
+        cid = self.obs.mint("d")
+        self.obs.emit("request_received", cid, algorithm="envelope",
+                      domain="dynamic", name=name)
         query = dict(params)
         query.setdefault("q", "full")
         shapes = _QUERY_SHAPES["envelope"]
         if query["q"] not in shapes:
+            self.obs.emit("failed", cid, code="bad_request", name=name)
             raise ServiceError("bad_request",
                                f"unknown envelope query {query['q']!r}; "
                                f"have {sorted(shapes)}", {"name": name})
         for needed in shapes[query["q"]]:
             if needed not in query:
+                self.obs.emit("failed", cid, code="bad_request", name=name)
                 raise ServiceError("bad_request",
                                    f"query {query['q']!r} requires "
                                    f"parameter {needed!r}", {"name": name})
-        fam = self.dynamic.family(name)
+        try:
+            fam = self.dynamic.family(name)
+        except ServiceError as exc:
+            self.obs.emit("failed", cid, code=exc.code, name=name)
+            raise
         key = self.dynamic.run_key(name)
+        t_lookup = perf_counter()
         entry = self.cache.get(key)
+        self.obs.observe("cache_lookup_s", perf_counter() - t_lookup)
         cache_hit = entry is not None
         if entry is None:
             entry = self.dynamic.entry(name)
             self.cache.put(key, entry)
             self.dynamic.note_cached(name, key)
-        self.stats.dynamic_queries += 1
+        self.counters.dynamic_queries += 1
         if cache_hit:
-            self.stats.dynamic_cache_hits += 1
+            self.counters.dynamic_cache_hits += 1
         _DYN_QUERIES.inc()
         payload = {
             "schema": "repro.service/1",
@@ -342,8 +413,16 @@ class QueryService:
             "answer": answer_query("envelope", entry["result"], query),
             "sim_time": entry["sim_time"],
         }
+        latency = perf_counter() - t0
+        self.obs.observe("request_latency_s", latency)
+        self.obs.emit("completed", cid, cache_hit=cache_hit, name=name)
+        self._record_aux_span("dynamic:envelope", "dynamic", {
+            "cid": cid, "name": name, "cache_hit": cache_hit,
+            "query": query.get("q"),
+        }, latency)
         meta = {"cache_hit": cache_hit,
-                "latency_s": perf_counter() - t0}
+                "latency_s": latency,
+                "cid": cid}
         return QueryResponse(payload, meta, self._provenance)
 
     def inject_fault(self, mode: str, count: int = 1) -> None:
@@ -374,6 +453,7 @@ class QueryService:
             pending, self._pending = self._pending, []
             if not pending:
                 continue
+            self.obs.observe("queue_depth", len(pending))
             units = plan_batches(
                 pending, machine_size=self.machine_size,
                 executor=self.executor, n_shards=self.n_shards,
@@ -384,18 +464,28 @@ class QueryService:
 
     def _dispatch(self, unit: BatchUnit) -> None:
         assert self._loop is not None
-        self.stats.batches += 1
-        self.stats.batched_requests += unit.size
-        self.stats.dedup_hits += unit.dedup_hits
+        unit.bid = self.obs.mint("b")
+        self.counters.batches += 1
+        self.counters.batched_requests += unit.size
+        self.counters.dedup_hits += unit.dedup_hits
         _BATCHES.inc()
         _BATCHED.inc(unit.size)
         _DEDUP.inc(unit.dedup_hits)
-        if unit.size > self.stats.batch_max:
-            self.stats.batch_max = unit.size
+        if unit.size > self.counters.batch_max:
+            self.counters.batch_max = unit.size
             _BATCH_MAX.value = max(_BATCH_MAX.value, unit.size)
+        self.obs.observe("batch_size", unit.size)
+        # One batch-scoped event for the whole unit (like ``dispatched``):
+        # ``cids`` carries every attached request, so ``for_cid`` still
+        # reconstructs each chain at a fraction of the per-request cost.
+        self.obs.emit("batched", unit.bid,
+                      cids=[pending.cid for pending in unit.waiters],
+                      size=unit.size, shard=unit.shard)
+        t_lookup = perf_counter()
         entry = self.cache.get(unit.key)
+        self.obs.observe("cache_lookup_s", perf_counter() - t_lookup)
         if entry is not None:
-            self.stats.cache_hit_requests += unit.size
+            self.counters.cache_hit_requests += unit.size
             self._resolve(unit, entry, cache_hit=True)
             return
         task = self._inflight.get(unit.key) if self.batching else None
@@ -411,6 +501,7 @@ class QueryService:
             entry = await self._execute_with_retries(unit)
         finally:
             self._inflight.pop(unit.key, None)
+        self.counters.sim_time_served += float(entry.get("sim_time") or 0.0)
         self.cache.put(unit.key, entry)
         return entry
 
@@ -434,32 +525,54 @@ class QueryService:
             for pending in unit.waiters:
                 if not pending.future.done():
                     pending.future.set_exception(err)
+                    self.obs.emit("failed", pending.cid, batch=unit.bid,
+                                  code=err.code)
+            if err.code == "worker_failed" and not coalesced:
+                # Degradation: the batch exhausted its retries.  Dump
+                # after the failed events so the postmortem carries each
+                # waiter's full chain (received -> ... -> failed).
+                self._postmortem("service_error", {
+                    "batch": unit.bid, "shard": unit.shard,
+                    "algorithm": unit.algorithm, "code": err.code,
+                    "cids": [p.cid for p in unit.waiters],
+                    "detail": err.detail,
+                })
             return
         if coalesced:
-            self.stats.coalesced_requests += unit.size
+            self.counters.coalesced_requests += unit.size
         else:
-            self.stats.cold_requests += unit.size
+            self.counters.cold_requests += unit.size
         self._resolve(unit, entry, cache_hit=False, coalesced=coalesced)
 
     async def _execute_with_retries(self, unit: BatchUnit) -> dict:
         assert self._pools is not None
         attempts = 0
+        cids = [pending.cid for pending in unit.waiters]
         while True:
             attempts += 1
             payload = self._build_payload(unit)
+            self.obs.emit("dispatched", unit.bid, shard=unit.shard,
+                          attempt=attempts, cids=cids)
             try:
                 pool = self._pools.pool(unit.shard)
                 entry = await asyncio.wrap_future(
                     pool.submit(execute_batch, payload))
                 entry["attempts"] = attempts
+                self.obs.observe("worker_turnaround_s",
+                                 float(entry.get("wall", 0.0)))
                 return entry
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
                 if isinstance(exc, BrokenExecutor):
                     self._pools.restart(unit.shard)
+                    self._postmortem("worker_death", {
+                        "batch": unit.bid, "shard": unit.shard,
+                        "attempt": attempts, "algorithm": unit.algorithm,
+                        "cids": cids, "error": repr(exc),
+                    })
                 if attempts > self.retries:
-                    self.stats.errors += 1
+                    self.counters.errors += 1
                     _ERRORS.inc()
                     raise ServiceError(
                         "worker_failed",
@@ -468,7 +581,7 @@ class QueryService:
                          "attempts": attempts,
                          "batch_size": unit.size},
                     ) from exc
-                self.stats.retries += 1
+                self.counters.retries += 1
                 _RETRIES.inc()
 
     def _build_payload(self, unit: BatchUnit) -> dict:
@@ -482,6 +595,11 @@ class QueryService:
             "executor": self.executor,
             "run_params": proto.run_params(),
             "fault": fault,
+            # Correlation coordinates: ignored by the worker (the entry
+            # stays a pure function of the run coordinates), carried so
+            # a payload capture greps back to its requests.
+            "batch": unit.bid,
+            "cids": [pending.cid for pending in unit.waiters],
         }
 
     # ------------------------------------------------------------------
@@ -491,23 +609,37 @@ class QueryService:
                  coalesced: bool = False) -> None:
         now = perf_counter()
         children = []
+        obs_emit = self.obs.emit
+        obs_observe = self.obs.observe
+        # Waiters dedup-attached to one unit repeat the same request; the
+        # payload is a pure function of (entry, request), so build it once
+        # per distinct request per unit (bounded by the unit, no
+        # invalidation to track — the memo dies with the batch).
+        payloads: dict = {}
         for pending in unit.waiters:
             fut = pending.future
             latency = now - pending.t0
             if fut.done():  # the client cancelled: never poison the batch
-                self.stats.cancelled += 1
+                self.counters.cancelled += 1
                 _CANCELLED.inc()
                 continue
             try:
-                payload = response_payload(
-                    pending.request, entry,
-                    machine_size=self.machine_size, executor=self.executor)
+                rk = pending.request.key()
+                payload = payloads.get(rk)
+                if payload is None:
+                    payload = response_payload(
+                        pending.request, entry,
+                        machine_size=self.machine_size,
+                        executor=self.executor)
+                    payloads[rk] = payload
             except Exception as exc:
                 fut.set_exception(ServiceError(
                     "answer_failed", f"query evaluation failed: {exc!r}",
                     {"request": pending.request.to_dict()}))
-                self.stats.errors += 1
+                self.counters.errors += 1
                 _ERRORS.inc()
+                obs_emit("failed", pending.cid, batch=unit.bid,
+                         code="answer_failed")
                 continue
             meta = {
                 "cache_hit": cache_hit,
@@ -517,26 +649,26 @@ class QueryService:
                 "shard": unit.shard,
                 "attempts": entry.get("attempts", 0),
                 "latency_s": latency,
+                "cid": pending.cid,
             }
             fut.set_result(QueryResponse(payload, meta, self._provenance))
-            self.stats.responses += 1
+            self.counters.responses += 1
             _RESPONSES.inc()
+            obs_observe("request_latency_s", latency)
+            obs_emit("completed", pending.cid, batch=unit.bid,
+                     cache_hit=cache_hit)
             children.append({
                 "name": f"request:{pending.request.algorithm}",
                 "cat": "request",
-                "attrs": {"latency_s": latency, "cache_hit": cache_hit},
+                "attrs": {"latency_s": latency, "cache_hit": cache_hit,
+                          "cid": pending.cid},
                 "sim": None, "wall": latency, "children": [],
             })
         self._record_span(unit, entry, cache_hit, children)
 
     def _record_span(self, unit: BatchUnit, entry: dict, cache_hit: bool,
                      children: list) -> None:
-        if self.span_limit <= 0:
-            return
-        if len(self.spans) >= self.span_limit:
-            del self.spans[0]
-            self.stats.spans_dropped += 1
-        self.spans.append({
+        span = {
             "name": f"batch:{unit.algorithm}",
             "cat": "batch",
             "attrs": {
@@ -545,11 +677,28 @@ class QueryService:
                 "dedup_hits": unit.dedup_hits,
                 "cache_hit": cache_hit,
                 "attempts": entry.get("attempts", 0),
+                "batch": unit.bid,
             },
             "sim": entry.get("sim"),
             "wall": float(entry.get("wall", 0.0)),
             "children": children,
-        })
+        }
+        self._append_span(span)
+
+    def _record_aux_span(self, name: str, cat: str, attrs: dict,
+                         wall: float) -> None:
+        """A childless host-side span (mutations, dynamic queries)."""
+        self._append_span({"name": name, "cat": cat, "attrs": attrs,
+                           "sim": None, "wall": wall, "children": []})
+
+    def _append_span(self, span: dict) -> None:
+        self.obs.record_span(span)
+        if self.span_limit <= 0:
+            return
+        if len(self.spans) >= self.span_limit:
+            del self.spans[0]
+            self.counters.spans_dropped += 1
+        self.spans.append(span)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -565,7 +714,70 @@ class QueryService:
 
     def stats_dict(self) -> dict:
         """Service, cache, and pool counters in one snapshot."""
-        out = {"service": self.stats.to_dict(), "cache": self.cache.stats(),
+        out = {"service": self.counters.to_dict(),
+               "cache": self.cache.stats(),
                "dynamic": self.dynamic.stats()}
         out["pool_restarts"] = self._pools.restarts if self._pools else 0
         return out
+
+    def uptime_s(self) -> float:
+        """Host-clock seconds serving: live while started, frozen at stop."""
+        if self._t0 is not None:
+            return perf_counter() - self._t0
+        return self._uptime
+
+    def stats(self) -> dict:
+        """The live ``repro.obs/1`` operational snapshot.
+
+        One versioned dict with everything a scraper or an operator
+        wants: exact counters, cache/store occupancy, pool state, full
+        histogram bucket arrays, event-log and flight-recorder
+        accounting, and uptime on **both** clocks (host seconds serving,
+        simulated time executed in cold runs).  Render it as text with
+        :func:`repro.obs.prom.render_prometheus`.
+        """
+        return {
+            "schema": STATS_SCHEMA,
+            "uptime": {
+                "wall_s": self.uptime_s(),
+                "sim_time_served": self.counters.sim_time_served,
+            },
+            "counters": self.counters.to_dict(),
+            "cache": self.cache.stats(),
+            "dynamic": self.dynamic.stats(),
+            "pools": {
+                "shards": self.n_shards,
+                "mode": self.worker_mode,
+                "restarts": self._pools.restarts if self._pools else 0,
+            },
+            "histograms": self.obs.histogram_dicts(),
+            "events": self.obs.events.stats(),
+            "recorder": self.obs.recorder.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Postmortems
+    # ------------------------------------------------------------------
+    def _postmortem(self, reason: str, context: dict) -> None:
+        """Dump the flight recorder on degradation or worker death.
+
+        Disabled (ring still retained for :meth:`dump_postmortem`) when
+        no ``postmortem_dir`` is configured — a library embedding the
+        service opts into file drops explicitly.
+        """
+        if self.postmortem_dir is None:
+            return
+        self.counters.postmortems += 1
+        _POSTMORTEMS.inc()
+        name = f"postmortem-{self.counters.postmortems:03d}-{reason}.json"
+        path = pathlib.Path(self.postmortem_dir) / name
+        self.last_postmortem = self.obs.recorder.dump(
+            path, reason, context, self.stats_dict(),
+            provenance=self._want_provenance)
+
+    def dump_postmortem(self, path, reason: str = "manual",
+                        context: dict | None = None):
+        """Write a postmortem dump on demand (operator escape hatch)."""
+        return self.obs.recorder.dump(path, reason, context or {},
+                                      self.stats_dict(),
+                                      provenance=self._want_provenance)

@@ -87,12 +87,15 @@ def _layout(span: dict, ts: float, events: list, wall_cursor: list,
 
 def chrome_trace_document(spans, provenance: dict | None = None,
                           totals: dict | None = None,
-                          counters: dict | None = None) -> dict:
+                          counters: dict | None = None,
+                          histograms: dict | None = None) -> dict:
     """Build the Chrome ``trace_event`` JSON object for a span forest.
 
     ``spans`` may be :class:`~repro.trace.tracer.Span` objects or their
-    ``to_dict`` forms.  ``totals`` (e.g. per-algorithm simulated time) and
-    ``counters`` (a registry snapshot) are embedded verbatim.
+    ``to_dict`` forms.  ``totals`` (e.g. per-algorithm simulated time),
+    ``counters`` (a registry snapshot), and ``histograms`` (full
+    ``repro.obs`` bucket-array snapshots, keyed by name) are embedded
+    verbatim; Chrome-format consumers ignore the extra keys.
     """
     spans = _as_dicts(spans)
     events: list[dict] = [
@@ -112,16 +115,19 @@ def chrome_trace_document(spans, provenance: dict | None = None,
         "reproSpans": spans,
         "reproTotals": totals or {},
         "reproCounters": counters or {},
+        "reproHistograms": histograms or {},
     }
     return doc
 
 
 def write_chrome_trace(path, spans, provenance: dict | None = None,
                        totals: dict | None = None,
-                       counters: dict | None = None) -> pathlib.Path:
+                       counters: dict | None = None,
+                       histograms: dict | None = None) -> pathlib.Path:
     """Write the Chrome trace JSON for ``spans`` to ``path``."""
     path = pathlib.Path(path)
-    doc = chrome_trace_document(spans, provenance, totals, counters)
+    doc = chrome_trace_document(spans, provenance, totals, counters,
+                                histograms)
     path.write_text(json.dumps(doc, indent=1, default=str) + "\n")
     return path
 

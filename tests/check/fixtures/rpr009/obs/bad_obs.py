@@ -1,0 +1,16 @@
+"""Known-bad telemetry module: every RPR009 failure mode."""
+import time
+
+
+class BadLog:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, event, **fields):
+        rec = {"event": event, "at": time.time(), **fields}
+        self.records.append(rec)
+        return rec
+
+
+def narrate(log, name, count):
+    log.emit(f"finished {name} after {count} retries")

@@ -1,0 +1,32 @@
+"""Known-good telemetry module: bounded ring, structured payloads."""
+from time import perf_counter
+
+
+class GoodLog:
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self.records = []
+
+    def emit(self, event, **fields):
+        rec = {"event": event, **fields}
+        if len(self.records) >= self.capacity:
+            del self.records[0]
+        self.records.append(rec)
+        return rec
+
+    def clear(self):
+        self.records.clear()
+
+
+def observe(log, started):
+    # Interval measurement via perf_counter is the one sanctioned clock;
+    # the payload stays structured fields, never a formatted message.
+    log.emit("completed", wall=perf_counter() - started, code="ok")
+
+
+def tabulate(records):
+    # Local-variable appends are scope-bounded, not telemetry buffers.
+    rows = []
+    for rec in records:
+        rows.append((rec["event"], rec.get("code")))
+    return rows

@@ -258,6 +258,46 @@ def test_rpr008_shipped_incremental_package_is_clean():
 
 
 # ----------------------------------------------------------------------
+# RPR009 telemetry hygiene
+# ----------------------------------------------------------------------
+def test_rpr009_bad_fixture_exact_findings():
+    report = findings_of("rpr009")
+    assert triples(report) == [
+        ("bad_obs.py", 10, "RPR009"),  # time.time() in obs code
+        ("bad_obs.py", 11, "RPR009"),  # unguarded self.records.append
+        ("bad_obs.py", 16, "RPR009"),  # f-string payload to emit()
+    ]
+
+
+def test_rpr009_bounded_ring_and_structured_payloads_clean():
+    # The cap-guarded ring idiom, perf_counter intervals, structured
+    # fields, and local-list appends are all exactly the point.
+    report = run_check(FIXTURES / "rpr009" / "obs" / "good_obs.py")
+    assert report.ok and not report.findings
+
+
+def test_rpr009_only_binds_to_obs_modules(tmp_path):
+    # The same code outside obs/ (and service/, for emission sites) is
+    # out of scope: RPR009 is a contract of the telemetry layer.
+    source = (FIXTURES / "rpr009" / "obs" / "bad_obs.py").read_text()
+    elsewhere = tmp_path / "analysis"
+    elsewhere.mkdir()
+    (elsewhere / "bad_obs.py").write_text(source)
+    report = run_check(tmp_path, select=["RPR009"])
+    assert report.ok and not report.findings
+
+
+def test_rpr009_shipped_obs_package_is_clean():
+    # The real telemetry package (and the service emission sites) honour
+    # their own rule with zero suppressions.
+    import repro
+    root = Path(repro.__file__).parent
+    assert (root / "obs" / "events.py").exists()
+    report = run_check(root, select=["RPR009"])
+    assert report.ok and not report.findings
+
+
+# ----------------------------------------------------------------------
 # Suppression behaviour (shared by all rules)
 # ----------------------------------------------------------------------
 def test_reasoned_noqa_suppresses_and_keeps_reason():
@@ -306,6 +346,6 @@ def test_custom_rule_registers_and_runs(tmp_path):
 
 def test_builtin_rules_registered_with_docs():
     assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-            "RPR006", "RPR007", "RPR008"} <= set(RULES)
+            "RPR006", "RPR007", "RPR008", "RPR009"} <= set(RULES)
     for rule in RULES.values():
         assert rule.name and rule.summary and rule.rationale

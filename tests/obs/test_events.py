@@ -1,0 +1,84 @@
+"""EventLog unit contract: vocabulary, ordering, bounds, correlation."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EVENTS, EventLog
+
+pytestmark = pytest.mark.obs
+
+
+def test_vocabulary_is_closed():
+    log = EventLog()
+    with pytest.raises(ValueError):
+        log.emit("request_recieved")  # the typo the vocabulary exists for
+    rec = log.emit("request_received", cid="q-000000", algorithm="envelope")
+    assert rec["event"] == "request_received"
+    assert rec["cid"] == "q-000000"
+    assert rec["algorithm"] == "envelope"
+
+
+def test_sequence_numbers_are_the_ordering():
+    log = EventLog()
+    recs = [log.emit("completed", cid=f"q-{i:06d}") for i in range(5)]
+    assert [r["seq"] for r in recs] == [0, 1, 2, 3, 4]
+    assert [r["seq"] for r in log.events()] == [0, 1, 2, 3, 4]
+
+
+def test_ring_is_bounded_with_exact_drop_count():
+    log = EventLog(capacity=3)
+    for i in range(10):
+        log.emit("completed", cid=f"q-{i:06d}")
+    assert len(log) == 3
+    # Oldest dropped; the retained tail keeps its original seq numbers.
+    assert [r["seq"] for r in log.events()] == [7, 8, 9]
+    stats = log.stats()
+    assert stats == {"emitted": 10, "dropped": 7, "size": 3, "capacity": 3}
+
+
+def test_zero_capacity_retains_nothing_but_counts():
+    log = EventLog(capacity=0)
+    log.emit("completed")
+    assert len(log) == 0 and log.stats()["emitted"] == 1
+
+
+def test_for_cid_matches_direct_and_batch_scoped_records():
+    log = EventLog()
+    log.emit("request_received", cid="q-000000")
+    log.emit("batched", cid="q-000000", batch="b-000000")
+    log.emit("dispatched", cid="b-000000", cids=["q-000000", "q-000001"])
+    log.emit("completed", cid="q-000001")
+    chain = log.for_cid("q-000000")
+    assert [r["event"] for r in chain] == \
+        ["request_received", "batched", "dispatched"]
+    assert [r["event"] for r in log.for_cid("q-000001")] == \
+        ["dispatched", "completed"]
+    assert log.for_cid("q-999999") == []
+
+
+def test_jsonl_sink_mirrors_every_record(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(capacity=2, path=path)
+    for i in range(5):
+        log.emit("completed", cid=f"q-{i:06d}")
+    log.close()
+    lines = [json.loads(s) for s in path.read_text().splitlines()]
+    # The sink is durable past the ring's capacity.
+    assert len(lines) == 5
+    assert [r["seq"] for r in lines] == [0, 1, 2, 3, 4]
+
+
+def test_clear_keeps_counters_and_sequence_monotone():
+    log = EventLog()
+    log.emit("completed")
+    log.clear()
+    assert len(log) == 0
+    rec = log.emit("completed")
+    assert rec["seq"] == 1          # the sequence never restarts
+    assert log.stats()["emitted"] == 2
+
+
+def test_vocabulary_covers_the_service_lifecycle():
+    assert {"request_received", "batched", "dispatched", "completed",
+            "failed", "mutation_applied", "cache_invalidated"} == EVENTS

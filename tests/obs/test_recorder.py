@@ -1,0 +1,69 @@
+"""FlightRecorder unit contract: bounded rings, postmortem documents."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import POSTMORTEM_SCHEMA, FlightRecorder
+
+pytestmark = pytest.mark.obs
+
+
+def test_rings_are_bounded_with_exact_drop_counts():
+    rec = FlightRecorder(event_capacity=3, span_capacity=2)
+    for i in range(6):
+        rec.record_event({"seq": i, "event": "completed"})
+    for i in range(5):
+        rec.record_span({"name": f"batch:{i}"})
+    assert [e["seq"] for e in rec.events] == [3, 4, 5]
+    assert [s["name"] for s in rec.spans] == ["batch:3", "batch:4"]
+    stats = rec.stats()
+    assert stats["events_dropped"] == 3 and stats["spans_dropped"] == 3
+    assert stats["events"] == 3 and stats["spans"] == 2
+
+
+def test_zero_capacity_records_nothing():
+    rec = FlightRecorder(event_capacity=0, span_capacity=0)
+    rec.record_event({"seq": 0})
+    rec.record_span({"name": "x"})
+    assert rec.events == [] and rec.spans == []
+
+
+def test_document_shape_and_provenance():
+    rec = FlightRecorder()
+    rec.record_event({"seq": 0, "event": "failed", "cid": "q-000000"})
+    doc = rec.document("worker_death", context={"shard": 1},
+                       stats={"service": {"errors": 1}})
+    assert doc["schema"] == POSTMORTEM_SCHEMA
+    assert doc["reason"] == "worker_death"
+    assert doc["context"] == {"shard": 1}
+    assert doc["events"][0]["cid"] == "q-000000"
+    assert doc["stats"]["service"]["errors"] == 1
+    assert doc["recorder"]["events"] == 1
+    # Provenance is stamped at document time (the only timestamp).
+    assert doc["provenance"]["schema"] == "repro.provenance/1"
+    assert "git_sha" in doc["provenance"]
+    bare = rec.document("worker_death", provenance=False)
+    assert "provenance" not in bare
+
+
+def test_dump_writes_loadable_json_and_counts(tmp_path):
+    rec = FlightRecorder()
+    rec.record_event({"seq": 0, "event": "failed"})
+    path = rec.dump(tmp_path / "deep" / "pm.json", "service_error",
+                    context={"batch": "b-000000"})
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == POSTMORTEM_SCHEMA
+    assert doc["context"]["batch"] == "b-000000"
+    assert rec.dumps == 1
+    rec.dump(tmp_path / "pm2.json", "service_error")
+    assert rec.dumps == 2
+
+
+def test_clear_empties_rings_but_keeps_accounting():
+    rec = FlightRecorder(event_capacity=1)
+    rec.record_event({"seq": 0})
+    rec.record_event({"seq": 1})
+    rec.clear()
+    assert rec.events == [] and rec.spans == []
+    assert rec.stats()["events_dropped"] == 1

@@ -34,7 +34,7 @@ class TestSubmitValidation:
             async with QueryService() as svc:
                 with pytest.raises(ServiceError) as ei:
                     await svc.submit(bad)
-                return ei.value, svc.stats
+                return ei.value, svc.counters
 
         err, stats = run_async(go())
         assert err.code == "bad_request"
@@ -74,7 +74,7 @@ class TestWorkerFaults:
             async with QueryService(retries=1) as svc:
                 svc.inject_fault("raise")
                 resp = await svc.submit(req_a())
-                return resp, svc.stats
+                return resp, svc.counters
 
         resp, stats = run_async(go())
         assert resp.meta["attempts"] == 2
@@ -89,7 +89,7 @@ class TestWorkerFaults:
                     await svc.submit(req_a())
                 # the service keeps serving after the failed batch
                 ok = await svc.submit(req_b())
-                return ei.value, ok, svc.stats
+                return ei.value, ok, svc.counters
 
         err, ok, stats = run_async(go())
         assert err.code == "worker_failed"
@@ -118,7 +118,7 @@ class TestWorkerFaults:
                 results = await asyncio.gather(
                     svc.submit(req_a()), svc.submit(req_a()),
                     return_exceptions=True)
-                return results, svc.stats
+                return results, svc.counters
 
         results, stats = run_async(go())
         assert all(isinstance(r, ServiceError) for r in results)
@@ -150,7 +150,7 @@ class TestCancelledClients:
                 resp = await keep
                 with pytest.raises(asyncio.CancelledError):
                     await drop
-                return resp, svc.stats
+                return resp, svc.counters
 
         resp, stats = run_async(go())
         assert resp.payload["algorithm"] == "steady_hull"
@@ -168,7 +168,7 @@ class TestCancelledClients:
                 await asyncio.sleep(0.03)   # batch dispatched by now
                 drop.cancel()
                 resp = await keep
-                return resp, svc.stats
+                return resp, svc.counters
 
         resp, stats = run_async(go())
         assert resp.payload["algorithm"] == "hull_membership"

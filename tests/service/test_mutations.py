@@ -158,7 +158,7 @@ class TestMutationsEndToEnd:
         assert log["del"].payload["invalidated"] == 1
         assert log["ret"].payload["invalidated"] == 0  # not re-read between
         assert svc.cache.stats()["invalidations"] == 2
-        assert svc.stats.invalidated_keys == 2
+        assert svc.counters.invalidated_keys == 2
 
     def test_answers_byte_identical_to_cold_serial_run(self, served):
         log, _ = served
@@ -168,9 +168,9 @@ class TestMutationsEndToEnd:
 
     def test_stats_surface(self, served):
         log, svc = served
-        assert svc.stats.mutations == 5
-        assert svc.stats.dynamic_queries == 6
-        assert svc.stats.dynamic_cache_hits == 2
+        assert svc.counters.mutations == 5
+        assert svc.counters.dynamic_queries == 6
+        assert svc.counters.dynamic_cache_hits == 2
         dyn = svc.stats_dict()["dynamic"]
         assert dyn["mutations"] == 5
         # stop() cleared the store (RPR004: bounded, clearable, accounted)

@@ -125,7 +125,7 @@ class TestCountersReconcile:
     @settings(max_examples=10, deadline=None)
     def test_every_request_is_accounted_exactly_once(self, reqs):
         resps, svc = serve_stream(reqs, shards=2)
-        s = svc.stats
+        s = svc.counters
         assert len(resps) == len(reqs)
         assert s.requests == len(reqs)
         assert s.responses + s.errors + s.cancelled == s.requests
@@ -140,5 +140,5 @@ class TestCountersReconcile:
         # Every planned unit consults the cache exactly once.
         _, svc = serve_stream(reqs, shards=2)
         stats = svc.cache.stats()
-        assert stats["lookups"] == svc.stats.batches
+        assert stats["lookups"] == svc.counters.batches
         assert stats["hits"] + stats["misses"] == stats["lookups"]

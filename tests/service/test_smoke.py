@@ -65,7 +65,7 @@ class TestEndToEnd:
 
     def test_stats_reconcile_exactly(self, served):
         reqs, _, svc = served
-        s = svc.stats
+        s = svc.counters
         assert s.requests == len(reqs)
         assert s.responses == s.requests  # no faults in the smoke stream
         assert s.cache_hit_requests + s.cold_requests + \
@@ -89,7 +89,7 @@ class TestObservability:
             assert span.category == "batch"
             assert span.to_dict()["attrs"]["size"] >= 1
         sizes = [d["attrs"]["size"] for d in forest]
-        assert sum(sizes) == svc.stats.responses
+        assert sum(sizes) == svc.counters.responses
 
     def test_request_child_spans_carry_latency(self, served):
         _, _, svc = served
@@ -133,7 +133,7 @@ class TestObservability:
 
         svc = run_async(go())
         assert len(svc.span_forest()) == 2
-        assert svc.stats.spans_dropped == 2
+        assert svc.counters.spans_dropped == 2
 
 
 class TestCommandLine:

@@ -4,11 +4,26 @@ import json
 
 import pytest
 
-from repro.report.trend import flatten_metrics, load_history, main, trend
+from repro.obs.hist import Log2Histogram
+from repro.report.trend import (
+    check_slos,
+    flatten_metrics,
+    load_history,
+    main,
+    parse_slo,
+    trend,
+)
 
 
 def record(mode, sha, **metrics):
     return {"mode": mode, "provenance": {"git_sha": sha}, **metrics}
+
+
+def hist_doc(samples, lo=2.0 ** -20, hi=2.0 ** 6):
+    h = Log2Histogram("latency_hist", lo=lo, hi=hi, unit="s")
+    for v in samples:
+        h.observe(v)
+    return h.to_dict()
 
 
 def write_history(path, name, records):
@@ -32,6 +47,88 @@ class TestFlatten:
         flat = flatten_metrics(rec)
         assert flat == {"wall_seconds": 1.5, "throughput_qps": 900.0,
                         "latency_s.p50": 0.01, "latency_s.p99": 0.2}
+
+    def test_histogram_subtrees_are_skipped_whole(self):
+        # latency_hist.count is not a latency; bucket arrays are not
+        # directional metrics.  The histogram snapshot must vanish from
+        # the flattened view instead of polluting it.
+        rec = {
+            "wall_seconds": 1.5,
+            "latency_hist": hist_doc([0.01, 0.02]),
+        }
+        assert flatten_metrics(rec) == {"wall_seconds": 1.5}
+
+
+class TestMixedSchema:
+    def test_records_predating_histogram_fields_still_trend(self, tmp_path):
+        """The bugfix contract: a history file mixing pre-histogram and
+        post-histogram records compares their shared scalars without a
+        KeyError or a spurious delta from the new subtree."""
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0,
+                   latency_s={"p50": 0.01}),                  # old schema
+            record("full", "bbb", wall_seconds=10.5,
+                   latency_s={"p50": 0.011},
+                   latency_hist=hist_doc([0.01] * 100)),      # new schema
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        assert report.ok
+        assert {d.metric for d in report.deltas} == \
+            {"wall_seconds", "latency_s.p50"}
+
+    def test_new_scalar_fields_trend_only_once_paired(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=10.0),
+            record("full", "bbb", wall_seconds=10.1,
+                   latency_s={"p50": 0.01}),
+            record("full", "ccc", wall_seconds=20.0,
+                   latency_s={"p50": 0.03}),
+        ])
+        report = trend(tmp_path, threshold=0.25)
+        # Both the old metric and the newly introduced one flag on the
+        # ccc run; the aaa->bbb pair only compares the shared scalar.
+        assert {d.metric for d in report.regressions} == \
+            {"wall_seconds", "latency_s.p50"}
+
+
+class TestSlo:
+    def test_parse_slo_forms(self):
+        assert parse_slo("p99_ms<50") == ("latency_hist", 0.99, "<", 50.0)
+        assert parse_slo("update_hist:p50_ms<=1.5") == \
+            ("update_hist", 0.50, "<=", 1.5)
+        assert parse_slo("p99_9_ms<250")[1] == pytest.approx(0.999)
+        for bad in ("p99<50", "p0_ms<50", "hist:q99_ms<50", "p99_ms<"):
+            with pytest.raises(ValueError):
+                parse_slo(bad)
+
+    def test_slo_gates_latest_histogram_record(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", latency_hist=hist_doc([4.0] * 10)),
+            record("full", "bbb", latency_hist=hist_doc([0.004] * 10)),
+        ])
+        (ok,) = check_slos(["p99_ms<50"], tmp_path)
+        # Gates bbb (the newest), not the slow aaa run.
+        assert ok.ok and ok.sha == "bbb"
+        assert ok.value_ms < 50
+        (viol,) = check_slos(["p99_ms<1"], tmp_path)
+        assert not viol.ok
+
+    def test_slo_skips_records_without_the_field(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=1.0),      # pre-histogram
+            record("full", "bbb", latency_hist=hist_doc([0.004] * 5)),
+            record("full", "ccc", wall_seconds=1.1),      # pre-histogram
+        ])
+        (check,) = check_slos(["p99_ms<50"], tmp_path)
+        assert check.ok and check.sha == "bbb"
+
+    def test_slo_not_evaluated_when_no_record_has_the_field(self, tmp_path):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=1.0),
+        ])
+        (check,) = check_slos(["p99_ms<50"], tmp_path)
+        assert check.ok and check.value_ms is None
+        assert "not evaluated" in check.render()
 
 
 class TestTrend:
@@ -113,6 +210,24 @@ class TestCli:
                      "--threshold", "50"]) == 0
         assert main(["--history", str(tmp_path), "--strict",
                      "--threshold", "5"]) == 1
+
+    def test_slo_violation_gates_without_strict(self, tmp_path, capsys):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", latency_hist=hist_doc([0.1] * 10)),
+        ])
+        rc = main(["--history", str(tmp_path), "--slo", "p99_ms<1"])
+        out = capsys.readouterr().out
+        assert rc == 1 and "VIOLATED" in out
+        assert main(["--history", str(tmp_path),
+                     "--slo", "p99_ms<1000"]) == 0
+
+    def test_bad_slo_spec_is_usage_error(self, tmp_path, capsys):
+        write_history(tmp_path, "svc", [
+            record("full", "aaa", wall_seconds=1.0),
+        ])
+        rc = main(["--history", str(tmp_path), "--slo", "p99<50"])
+        assert rc == 2
+        assert "bad --slo" in capsys.readouterr().out
 
     def test_report_cli_dispatches_trend(self, tmp_path, capsys):
         from repro.report.__main__ import main as report_main
