@@ -17,7 +17,18 @@ RPR004    bounded caches      module-level memos are size-capped and
                               clearable (test isolation)
 RPR005    fork-safety         process-pool workers are picklable, pure
                               functions of their item
+RPR010    await-straddled     shared state written on both sides of an
+          writes              await without a lock in scope
+RPR011    check-then-act      cache read before an await, write after it
+RPR012    cross-process       worker-mutated module globals the parent
+          state               process also reads
 ========  ==================  ===========================================
+
+RPR001/RPR002 additionally run *interprocedurally* through
+:mod:`repro.check.flow`: a whole-program call graph plus forward taint
+analysis flags host-clock, RNG, and unordered-iteration values that
+cross function boundaries into charge accounting, payload bytes, or
+float accumulation — flows no single-file rule can see.
 
 Findings are suppressible per line (``# repro: noqa RPR001 -- reason``)
 or per committed-baseline entry; both channels require a reason.  The
@@ -29,11 +40,23 @@ over ``src/repro`` and fails on any active finding — the same contract as
 from .baseline import BaselineError, load_baseline, write_baseline
 from .engine import CheckReport, check_file, run_check
 from .findings import Finding
+from .flow import (
+    PROGRAM_RULES,
+    CallGraph,
+    ProgramContext,
+    ProgramRule,
+    TaintAnalysis,
+    build_graph,
+    build_program,
+    register_program,
+)
 from .policy import DEFAULT_POLICY, CheckPolicy
 from .rules import RULES, FileContext, Rule, register
 
 __all__ = [
-    "BaselineError", "CheckPolicy", "CheckReport", "DEFAULT_POLICY",
-    "FileContext", "Finding", "RULES", "Rule", "check_file",
-    "load_baseline", "register", "run_check", "write_baseline",
+    "BaselineError", "CallGraph", "CheckPolicy", "CheckReport",
+    "DEFAULT_POLICY", "FileContext", "Finding", "PROGRAM_RULES",
+    "ProgramContext", "ProgramRule", "RULES", "Rule", "TaintAnalysis",
+    "build_graph", "build_program", "check_file", "load_baseline",
+    "register", "register_program", "run_check", "write_baseline",
 ]

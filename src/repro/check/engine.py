@@ -1,9 +1,10 @@
 """Walk a tree, run the rules, apply suppressions and baseline.
 
 The engine is deliberately dumb: it parses every ``*.py`` under the root
-with :mod:`ast`, hands each file to the registered rules, then filters
-the raw findings through the two suppression channels (inline ``noqa``
-comments, then the baseline file).  All policy lives in
+with :mod:`ast`, hands each file to the registered rules, runs the
+whole-program rules (:mod:`repro.check.flow`) over all files at once,
+then filters the raw findings through the two suppression channels
+(inline ``noqa`` comments, then the baseline file).  All policy lives in
 :mod:`repro.check.policy`; all judgement lives in the rules.
 """
 
@@ -16,6 +17,7 @@ from pathlib import Path
 from . import builtin  # noqa: F401  (registers the RPR rules on import)
 from .baseline import apply_baseline
 from .findings import Finding
+from .flow import PROGRAM_RULES, build_program, run_program_rules
 from .policy import DEFAULT_POLICY, CheckPolicy
 from .rules import RULES, FileContext, run_rules
 from .suppress import MALFORMED_RULE, parse_suppressions
@@ -59,7 +61,9 @@ class CheckReport:
             "findings": [f.to_dict() for f in sorted(self.findings)],
             "stale_baseline": self.stale_baseline,
             "parse_errors": self.parse_errors,
-            "rules": {rid: r.describe() for rid, r in sorted(RULES.items())},
+            "rules": {rid: r.describe()
+                      for rid, r in sorted({**RULES,
+                                            **PROGRAM_RULES}.items())},
         }
 
     def render(self, *, show_suppressed: bool = False) -> str:
@@ -143,24 +147,40 @@ def _apply_noqa(ctx: FileContext, raw: list[Finding]) -> list[Finding]:
 
 def run_check(root, *, policy: CheckPolicy | None = None,
               baseline: dict[str, str] | None = None,
-              select=None) -> CheckReport:
+              select=None, program: bool = True) -> CheckReport:
     """Check every Python file under ``root``; the library entry point.
 
     ``root`` may be a directory (paths in findings are relative to it) or
     a single file.  ``baseline`` is a pre-loaded ``{fingerprint: reason}``
-    map (see :func:`repro.check.baseline.load_baseline`).
+    map (see :func:`repro.check.baseline.load_baseline`).  ``program``
+    gates the whole-program pass (:mod:`repro.check.flow`): every parsed
+    file enters one call graph, the program rules run over it, and their
+    findings join the per-file ones *before* suppressions apply — an
+    inline ``noqa`` covers a dataflow finding exactly like a syntactic
+    one.
     """
     root = Path(root)
     policy = policy or DEFAULT_POLICY
     report = CheckReport(root=str(root))
     base = package_base(root)
+    contexts: list[FileContext] = []
     for path in iter_python_files(root):
         rel = path.relative_to(base).as_posix()
         try:
-            report.findings.extend(check_file(path, rel, policy, select))
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+            contexts.append(FileContext(rel=rel, source=source, tree=tree,
+                                        policy=policy))
         except SyntaxError as exc:
             report.parse_errors.append(f"{rel}: {exc.msg} (line {exc.lineno})")
         report.files_checked += 1
+    for ctx in contexts:
+        run_rules(ctx, select=select)
+    if program and contexts:
+        prog = build_program(contexts, policy)
+        run_program_rules(prog, select=select)
+    for ctx in contexts:
+        report.findings.extend(_apply_noqa(ctx, ctx.findings))
     if baseline:
         report.findings, report.stale_baseline = apply_baseline(
             report.findings, baseline)

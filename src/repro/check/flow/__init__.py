@@ -1,0 +1,45 @@
+"""Interprocedural analysis under the rule engine (`repro.check.flow`).
+
+The per-file rules (:mod:`repro.check.rules`) see one module at a time;
+this subpackage sees the whole checked tree at once:
+
+* :mod:`~repro.check.flow.graph` builds a program-wide **call graph**
+  with import-alias resolution (absolute *and* relative imports) and
+  method attribution (``self.method()``, attribute types inferred from
+  ``__init__`` assignments and annotations, bound-method calls);
+* :mod:`~repro.check.flow.context` exposes it through
+  :class:`ProgramContext` — the whole-program twin of
+  :class:`repro.check.rules.FileContext`, with the same ~30-line
+  rule-author contract (subclass :class:`ProgramRule`, call
+  ``program.report(...)``);
+* :mod:`~repro.check.flow.taint` runs a forward **taint analysis** over
+  the graph (function summaries to fixpoint) with three built-in kinds:
+  host-clock values, nondeterministic RNG draws, and unordered-iteration
+  values — upgrading RPR001/RPR002/RPR003 from syntactic to
+  dataflow-aware (:mod:`~repro.check.flow.rules_taint`);
+* :mod:`~repro.check.flow.rules_async` (RPR010/RPR011) and
+  :mod:`~repro.check.flow.rules_procs` (RPR012) guard the async and
+  cross-process state of the serving layer.
+
+Findings flow through the exact same suppress/baseline/CLI contract as
+file-rule findings; see ``docs/static_analysis.md`` ("Interprocedural
+analysis") for the taint kinds, the sink catalog, and rule semantics.
+"""
+
+from .context import (
+    PROGRAM_RULES,
+    ProgramContext,
+    ProgramRule,
+    build_program,
+    register_program,
+    run_program_rules,
+)
+from .graph import CallGraph, CallSite, FunctionInfo, build_graph
+from .taint import Taint, TaintAnalysis
+
+__all__ = [
+    "CallGraph", "CallSite", "FunctionInfo", "PROGRAM_RULES",
+    "ProgramContext", "ProgramRule", "Taint", "TaintAnalysis",
+    "build_graph", "build_program", "register_program",
+    "run_program_rules",
+]

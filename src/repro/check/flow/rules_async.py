@@ -1,0 +1,277 @@
+"""RPR010/RPR011 — async-race hygiene for the serving layer.
+
+Both rules reason about one ``async def`` at a time, which is exactly
+where asyncio races live: an ``await`` is the *only* place another task
+can interleave, so shared state touched on both sides of one is the
+whole attack surface.
+
+* **RPR010** — the same shared chain (``self.attr`` or a declared
+  ``global``) is written both before and after an ``await`` in one
+  coroutine, with no enclosing ``async with <lock>``: another task can
+  observe (or clobber) the half-updated state at the suspension point.
+* **RPR011** — check-then-act across a suspension: a cache chain is
+  read (``.get``/membership) before an ``await`` and written
+  (``.put``/``.setdefault``/subscript store/…) after it.  The answer
+  the check produced is stale by the time the write lands; two tasks
+  computing the same key both miss and both insert.
+
+Lock discipline is recognised structurally: statements inside an
+``async with`` whose context expression's name contains a lock hint
+(``lock``/``mutex``/``sem``) are exempt.  The rules are deliberately
+not loop-carried — a write that only precedes awaits on later loop
+iterations (the drain-loop pattern) is the sanctioned shape.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..rules import FileContext, Rule, register
+
+#: Method names that mutate their receiver in place.
+WRITE_METHODS = frozenset({
+    "append", "add", "clear", "extend", "update", "pop", "remove",
+    "discard", "insert", "setdefault", "popitem", "appendleft",
+    "push", "put", "invalidate", "inc", "dec", "set",
+})
+
+
+def _chain(node: ast.AST) -> str | None:
+    """Dotted text of a Name/Attribute chain (no alias resolution —
+    these are instance attributes, not imports)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_lock_name(name: str | None, hints: tuple[str, ...]) -> bool:
+    if not name:
+        return False
+    leaf = name.rsplit(".", 1)[-1].lower()
+    return any(h in leaf for h in hints)
+
+
+class _AsyncFrame:
+    """The await/write/read sites of one ``async def`` body.
+
+    Every statement is visited exactly once; expression scanning covers
+    only the statement's own expressions (compound statements contribute
+    their header — test/iter/items — and recurse per body), so one
+    lexical site is never double-counted.
+    """
+
+    def __init__(self, ctx: FileContext, fn: ast.AsyncFunctionDef) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.awaits: list[int] = []
+        #: chain -> [(line, node, lock_guarded)]
+        self.writes: dict[str, list[tuple[int, ast.AST, bool]]] = {}
+        self.reads: dict[str, list[tuple[int, ast.AST, bool]]] = {}
+        self.globals: set[str] = set()
+        for stmt in fn.body:          # collect globals first: order-free
+            if isinstance(stmt, ast.Global):
+                self.globals.update(stmt.names)
+        self._walk(fn.body, guarded=False)
+
+    # -- classification -------------------------------------------------
+    def _shared(self, chain: str | None) -> str | None:
+        """Normalise to a shared-state chain, or None for locals."""
+        if chain is None:
+            return None
+        head = chain.split(".", 1)[0]
+        if head in ("self", "cls") and "." in chain:
+            return chain
+        if chain in self.globals:
+            return chain
+        return None
+
+    def _note_write(self, node: ast.AST, chain: str | None,
+                    guarded: bool) -> None:
+        shared = self._shared(chain)
+        if shared is not None:
+            self.writes.setdefault(shared, []).append(
+                (getattr(node, "lineno", 0), node, guarded))
+
+    def _note_read(self, node: ast.AST, chain: str | None,
+                   guarded: bool) -> None:
+        shared = self._shared(chain)
+        if shared is not None:
+            self.reads.setdefault(shared, []).append(
+                (getattr(node, "lineno", 0), node, guarded))
+
+    # -- traversal ------------------------------------------------------
+    def _walk(self, stmts, *, guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Global,
+                                 ast.Nonlocal)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locked = guarded
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, guarded)
+                    if isinstance(stmt, ast.AsyncWith) and _is_lock_name(
+                            _chain(item.context_expr)
+                            or _call_chain(item.context_expr),
+                            self.ctx.policy.lock_name_hints):
+                        locked = True
+                self._walk(stmt.body, guarded=locked)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, guarded)
+                self._target_write(stmt.target, guarded)
+                self._walk(stmt.body, guarded=guarded)
+                self._walk(stmt.orelse, guarded=guarded)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._scan_expr(stmt.test, guarded)
+                self._walk(stmt.body, guarded=guarded)
+                self._walk(stmt.orelse, guarded=guarded)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, guarded=guarded)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, guarded=guarded)
+                self._walk(stmt.orelse, guarded=guarded)
+                self._walk(stmt.finalbody, guarded=guarded)
+            else:
+                self._scan_stmt(stmt, guarded)
+
+    def _scan_stmt(self, stmt: ast.stmt, guarded: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._target_write(target, guarded)
+            self._scan_expr(stmt.value, guarded)
+            return
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            self._target_write(stmt.target, guarded)
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, guarded)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._target_write(target, guarded)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, guarded)
+
+    def _target_write(self, target: ast.AST, guarded: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._target_write(elt, guarded)
+            return
+        if isinstance(target, ast.Starred):
+            self._target_write(target.value, guarded)
+            return
+        if isinstance(target, ast.Subscript):
+            self._note_write(target, _chain(target.value), guarded)
+            self._scan_expr(target.slice, guarded)
+            return
+        self._note_write(target, _chain(target), guarded)
+
+    def _scan_expr(self, expr: ast.AST, guarded: bool) -> None:
+        skip: set[int] = set()
+        for node in ast.walk(expr):
+            if id(node) in skip:
+                continue
+            if isinstance(node, ast.Lambda):
+                for sub in ast.walk(node):
+                    if sub is not node:
+                        skip.add(id(sub))
+                continue
+            if isinstance(node, ast.Await):
+                self.awaits.append(node.lineno)
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute):
+                chain = _chain(node.func.value)
+                if node.func.attr in WRITE_METHODS:
+                    self._note_write(node, chain, guarded)
+                elif node.func.attr in self.ctx.policy.cache_read_calls:
+                    self._note_read(node, chain, guarded)
+            elif isinstance(node, ast.Compare) and any(
+                    isinstance(op, (ast.In, ast.NotIn))
+                    for op in node.ops):
+                for operand in node.comparators:
+                    self._note_read(operand, _chain(operand), guarded)
+
+
+def _call_chain(node: ast.AST) -> str | None:
+    """The chain of ``self.lock()``-style context factory calls."""
+    if isinstance(node, ast.Call):
+        return _chain(node.func)
+    return None
+
+
+def _async_defs(ctx: FileContext):
+    for fn in ctx.functions():
+        if isinstance(fn, ast.AsyncFunctionDef):
+            yield fn
+
+
+@register
+class AwaitStraddledWrites(Rule):
+    id = "RPR010"
+    name = "await-straddled-writes"
+    summary = ("shared mutable state (self.* / module global) written "
+               "on both sides of an await without a lock in scope")
+    rationale = ("an await is the only interleaving point in asyncio: "
+                 "state half-updated across one is visible to every "
+                 "other task; hold an async lock across the whole "
+                 "update or finish it before suspending")
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.policy.is_async_state_module(ctx.rel):
+            return
+        for fn in _async_defs(ctx):
+            frame = _AsyncFrame(ctx, fn)
+            if not frame.awaits:
+                continue
+            for chain, writes in sorted(frame.writes.items()):
+                unguarded = sorted(w for w in writes if not w[2])
+                if len(unguarded) < 2:
+                    continue
+                first = unguarded[0][0]
+                for line, node, _ in unguarded[1:]:
+                    if any(first < a < line for a in frame.awaits):
+                        ctx.report(node, f"'{chain}' written on both "
+                                   f"sides of an await in '{fn.name}' "
+                                   f"without a lock; another task can "
+                                   f"observe the half-updated state")
+                        break
+
+
+@register
+class CheckThenActAcrossAwait(Rule):
+    id = "RPR011"
+    name = "check-then-act-across-await"
+    summary = ("cache read (.get/membership) before an await, write "
+               "(.put/.setdefault/store) after it, on the same chain")
+    rationale = ("the checked answer is stale after the suspension: two "
+                 "tasks miss the same key, both recompute, and the "
+                 "second write silently clobbers the first — re-check "
+                 "after resuming or hold a lock across check and act")
+
+    def check(self, ctx: FileContext) -> None:
+        if not ctx.policy.is_async_state_module(ctx.rel):
+            return
+        for fn in _async_defs(ctx):
+            frame = _AsyncFrame(ctx, fn)
+            if not frame.awaits:
+                continue
+            for chain, reads in sorted(frame.reads.items()):
+                writes = sorted(
+                    w for w in frame.writes.get(chain, ()) if not w[2])
+                read_lines = [r[0] for r in reads if not r[2]]
+                if not writes or not read_lines:
+                    continue
+                for line, node, _ in writes:
+                    if any(r < a < line for r in read_lines
+                           for a in frame.awaits):
+                        ctx.report(node, f"check-then-act on '{chain}' "
+                                   f"across an await in '{fn.name}': "
+                                   f"the pre-await read is stale when "
+                                   f"this write lands")
+                        break

@@ -1,0 +1,83 @@
+"""Dataflow upgrades of RPR001/RPR002: taint findings at the sinks.
+
+The syntactic rules catch the *read* (``perf_counter()`` outside the
+allowlist, a module-global RNG draw); these program rules catch the
+*flow* — a host-clock or RNG value that crosses function boundaries and
+lands in simulated-charge accounting or response bytes, which the
+per-file rules cannot see (the read may be legal where it happens: the
+service is allowed to measure latency, just not to serialize it).
+
+Findings are emitted under the existing rule ids, so one suppression
+channel covers an invariant whether it was caught syntactically or by
+dataflow: ``# repro: noqa RPR001`` on the sink line works the same way.
+"""
+
+from __future__ import annotations
+
+from .context import ProgramContext, ProgramRule, register_program
+from .taint import CLOCK, RNG, UNORDERED, SinkHit
+
+
+def _describe(hit: SinkHit) -> str:
+    t = hit.taint
+    origin = f"{t.origin} ({t.origin_rel}:{t.origin_line})"
+    via = ""
+    if t.via:
+        hops = " -> ".join(k.rsplit(".", 1)[-1] for k in t.via)
+        via = f" via {hops}"
+    return f"{origin}{via} reaches {hit.sink}"
+
+
+@register_program
+class ClockFlow(ProgramRule):
+    id = "RPR001F"
+    name = "flow-clock-taint"
+    summary = ("host-clock values flowing (interprocedurally) into "
+               "charge-accounting calls or payload-producing sinks")
+    rationale = ("a wall-clock read is allowed where measuring the host "
+                 "is the job; a wall-clock *value* reaching simulated "
+                 "charges or response bytes breaks the two-clock "
+                 "contract no matter where it was read")
+    emits = ("RPR001",)
+
+    def check(self, program: ProgramContext) -> None:
+        for hit in program.taint.hits_of(CLOCK):
+            if hit.rel not in program.contexts:
+                continue
+            program.report(
+                hit.rel, hit.node,
+                f"wall-clock value from {_describe(hit)}; simulated "
+                f"charges and payload bytes must not depend on the host "
+                f"clock", rule="RPR001")
+
+
+@register_program
+class RngFlow(ProgramRule):
+    id = "RPR002F"
+    name = "flow-rng-taint"
+    summary = ("nondeterministic RNG draws or unordered-iteration values "
+               "flowing (interprocedurally) into payload bytes or "
+               "accounting accumulation")
+    rationale = ("an unseeded generator or set-order value that reaches "
+                 "result bytes or a float sum makes identical runs "
+                 "produce different outputs — the exact failure the "
+                 "determinism contract exists to prevent")
+    emits = ("RPR002",)
+
+    def check(self, program: ProgramContext) -> None:
+        for hit in program.taint.hits_of(RNG, UNORDERED):
+            if hit.rel not in program.contexts:
+                continue
+            if hit.kind == UNORDERED and not hit.taint.via \
+                    and hit.taint.origin_rel == hit.rel:
+                # A set display feeding a sink inside one function is
+                # the syntactic RPR002's case; re-reporting it here
+                # would double every local finding.
+                continue
+            what = ("nondeterministic value" if hit.kind == RNG
+                    else "hash-order-dependent value")
+            program.report(
+                hit.rel, hit.node,
+                f"{what} from {_describe(hit)}; every run must be a "
+                f"pure function of its seeds and arguments",
+                rule="RPR002")

@@ -163,6 +163,68 @@ class CheckPolicy:
         "emit", "record_event", "record_span",
     )
 
+    #: Taint flow (RPR001/RPR002 dataflow upgrades) — call names whose
+    #: argument bytes become response/artifact bytes.  A host-clock or
+    #: RNG value reaching one of these is a finding no matter how many
+    #: function boundaries it crossed.  Dotted names match exactly;
+    #: bare names match the call's leaf.
+    taint_payload_sinks: tuple[str, ...] = (
+        "json.dumps", "json.dump",
+        "response_payload", "payload_bytes", "direct_response",
+        "encode_envelope", "envelope_bytes", "canonical_bytes",
+    )
+
+    #: Taint flow — modules whose sinks are exempt, and why:
+    #:   trace/       spans/manifests carry wall-clock fields by design
+    #:   obs/         telemetry serialises host-side measurements
+    #:   benchmarks/  benchmark artifacts record wall time on purpose
+    #:   machines/metrics.py  the wall-accounting layer itself
+    #:   parallel.py  the host-execution engine
+    #:   examples/    narrative scripts, not library surface
+    taint_exempt_modules: tuple[str, ...] = (
+        "trace/",
+        "obs/",
+        "benchmarks/",
+        "machines/metrics.py",
+        "parallel.py",
+        "examples/",
+    )
+
+    #: RPR010/RPR011 — modules whose ``async def`` bodies share state
+    #: across task interleavings (the asyncio serving layer and the
+    #: incremental engine it drives).
+    async_state_modules: tuple[str, ...] = (
+        "service/",
+        "incremental/",
+    )
+
+    #: RPR010/RPR011 — substrings marking an ``async with`` context
+    #: expression as a lock (case-insensitive, matched on the leaf name).
+    lock_name_hints: tuple[str, ...] = (
+        "lock", "mutex", "sem",
+    )
+
+    #: RPR011 — method names that *read* a cache/store (the "check" half
+    #: of check-then-act).  Membership tests (``in``/``not in``) on a
+    #: shared chain count as reads too.
+    cache_read_calls: tuple[str, ...] = (
+        "get", "peek", "take_cached",
+    )
+
+    #: RPR012 — worker-process entry points: functions with these leaf
+    #: names (plus every callable passed to a pool submit) execute in
+    #: forked workers, so module globals they mutate never reach the
+    #: parent.
+    cross_process_entries: tuple[str, ...] = (
+        "execute_batch", "direct_item",
+    )
+
+    #: RPR012 — modules whose globals the rule watches (the serving
+    #: layer, where parent and worker share source but not memory).
+    cross_process_state_modules: tuple[str, ...] = (
+        "service/",
+    )
+
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -192,6 +254,15 @@ class CheckPolicy:
 
     def is_obs_module(self, rel: str) -> bool:
         return _match(rel, self.obs_modules)
+
+    def is_taint_exempt(self, rel: str) -> bool:
+        return _match(rel, self.taint_exempt_modules)
+
+    def is_async_state_module(self, rel: str) -> bool:
+        return _match(rel, self.async_state_modules)
+
+    def is_cross_process_state_module(self, rel: str) -> bool:
+        return _match(rel, self.cross_process_state_modules)
 
 
 DEFAULT_POLICY = CheckPolicy()

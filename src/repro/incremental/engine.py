@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import math
+from typing import Iterable
 
 from ..core.envelope import envelope_serial
 from ..core.family import CurveFamily, PolynomialFamily
@@ -110,7 +111,7 @@ class IncrementalEnvelope:
     """
 
     def __init__(self, s: int = 2, op: str = "min",
-                 family: CurveFamily | None = None):
+                 family: CurveFamily | None = None) -> None:
         if op not in ("min", "max"):
             raise ValueError(f"op must be 'min' or 'max', got {op!r}")
         self.family = family if family is not None else PolynomialFamily(s)
@@ -174,7 +175,8 @@ class IncrementalEnvelope:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert(self, curve, cid: int | None = None) -> int:
+    def insert(self, curve: Polynomial | list | tuple,
+               cid: int | None = None) -> int:
         """Add a curve; returns its id.  Cost is proportional to the
         number of envelope pieces the curve challenges, not to the
         family size."""
@@ -220,7 +222,7 @@ class IncrementalEnvelope:
             "pieces": len(self._env),
         }
 
-    def retarget(self, cid: int, curve) -> None:
+    def retarget(self, cid: int, curve: Polynomial | list | tuple) -> None:
         """Replace the motion of a live curve, keeping its rank (it is
         the same object): an excise of the old motion followed by a
         merge of the new one."""
@@ -242,11 +244,11 @@ class IncrementalEnvelope:
             "events": events_d + events_i, "pieces": len(self._env),
         }
 
-    def extend(self, curves) -> list[int]:
+    def extend(self, curves: Iterable[Polynomial | list | tuple]) -> list[int]:
         """Insert many curves; returns their ids."""
         return [self.insert(c) for c in curves]
 
-    def reset(self, curves) -> list[int]:
+    def reset(self, curves: Iterable[Polynomial | list | tuple]) -> list[int]:
         """Replace the whole population and rebuild via one cold
         recompute (the bootstrap path: initial build is exactly the
         reference, updates are incremental from there)."""
@@ -275,7 +277,7 @@ class IncrementalEnvelope:
     # ------------------------------------------------------------------
     # Insert machinery
     # ------------------------------------------------------------------
-    def _coerce(self, curve) -> Polynomial:
+    def _coerce(self, curve: Polynomial | list | tuple) -> Polynomial:
         if not isinstance(curve, Polynomial):
             curve = Polynomial(curve)
         if curve.degree > self.family.s:
@@ -284,18 +286,20 @@ class IncrementalEnvelope:
                 f"s={self.family.s}")
         return curve
 
-    def _oriented(self, f, fid, g, gid):
+    def _oriented(self, f: Polynomial, fid: int, g: Polynomial,
+                  gid: int) -> tuple[Polynomial, Polynomial]:
         """The pair in canonical (lower rank first) orientation — the
         orientation every envelope_serial crossing query uses."""
         if self._rank[fid] <= self._rank[gid]:
             return f, g
         return g, f
 
-    def _crossings(self, f, fid, g, gid, lo, hi) -> list[float]:
+    def _crossings(self, f: Polynomial, fid: int, g: Polynomial,
+                   gid: int, lo: float, hi: float) -> list[float]:
         a, b = self._oriented(f, fid, g, gid)
         return self.family.crossings(a, b, lo, hi)
 
-    def _merge_curve(self, cid, curve) -> tuple[int, int]:
+    def _merge_curve(self, cid: int, curve: Polynomial) -> tuple[int, int]:
         """Fold one curve into the envelope.  One certificate per
         challenged piece; certificate failure = the first time the new
         curve takes over inside that piece."""
@@ -335,7 +339,8 @@ class IncrementalEnvelope:
             self._env = self._fuse(out)
         return certs, events
 
-    def _split_piece(self, p: Piece, curve: Polynomial, cid: int):
+    def _split_piece(self, p: Piece, curve: Polynomial,
+                     cid: int) -> tuple[float, list[Piece]] | None:
         """Re-divide one envelope piece against the new curve.
 
         Returns None when the incumbent survives the whole piece (its
@@ -366,7 +371,8 @@ class IncrementalEnvelope:
             return None
         return fail_t, sub
 
-    def _span_winner(self, f, fid, g, gid, mid):
+    def _span_winner(self, f: Polynomial, fid: int, g: Polynomial,
+                     gid: int, mid: float) -> tuple[Polynomial, int]:
         """The reference midpoint rule: compare values at the sample
         point with the lower-rank curve on the left of the comparison
         (ties go to it, as in ``_gap_subpieces``)."""
@@ -381,7 +387,7 @@ class IncrementalEnvelope:
     # ------------------------------------------------------------------
     # Delete machinery
     # ------------------------------------------------------------------
-    def _excise(self, cid) -> tuple[int, int, int]:
+    def _excise(self, cid: int) -> tuple[int, int, int]:
         """Remove a curve's pieces from the envelope, re-sweeping each
         window it owned.  ``self._curves`` must already exclude it
         (``self._rank`` must not: seams still orient against it)."""
@@ -408,7 +414,8 @@ class IncrementalEnvelope:
         self._env = self._fuse(out)
         return certs, events, windows
 
-    def _sweep_window(self, lo: float, hi: float):
+    def _sweep_window(self, lo: float,
+                      hi: float) -> tuple[list[Piece], int, int]:
         """Kinetic sweep of one vacated window over the surviving
         curves: install the winner at the window start, certify it
         against every challenger, process certificate failures in
@@ -441,7 +448,9 @@ class IncrementalEnvelope:
         pieces.append(Piece(t, hi, w, wid))
         return pieces, queue.pushes, events
 
-    def _certify(self, queue, w, wid, t, hi, cands) -> None:
+    def _certify(self, queue: CertificateQueue, w: Polynomial, wid: int,
+                 t: float, hi: float,
+                 cands: list[tuple[int, Polynomial]]) -> None:
         """One certificate per challenger: the winner holds until its
         first crossing with that challenger after ``t``."""
         fam = self.family
@@ -455,14 +464,17 @@ class IncrementalEnvelope:
             if cid != wid and not fam.same(c, w):
                 self._certify_pair(queue, w, wid, c, cid, t, hi)
 
-    def _certify_pair(self, queue, w, wid, c, cid, t, hi) -> None:
+    def _certify_pair(self, queue: CertificateQueue, w: Polynomial,
+                      wid: int, c: Polynomial, cid: int, t: float,
+                      hi: float) -> None:
         roots = self._crossings(w, wid, c, cid, t, hi)
         if roots:
             queue.push(Certificate(
                 roots[0], (self._rank[wid], self._rank[cid]), (cid, c)
             ))
 
-    def _winner_after(self, t: float, cands):
+    def _winner_after(self, t: float, cands: list[tuple[int, Polynomial]],
+                      ) -> tuple[int, Polynomial]:
         """argmin/argmax of the candidate curves just after ``t`` by jet
         comparison; ties at every jet level go to the lower rank (the
         reference tie-break)."""
@@ -472,7 +484,8 @@ class IncrementalEnvelope:
                 best_id, best = cid, c
         return best_id, best
 
-    def _beats(self, c, cid, best, best_id, t) -> bool:
+    def _beats(self, c: Polynomial, cid: int, best: Polynomial,
+               best_id: int, t: float) -> bool:
         fam = self.family
         if fam.same(c, best):
             return False

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from typing import Any, Iterable
 
 __all__ = ["Certificate", "CertificateQueue"]
 
@@ -40,7 +41,8 @@ class Certificate:
 
     __slots__ = ("failure_time", "key", "payload")
 
-    def __init__(self, failure_time: float, key: tuple, payload):
+    def __init__(self, failure_time: float, key: tuple,
+                 payload: Any) -> None:
         if not isinstance(key, tuple):
             raise TypeError(f"certificate key must be a tuple, got {key!r}")
         self.failure_time = float(failure_time)
@@ -63,7 +65,7 @@ class CertificateQueue:
 
     __slots__ = ("_heap", "_keys", "pushes", "pops")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: list[tuple] = []
         self._keys: set[tuple] = set()
         self.pushes = 0
@@ -85,7 +87,7 @@ class CertificateQueue:
         self.pushes += 1
         heapq.heappush(self._heap, (cert.failure_time, cert.key, cert))
 
-    def push_all(self, certs) -> None:
+    def push_all(self, certs: Iterable[Certificate]) -> None:
         for cert in certs:
             self.push(cert)
 

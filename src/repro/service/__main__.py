@@ -27,12 +27,12 @@ import sys
 import numpy as np
 
 from ..obs import render_prometheus
-from .model import request
+from .model import QueryRequest, request
 from .server import QueryService
 
 
 def build_stream(n_queries: int, n_families: int, seed: int,
-                 skew: float = 1.1) -> list:
+                 skew: float = 1.1) -> list[QueryRequest]:
     """A zipf-skewed request stream over a deterministic family universe."""
     rng = np.random.default_rng(seed)
     universe = []
@@ -57,7 +57,10 @@ def build_stream(n_queries: int, n_families: int, seed: int,
     return [universe[int(i)] for i in picks]
 
 
-async def _serve(stream, args, *, fault=None, postmortem_dir=None):
+async def _serve(stream: list[QueryRequest], args: argparse.Namespace,
+                 *, fault: str | None = None,
+                 postmortem_dir: str | None = None,
+                 ) -> tuple[QueryService, int]:
     """Replay ``stream``; returns the (stopped) service and error count."""
     svc = QueryService(shards=args.shards, workers=args.workers,
                       cache_capacity=args.cache, max_batch=args.max_batch,
@@ -78,7 +81,7 @@ async def _serve(stream, args, *, fault=None, postmortem_dir=None):
     return svc, errors
 
 
-def _add_serve_args(parser) -> None:
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queries", type=int, default=400)
     parser.add_argument("--families", type=int, default=24)
     parser.add_argument("--seed", type=int, default=0)
@@ -92,7 +95,7 @@ def _add_serve_args(parser) -> None:
                         help="concurrent submissions per wave")
 
 
-def _smoke(args) -> int:
+def _smoke(args: argparse.Namespace) -> int:
     postmortem_dir = args.postmortem_dir
     if args.fault and postmortem_dir is None:
         postmortem_dir = "."
@@ -116,7 +119,7 @@ def _smoke(args) -> int:
     return 0 if ok else 1
 
 
-def _stats(args) -> int:
+def _stats(args: argparse.Namespace) -> int:
     stream = build_stream(args.queries, args.families, args.seed)
     svc, errors = asyncio.run(_serve(stream, args))
     snapshot = svc.stats()
@@ -128,7 +131,7 @@ def _stats(args) -> int:
     return 0 if not errors else 1
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # Backward compatibility: bare flags mean the smoke replay.
     if not argv or argv[0].startswith("-"):

@@ -44,7 +44,7 @@ class ShardedResultCache:
     which is how the service runs cache-less without a second code path.
     """
 
-    def __init__(self, capacity: int, shards: int = 4):
+    def __init__(self, capacity: int, shards: int = 4) -> None:
         self.capacity = int(capacity)
         self.n_shards = max(1, int(shards))
         self.per_shard = (
@@ -61,7 +61,7 @@ class ShardedResultCache:
     def _shard(self, key: tuple) -> dict:
         return self._shards[shard_of(key, self.n_shards)]
 
-    def get(self, key: tuple):
+    def get(self, key: tuple) -> dict | None:
         """The cached entry for ``key`` (refreshing recency), or ``None``."""
         if self.per_shard == 0:
             self.misses += 1

@@ -36,7 +36,7 @@ class DynamicFamily:
 
     __slots__ = ("name", "engine", "op", "cached_keys")
 
-    def __init__(self, name: str, engine: IncrementalEnvelope):
+    def __init__(self, name: str, engine: IncrementalEnvelope) -> None:
         self.name = name
         self.engine = engine
         self.op = engine.op
@@ -58,7 +58,7 @@ class DynamicFamily:
 class DynamicFamilyStore:
     """Named dynamic families, mutated in place, invalidated exactly."""
 
-    def __init__(self, max_families: int = 64):
+    def __init__(self, max_families: int = 64) -> None:
         self.max_families = max(1, int(max_families))
         self._families: dict[str, DynamicFamily] = {}
         self.mutations = 0

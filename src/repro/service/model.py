@@ -28,6 +28,7 @@ import json
 import math
 import zlib
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.envelope import envelope, envelope_serial
 from ..core.family import PolynomialFamily
@@ -83,7 +84,8 @@ class ServiceError(RuntimeError):
     message string.
     """
 
-    def __init__(self, code: str, detail: str, context: dict | None = None):
+    def __init__(self, code: str, detail: str,
+                 context: dict | None = None) -> None:
         super().__init__(f"{code}: {detail}")
         self.code = code
         self.detail = detail
@@ -104,7 +106,7 @@ class FamilySpec:
     n: int
     degree: int = 2   # s for curve families, k for point systems
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.domain not in ("curves", "system"):
             raise ValueError(f"unknown family domain {self.domain!r}")
         kinds = CURVE_KINDS if self.domain == "curves" else SYSTEM_KINDS
@@ -123,7 +125,7 @@ class FamilySpec:
             return max(self.n, SYSTEM_SIZE_FLOORS[self.kind])
         return self.n
 
-    def build(self):
+    def build(self) -> Any:
         """Materialise the family (deterministic in the coordinates)."""
         if self.domain == "curves":
             return make_curves(self.kind, self.seed, n=self.n, s=self.degree)
@@ -153,7 +155,7 @@ class QueryRequest:
     backend: str = "mesh"
     params: tuple = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
             raise KeyError(f"unknown algorithm {self.algorithm!r}; "
                            f"have {sorted(ALGORITHMS)}")
@@ -248,7 +250,7 @@ class MutationRequest:
     action: str
     params: tuple = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.action not in MUTATION_OPS:
             raise KeyError(f"unknown mutation action {self.action!r}; "
                            f"have {sorted(MUTATION_OPS)}")
@@ -415,7 +417,7 @@ def shard_of(key: tuple, n_shards: int) -> int:
 # ----------------------------------------------------------------------
 # Driver execution and result encoding (runs inside workers)
 # ----------------------------------------------------------------------
-def _encode_envelope(env) -> dict:
+def _encode_envelope(env: Any) -> dict:
     pieces = []
     for p in env.pieces:
         coeffs = [float(c) for c in p.fn._cl]
@@ -423,11 +425,11 @@ def _encode_envelope(env) -> dict:
     return {"pieces": pieces}
 
 
-def _encode_intervals(intervals) -> dict:
+def _encode_intervals(intervals: Any) -> dict:
     return {"intervals": [[float(lo), float(hi)] for lo, hi in intervals]}
 
 
-def _encode_hull(hull) -> dict:
+def _encode_hull(hull: Any) -> dict:
     return {"hull": [int(i) for i in hull]}
 
 
@@ -478,7 +480,7 @@ def _horner(coeffs: list, t: float) -> float:
     return acc
 
 
-def _envelope_answer(result: dict, query: dict):
+def _envelope_answer(result: dict, query: dict) -> Any:
     q = query["q"]
     if q == "full":
         return result["pieces"]
@@ -491,7 +493,7 @@ def _envelope_answer(result: dict, query: dict):
     raise KeyError(f"unknown envelope query {q!r}")
 
 
-def _membership_answer(result: dict, query: dict):
+def _membership_answer(result: dict, query: dict) -> Any:
     q = query["q"]
     if q == "intervals":
         return result["intervals"]
@@ -502,7 +504,7 @@ def _membership_answer(result: dict, query: dict):
     raise KeyError(f"unknown hull_membership query {q!r}")
 
 
-def _hull_answer(result: dict, query: dict):
+def _hull_answer(result: dict, query: dict) -> Any:
     q = query["q"]
     if q == "hull":
         return result["hull"]
@@ -518,7 +520,7 @@ _ANSWERERS = {
 }
 
 
-def answer_query(algorithm: str, result: dict, query: dict):
+def answer_query(algorithm: str, result: dict, query: dict) -> Any:
     """Evaluate one query against an encoded run result (pure function)."""
     return _ANSWERERS[algorithm](result, query)
 
@@ -562,7 +564,7 @@ class QueryResponse:
     provenance: dict
 
     @property
-    def answer(self):
+    def answer(self) -> Any:
         return self.payload["answer"]
 
     @property

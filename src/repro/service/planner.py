@@ -22,6 +22,7 @@ The planner never runs driver code; it only groups and keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 from .model import QueryRequest, run_key, shard_of
 
@@ -35,19 +36,19 @@ class BatchUnit:
     key: tuple
     shard: int
     algorithm: str
-    waiters: list = field(default_factory=list)  # (pending, ...) arrival order
+    waiters: list[Any] = field(default_factory=list)  # pendings, arrival order
     dedup_hits: int = 0
     #: Batch correlation id, minted by the server at dispatch time and
     #: propagated into events, worker payloads, and the batch span.
     bid: str = ""
     #: Distinct full request keys seen, for dedupe accounting.
-    _seen: set = field(default_factory=set)
+    _seen: set[tuple] = field(default_factory=set)
 
     @property
     def size(self) -> int:
         return len(self.waiters)
 
-    def add(self, pending) -> None:
+    def add(self, pending: Any) -> None:
         rk = pending.request.key()
         if rk in self._seen:
             self.dedup_hits += 1
@@ -56,9 +57,10 @@ class BatchUnit:
         self.waiters.append(pending)
 
 
-def plan_batches(pendings, *, machine_size: int, executor: str | None,
-                 n_shards: int, batching: bool = True,
-                 max_batch: int = 64) -> list:
+def plan_batches(pendings: Iterable[Any], *, machine_size: int,
+                 executor: str | None, n_shards: int,
+                 batching: bool = True,
+                 max_batch: int = 64) -> list[BatchUnit]:
     """Group pending requests into :class:`BatchUnit` lists.
 
     ``pendings`` is an iterable of objects with a ``.request``

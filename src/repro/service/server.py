@@ -47,6 +47,7 @@ import pathlib
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Iterable
 
 from ..obs.telemetry import STATS_SCHEMA, ServiceTelemetry
 from ..ops.plans import EXECUTORS
@@ -151,8 +152,10 @@ class QueryService:
                  executor: str | None = None, retries: int = 1,
                  span_limit: int = 4096, provenance: bool = True,
                  event_capacity: int = 4096, recorder_events: int = 512,
-                 recorder_spans: int = 256, events_path=None,
-                 postmortem_dir=None):
+                 recorder_spans: int = 256,
+                 events_path: str | pathlib.Path | None = None,
+                 postmortem_dir: str | pathlib.Path | None = None,
+                 ) -> None:
         if executor is not None and executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; "
                              f"have {EXECUTORS}")
@@ -282,7 +285,8 @@ class QueryService:
         self._wake.set()
         return await fut
 
-    async def submit_many(self, reqs) -> list:
+    async def submit_many(
+            self, reqs: Iterable[QueryRequest]) -> list[QueryResponse]:
         """Serve many requests concurrently, results in request order."""
         return list(await asyncio.gather(*(self.submit(r) for r in reqs)))
 
@@ -775,8 +779,9 @@ class QueryService:
             path, reason, context, self.stats_dict(),
             provenance=self._want_provenance)
 
-    def dump_postmortem(self, path, reason: str = "manual",
-                        context: dict | None = None):
+    def dump_postmortem(self, path: str | pathlib.Path,
+                        reason: str = "manual",
+                        context: dict | None = None) -> pathlib.Path:
         """Write a postmortem dump on demand (operator escape hatch)."""
         return self.obs.recorder.dump(path, reason, context or {},
                                       self.stats_dict(),

@@ -18,7 +18,7 @@ worker internals.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 
 from ..ops.plans import set_compiled_plans
@@ -85,22 +85,22 @@ class ShardPools:
     a service with idle shards spawns nothing for them.
     """
 
-    def __init__(self, n_shards: int, mode: str = "thread"):
+    def __init__(self, n_shards: int, mode: str = "thread") -> None:
         if mode not in WORKER_MODES:
             raise ValueError(f"unknown worker mode {mode!r}; "
                              f"have {WORKER_MODES}")
         self.n_shards = max(1, int(n_shards))
         self.mode = mode
-        self._pools: list = [None] * self.n_shards
+        self._pools: list[Executor | None] = [None] * self.n_shards
         self.restarts = 0
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         if self.mode == "process":
             return ProcessPoolExecutor(max_workers=1)
         return ThreadPoolExecutor(max_workers=1,
                                   thread_name_prefix="repro-service")
 
-    def pool(self, shard: int):
+    def pool(self, shard: int) -> Executor:
         pool = self._pools[shard]
         if pool is None:
             pool = self._pools[shard] = self._make_pool()

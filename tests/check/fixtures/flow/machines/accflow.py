@@ -1,0 +1,15 @@
+"""Flow fixture: set elements crossing a function boundary into float
+accumulation.  The syntactic RPR002 only sees a loop over ``weights()``
+— a call, not a set display — so the hash-order dependence is invisible
+without the interprocedural pass."""
+
+
+def weights():
+    return {0.5, 1.5, 2.5}
+
+
+def total_charge():
+    total = 0.0
+    for w in weights():
+        total += w
+    return total

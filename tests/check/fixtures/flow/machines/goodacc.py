@@ -1,0 +1,12 @@
+"""Flow fixture (clean): sorted() sanitizes set order before the sum."""
+
+
+def weights():
+    return {0.5, 1.5, 2.5}
+
+
+def total_charge():
+    total = 0.0
+    for w in sorted(weights()):
+        total += w
+    return total

@@ -1,0 +1,21 @@
+"""Flow fixture: draws from an *unseeded* generator reaching result
+bytes.  ``random.Random()`` passes the syntactic RPR002 allowlist (the
+constructor is the sanctioned API — when seeded); only dataflow sees
+that this instance is unseeded and that its draws land in payloads."""
+
+import json
+import random
+
+
+def fresh_generator():
+    return random.Random()
+
+
+def jitter():
+    gen = fresh_generator()
+    return gen.random()
+
+
+def render(values):
+    noisy = [v + jitter() for v in values]
+    return json.dumps({"values": noisy})

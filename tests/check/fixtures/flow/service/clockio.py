@@ -1,0 +1,17 @@
+"""Flow fixture: a host-clock value crossing a function boundary into
+payload bytes.  The read itself is legal here (service modules measure
+latency by design), so the syntactic RPR001 stays silent — only the
+interprocedural taint pass sees the flow."""
+
+import json
+from time import perf_counter
+
+
+def now_s():
+    return perf_counter()
+
+
+def build_payload(result):
+    started = now_s()
+    return json.dumps({"result": result, "started": started},
+                      sort_keys=True)

@@ -1,0 +1,27 @@
+"""Flow fixture (clean): wall-clock used for latency only, RNG seeded,
+set accumulation sanitized with sorted()."""
+
+import json
+import random
+from time import perf_counter
+
+
+def elapsed_since(t0):
+    return perf_counter() - t0
+
+
+def handle(result):
+    t0 = perf_counter()
+    payload = json.dumps({"result": result}, sort_keys=True)
+    _latency = elapsed_since(t0)
+    return payload
+
+
+def seeded_jitter(seed):
+    gen = random.Random(seed)
+    return gen.random()
+
+
+def render(values, seed):
+    noisy = [v + seeded_jitter(seed) for v in values]
+    return json.dumps({"values": noisy})

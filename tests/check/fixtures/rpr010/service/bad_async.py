@@ -1,0 +1,23 @@
+"""RPR010 bad fixture: shared state written on both sides of an await."""
+
+import asyncio
+
+_DEPTH = 0
+
+
+class Dispatcher:
+    def __init__(self):
+        self.pending = []
+        self._lock = asyncio.Lock()
+
+    async def drain(self, batch):
+        self.pending.append(batch)
+        await asyncio.sleep(0)
+        self.pending.pop()
+
+
+async def busy():
+    global _DEPTH
+    _DEPTH += 1
+    await asyncio.sleep(0)
+    _DEPTH -= 1

@@ -1,0 +1,28 @@
+"""RPR010 good fixture: locked updates, single writes, drain loops."""
+
+import asyncio
+
+
+class Dispatcher:
+    def __init__(self):
+        # Both writes here are fine: __init__ is synchronous.
+        self.pending = []
+        self.done = []
+        self._lock = asyncio.Lock()
+
+    async def locked_drain(self, batch):
+        async with self._lock:
+            self.pending.append(batch)
+            await asyncio.sleep(0)
+            self.pending.pop()
+
+    async def single_write(self, batch):
+        await asyncio.sleep(0)
+        self.pending.append(batch)
+
+    async def loop_drain(self, queue):
+        # The drain-loop shape: one write per iteration, awaits only
+        # *before* it in statement order (not loop-carried).
+        while True:
+            item = await queue.get()
+            self.done.append(item)

@@ -1,0 +1,18 @@
+"""RPR011 bad fixture: check-then-act on a cache across an await."""
+
+
+class Store:
+    async def lookup(self, key):
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        val = await self.compute(key)
+        self.cache.put(key, val)
+        return val
+
+    async def member(self, key):
+        if key in self.index:
+            return True
+        await self.refresh()
+        self.index[key] = True
+        return False

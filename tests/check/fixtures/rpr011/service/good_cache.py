@@ -1,0 +1,32 @@
+"""RPR011 good fixture: no suspension between check and act."""
+
+import asyncio
+
+
+class Store:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def lookup_locked(self, key):
+        async with self._lock:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+            val = await self.compute(key)
+            self.cache.put(key, val)
+            return val
+
+    async def lookup_reordered(self, key):
+        # Read and write with no await between them: the check is never
+        # stale when the act lands.
+        val = await self.compute(key)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        self.cache.put(key, val)
+        return val
+
+    async def write_only(self, key):
+        val = await self.compute(key)
+        self.cache.put(key, val)
+        return val

@@ -1,0 +1,29 @@
+"""RPR012 bad fixture: worker-side writes to parent-read globals."""
+
+_TOTALS = []
+_LAST = [None]
+_COUNT = 0
+
+
+def execute_batch(payload):
+    _tally(payload["cost"])
+    _mark(payload["key"])
+    _bump()
+    return {"ok": True}
+
+
+def _tally(cost):
+    _TOTALS.append(cost)
+
+
+def _mark(key):
+    _LAST[0] = key
+
+
+def _bump():
+    global _COUNT
+    _COUNT += 1
+
+
+def stats():
+    return {"batches": len(_TOTALS), "last": _LAST[0], "count": _COUNT}

@@ -1,0 +1,22 @@
+"""RPR012 good fixture: workers read config, return state; the parent
+mutates its own aggregates."""
+
+_CONFIG = {"shards": 4}
+_RESULTS = []
+
+
+def execute_batch(payload):
+    # Worker-side *read* of a module global: config fans out at fork.
+    shards = _CONFIG["shards"]
+    local = []
+    local.append(payload["cost"])      # worker-local scratch
+    return {"ok": True, "shards": shards, "costs": local}
+
+
+def collect(entry):
+    # Parent-side mutation of a parent-read global: one process, fine.
+    _RESULTS.append(entry)
+
+
+def stats():
+    return {"done": len(_RESULTS)}

@@ -1,0 +1,220 @@
+"""CLI contract of the PR-10 additions: ``--changed``, ``--format
+sarif``, and deduplication across overlapping roots.
+
+``--changed`` is exercised against a real throwaway git repository: the
+whole-program analysis runs over everything, but only findings whose
+file differs from the ref (or is untracked) survive.  The SARIF tests
+round-trip the emitted document and pin rule ids, physical locations,
+and the suppression status of noqa'd/baselined findings — the three
+things a CI annotator consumes.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.check.__main__ import main
+
+pytestmark = pytest.mark.check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# The legacy draw is spliced so the repo-wide RNG-hygiene sweep (which
+# scans raw test sources) does not flag this deliberately-bad fixture.
+BAD_RNG = ("import numpy as np\n\ndef draw(n):\n"
+           "    return np." + "random.rand(n)\n")
+
+
+def run_json(capsys, argv):
+    rc = main(argv)
+    return rc, json.loads(capsys.readouterr().out)
+
+
+# ----------------------------------------------------------------------
+# --format sarif
+# ----------------------------------------------------------------------
+def test_sarif_roundtrip_rule_ids_and_locations(capsys):
+    rc, doc = run_json(capsys, ["--format", "sarif", "--no-baseline",
+                                str(FIXTURES / "rpr001")])
+    assert rc == 1
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.check"
+    assert {r["id"] for r in driver["rules"]} == {"RPR001"}
+    results = run["results"]
+    locs = {(r["locations"][0]["physicalLocation"]["artifactLocation"]
+             ["uri"],
+             r["locations"][0]["physicalLocation"]["region"]["startLine"],
+             r["ruleId"]) for r in results}
+    assert ("rpr001/core/bad_clock.py", 9, "RPR001") in locs
+    for r in results:
+        assert r["level"] == "error"
+        assert r["message"]["text"]
+        region = r["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] >= 1
+        assert region["snippet"]["text"].strip()
+
+
+def test_sarif_noqa_suppression_status(capsys):
+    rc, doc = run_json(capsys, ["--format", "sarif", "--no-baseline",
+                                str(FIXTURES / "suppression")])
+    (run,) = doc["runs"]
+    by_line = {}
+    for r in run["results"]:
+        line = r["locations"][0]["physicalLocation"]["region"]["startLine"]
+        by_line.setdefault((line, r["ruleId"]), r)
+    # Reasoned noqa: present in SARIF, marked suppressed in-source.
+    sup = by_line[(7, "RPR002")]["suppressions"]
+    assert [s["kind"] for s in sup] == ["inSource"]
+    assert "reasoned suppression" in sup[0]["justification"]
+    # Reasonless noqa: RPR000 finding is *active* (no suppressions).
+    assert by_line[(11, "RPR000")]["suppressions"] == []
+
+
+def test_sarif_baseline_suppression_status(tmp_path, capsys):
+    target = tmp_path / "ops"
+    target.mkdir()
+    (target / "bad.py").write_text(BAD_RNG)
+    base = tmp_path / "baseline.json"
+    rc = main([str(tmp_path), "--write-baseline", str(base)])
+    assert rc == 0
+    capsys.readouterr()
+    rc, sarif = run_json(capsys, ["--format", "sarif",
+                                  "--baseline", str(base), str(tmp_path)])
+    assert rc == 0
+    (run,) = sarif["runs"]
+    assert run["invocations"][0]["executionSuccessful"] is True
+    kinds = [s["kind"] for r in run["results"] for s in r["suppressions"]]
+    assert kinds == ["external"]
+
+
+def test_sarif_clean_tree_has_empty_results(capsys):
+    rc, doc = run_json(capsys, [
+        "--format", "sarif", "--no-baseline",
+        str(FIXTURES / "rpr001" / "core" / "good_clock.py")])
+    assert rc == 0
+    assert doc["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# Deduplication across overlapping roots
+# ----------------------------------------------------------------------
+def _package_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "ops").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "ops" / "__init__.py").write_text("")
+    (pkg / "ops" / "bad.py").write_text(BAD_RNG)
+    return pkg
+
+
+def test_overlapping_roots_dedupe_findings(tmp_path, capsys):
+    pkg = _package_tree(tmp_path)
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                str(pkg), str(pkg / "ops")])
+    assert rc == 1
+    findings = [f for rep in doc["reports"] for f in rep["findings"]]
+    assert len(findings) == 1
+
+
+def test_file_root_inside_dir_root_dedupes(tmp_path, capsys):
+    pkg = _package_tree(tmp_path)
+    rc, doc = run_json(capsys, ["--json", "--no-baseline", str(pkg),
+                                str(pkg / "ops" / "bad.py")])
+    assert rc == 1
+    findings = [f for rep in doc["reports"] for f in rep["findings"]]
+    assert len(findings) == 1
+
+
+def test_disjoint_roots_not_deduped(tmp_path, capsys):
+    pkg = _package_tree(tmp_path)
+    other = tmp_path / "pkg2"
+    other.mkdir()
+    (other / "__init__.py").write_text("")
+    (other / "bad.py").write_text(BAD_RNG)
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                str(pkg), str(other)])
+    assert rc == 1
+    findings = [f for rep in doc["reports"] for f in rep["findings"]]
+    assert len(findings) == 2
+
+
+# ----------------------------------------------------------------------
+# --changed
+# ----------------------------------------------------------------------
+GIT_ENV = ["-c", "user.email=check@test", "-c", "user.name=check"]
+
+
+def _git(repo, *argv):
+    subprocess.run(["git", *GIT_ENV, *argv], cwd=repo, check=True,
+                   capture_output=True)
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    """A throwaway git repo: pkg/ with one committed and one clean file."""
+    repo = tmp_path / "work"
+    pkg = repo / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "committed.py").write_text(BAD_RNG)
+    (pkg / "clean.py").write_text("def ok():\n    return 1\n")
+    _git(repo, "init", "-q")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-qm", "seed")
+    monkeypatch.chdir(repo)
+    return repo
+
+
+def test_changed_filters_to_modified_files(git_tree, capsys):
+    pkg = git_tree / "pkg"
+    (pkg / "clean.py").write_text(BAD_RNG)  # modify vs HEAD
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                str(pkg), "--changed"])
+    assert rc == 1
+    paths = {f["path"] for f in doc["findings"]}
+    # committed.py's finding is real but unchanged vs HEAD: filtered out.
+    assert paths == {"pkg/clean.py"}
+
+
+def test_changed_includes_untracked_files(git_tree, capsys):
+    pkg = git_tree / "pkg"
+    (pkg / "fresh.py").write_text(BAD_RNG)
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                str(pkg), "--changed"])
+    assert rc == 1
+    assert {f["path"] for f in doc["findings"]} == {"pkg/fresh.py"}
+
+
+def test_changed_clean_diff_exits_zero(git_tree, capsys):
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                str(git_tree / "pkg"), "--changed"])
+    # committed.py violates RPR002, but nothing changed vs HEAD.
+    assert rc == 0
+    assert doc["findings"] == []
+
+
+def test_changed_explicit_ref(git_tree, capsys):
+    pkg = git_tree / "pkg"
+    (pkg / "clean.py").write_text(BAD_RNG)
+    _git(git_tree, "add", "-A")
+    _git(git_tree, "commit", "-qm", "introduce finding")
+    rc, doc = run_json(capsys, ["--json", "--no-baseline",
+                                "--changed", "HEAD~1", str(pkg)])
+    assert rc == 1
+    assert {f["path"] for f in doc["findings"]} == {"pkg/clean.py"}
+    # Against HEAD itself the tree is unchanged again.
+    rc = main(["--no-baseline", str(pkg), "--changed"])
+    capsys.readouterr()
+    assert rc == 0
+
+
+def test_changed_bad_ref_exits_two(git_tree, capsys):
+    rc = main(["--no-baseline", str(git_tree / "pkg"),
+               "--changed", "no-such-ref"])
+    assert rc == 2
+    assert "--changed" in capsys.readouterr().err

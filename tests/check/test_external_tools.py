@@ -45,11 +45,17 @@ def test_ruff_config_matches_repo_style():
     assert "tests/check/fixtures/**" in lint["per-file-ignores"]
 
 
-def test_mypy_strict_scope_is_the_accounting_layers():
+def test_mypy_strict_scope_is_the_byte_critical_layers():
+    # The strict set is the layers whose outputs are certified byte-for-
+    # byte: charge accounting (machines/ops) and the serving + incremental
+    # paths whose payloads the equivalence tests pin.
     overrides = _pyproject()["tool"]["mypy"]["overrides"]
     strict = [o for o in overrides if o.get("strict")]
     assert len(strict) == 1
-    assert set(strict[0]["module"]) == {"repro.machines.*", "repro.ops.*"}
+    assert set(strict[0]["module"]) == {
+        "repro.machines.*", "repro.ops.*",
+        "repro.service.*", "repro.incremental.*",
+    }
 
 
 def test_check_marker_registered():

@@ -1,0 +1,177 @@
+"""Call-graph builder tests: resolution properties and a golden snapshot.
+
+The Hypothesis properties pin the resolution invariant the taint engine
+leans on: however a callee is *spelled* at the call site — plain import,
+``import ... as`` rename, ``from``-import (renamed or not), bound method
+on a locally constructed instance — the edge lands on the same
+``module.qualname`` key.  The golden snapshot freezes the resolved edge
+set of ``repro.service.server`` so an accidental resolution regression
+(or a genuine topology change) shows up as a reviewable diff; regenerate
+with ``REPRO_UPDATE_GOLDENS=1``.
+"""
+
+import ast
+import json
+import keyword
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import build_graph
+from repro.check.engine import iter_python_files, package_base
+
+pytestmark = pytest.mark.check
+
+GOLDEN = Path(__file__).parent / "golden_callgraph_server.json"
+SRC_ROOT = Path(__file__).parents[2] / "src" / "repro"
+
+
+def graph_of(files):
+    return build_graph([(rel, ast.parse(src)) for rel, src in files])
+
+
+def edge_keys(graph):
+    return {(c.caller, c.callee) for c in graph.calls
+            if c.callee is not None}
+
+
+#: The caller's module name is longer than the 8-char identifier cap
+#: below, so a generated library name can never collide with it.
+CALLER_REL = "pkg/caller_module.py"
+CALLER_MOD = "pkg.caller_module"
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True).filter(
+    lambda s: not keyword.iskeyword(s) and not s.startswith("__"))
+
+distinct_idents = st.lists(ident, min_size=3, max_size=3, unique=True)
+
+
+# ----------------------------------------------------------------------
+# Resolution properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(distinct_idents)
+def test_alias_renamed_import_resolves_to_same_callee(names):
+    pkg, fn, alias = names
+    lib = (f"pkg/{pkg}.py", f"def {fn}():\n    return 1\n")
+    plain = graph_of([lib, (CALLER_REL,
+                            f"import pkg.{pkg}\n"
+                            f"def caller():\n"
+                            f"    return pkg.{pkg}.{fn}()\n")])
+    renamed = graph_of([lib, (CALLER_REL,
+                              f"import pkg.{pkg} as {alias}\n"
+                              f"def caller():\n"
+                              f"    return {alias}.{fn}()\n")])
+    expected = (f"{CALLER_MOD}.caller", f"pkg.{pkg}.{fn}")
+    assert expected in edge_keys(plain)
+    assert edge_keys(plain) == edge_keys(renamed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(distinct_idents)
+def test_from_import_resolves_to_same_callee(names):
+    pkg, fn, alias = names
+    lib = (f"pkg/{pkg}.py", f"def {fn}():\n    return 1\n")
+    direct = graph_of([lib, (CALLER_REL,
+                             f"from pkg.{pkg} import {fn}\n"
+                             f"def caller():\n"
+                             f"    return {fn}()\n")])
+    renamed = graph_of([lib, (CALLER_REL,
+                              f"from pkg.{pkg} import {fn} as {alias}\n"
+                              f"def caller():\n"
+                              f"    return {alias}()\n")])
+    relative = graph_of([("pkg/__init__.py", ""), lib,
+                         (CALLER_REL,
+                          f"from .{pkg} import {fn}\n"
+                          f"def caller():\n"
+                          f"    return {fn}()\n")])
+    expected = (f"{CALLER_MOD}.caller", f"pkg.{pkg}.{fn}")
+    assert expected in edge_keys(direct)
+    assert expected in edge_keys(renamed)
+    assert expected in edge_keys(relative)
+
+
+@settings(max_examples=40, deadline=None)
+@given(distinct_idents)
+def test_bound_method_call_resolves_to_same_callee(names):
+    cls_leaf, method, var = names
+    cls = cls_leaf.capitalize() + "C"
+    lib = (f"pkg/{cls_leaf}.py",
+           f"class {cls}:\n"
+           f"    def {method}(self):\n"
+           f"        return 1\n")
+    via_var = graph_of([lib, (CALLER_REL,
+                              f"from pkg.{cls_leaf} import {cls}\n"
+                              f"def caller():\n"
+                              f"    {var} = {cls}()\n"
+                              f"    return {var}.{method}()\n")])
+    via_self = graph_of([lib, (CALLER_REL,
+                               f"from pkg.{cls_leaf} import {cls}\n"
+                               f"class Holder:\n"
+                               f"    def __init__(self):\n"
+                               f"        self.w = {cls}()\n"
+                               f"    def caller(self):\n"
+                               f"        return self.w.{method}()\n")])
+    target = f"pkg.{cls_leaf}.{cls}.{method}"
+    assert (f"{CALLER_MOD}.caller", target) in edge_keys(via_var)
+    assert (f"{CALLER_MOD}.Holder.caller", target) in edge_keys(via_self)
+
+
+def test_nested_def_shadows_module_function():
+    g = graph_of([(CALLER_REL,
+                   "def helper():\n    return 1\n"
+                   "def caller():\n"
+                   "    def helper():\n        return 2\n"
+                   "    return helper()\n")])
+    assert (f"{CALLER_MOD}.caller",
+            f"{CALLER_MOD}.caller.helper") in edge_keys(g)
+    assert (f"{CALLER_MOD}.caller",
+            f"{CALLER_MOD}.helper") not in edge_keys(g)
+
+
+def test_submit_edges_reach_the_submitted_callee():
+    g = graph_of([("pkg/w.py", "def work(x):\n    return x\n"),
+                  (CALLER_REL,
+                   "from pkg.w import work\n"
+                   "def caller(pool, item):\n"
+                   "    return pool.submit(work, item)\n")])
+    subs = [(c.caller, c.callee) for c in g.submitted()]
+    assert (f"{CALLER_MOD}.caller", "pkg.w.work") in subs
+
+
+# ----------------------------------------------------------------------
+# Golden snapshot of repro.service.server
+# ----------------------------------------------------------------------
+def _server_snapshot():
+    base = package_base(SRC_ROOT)
+    files = [(p.relative_to(base).as_posix(), ast.parse(p.read_text()))
+             for p in iter_python_files(SRC_ROOT)]
+    graph = build_graph(files)
+    mod = "repro.service.server"
+    functions = sorted(
+        ({"key": fn.key, "class": fn.class_name, "async": fn.is_async}
+         for fn in graph.functions.values() if fn.module == mod),
+        key=lambda d: d["key"])
+    edges = sorted({(c.caller, c.callee, c.kind) for c in graph.calls
+                    if c.callee is not None and c.caller is not None
+                    and (c.caller == mod + ".<module>"
+                         or c.caller.startswith(mod + "."))})
+    return {"version": 1, "module": mod, "functions": functions,
+            "edges": [list(e) for e in edges]}
+
+
+def test_server_callgraph_matches_golden():
+    snap = _server_snapshot()
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN.write_text(json.dumps(snap, indent=2) + "\n")
+    assert GOLDEN.exists(), (
+        "golden call-graph snapshot missing; regenerate with "
+        "REPRO_UPDATE_GOLDENS=1 pytest tests/check/test_graph.py")
+    golden = json.loads(GOLDEN.read_text())
+    assert snap == golden, (
+        "call graph of repro.service.server changed (stale golden); "
+        "review the diff, then regenerate with REPRO_UPDATE_GOLDENS=1 "
+        "pytest tests/check/test_graph.py")
